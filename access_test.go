@@ -1,0 +1,103 @@
+package bpagg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestAccessMethodsAgree pins the contract: every access method returns the
+// same answer; only the evaluation strategy differs.
+func TestAccessMethodsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	const n, k = 8000, 14
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1 << k))
+	}
+	for _, layout := range []Layout{VBP, HBP} {
+		col := FromValues(layout, k, vals)
+		for _, sel := range []*Bitmap{
+			col.Scan(Less(50)),      // very selective: Auto picks reconstruction
+			col.Scan(Less(1 << 13)), // dense: Auto picks bit-parallel
+			col.All(),
+			col.None(),
+		} {
+			for _, m := range []AccessMethod{BitParallel, Reconstruct, Auto} {
+				opt := Access(m)
+				if got, want := col.Sum(sel, opt), col.Sum(sel); got != want {
+					t.Fatalf("%v method %d: Sum = %d, want %d", layout, m, got, want)
+				}
+				gm, gok := col.Min(sel, opt)
+				wm, wok := col.Min(sel)
+				if gm != wm || gok != wok {
+					t.Fatalf("%v method %d: Min = (%d,%v), want (%d,%v)", layout, m, gm, gok, wm, wok)
+				}
+				gm, gok = col.Max(sel, opt)
+				wm, wok = col.Max(sel)
+				if gm != wm || gok != wok {
+					t.Fatalf("%v method %d: Max mismatch", layout, m)
+				}
+				gm, gok = col.Median(sel, opt)
+				wm, wok = col.Median(sel)
+				if gm != wm || gok != wok {
+					t.Fatalf("%v method %d: Median = (%d,%v), want (%d,%v)", layout, m, gm, gok, wm, wok)
+				}
+				ga, gaok := col.Avg(sel, opt)
+				wa, waok := col.Avg(sel)
+				if ga != wa || gaok != waok {
+					t.Fatalf("%v method %d: Avg mismatch", layout, m)
+				}
+				u := col.Count(sel)
+				for _, r := range []uint64{1, u / 2, u} {
+					if r == 0 {
+						continue
+					}
+					gr, grok := col.Rank(sel, r, opt)
+					wr, wrok := col.Rank(sel, r)
+					if gr != wr || grok != wrok {
+						t.Fatalf("%v method %d: Rank(%d) mismatch", layout, m, r)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAccessWithNulls(t *testing.T) {
+	col := NewColumn(HBP, 8)
+	col.Append(10, 20)
+	col.AppendNull()
+	col.Append(30)
+	for _, m := range []AccessMethod{BitParallel, Reconstruct, Auto} {
+		if got := col.Sum(col.All(), Access(m)); got != 60 {
+			t.Errorf("method %d: Sum = %d, want 60", m, got)
+		}
+	}
+}
+
+func TestAccessComposesWithThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	vals := make([]uint64, 5000)
+	for i := range vals {
+		vals[i] = uint64(rng.Intn(1000))
+	}
+	col := FromValues(VBP, 10, vals)
+	sel := col.Scan(Less(10)) // selective: Auto -> reconstruction, threaded
+	want := col.Sum(sel)
+	if got := col.Sum(sel, Access(Auto), Parallel(4)); got != want {
+		t.Errorf("Auto+Parallel Sum = %d, want %d", got, want)
+	}
+	if got := col.Sum(sel, Access(Reconstruct), Parallel(4)); got != want {
+		t.Errorf("Reconstruct+Parallel Sum = %d, want %d", got, want)
+	}
+}
+
+func TestAutoThresholds(t *testing.T) {
+	if autoThreshold(VBP) >= autoThreshold(HBP) {
+		t.Error("VBP reconstruction is costlier, so its threshold must be lower")
+	}
+	empty := NewColumn(VBP, 4)
+	if empty.useReconstruct(empty.All().b, execConfig{access: Auto}) {
+		t.Error("empty column should default to bit-parallel")
+	}
+}

@@ -1,0 +1,72 @@
+package bpagg
+
+import "testing"
+
+// Exercise the small accessors the bigger scenario tests route around.
+func TestAccessorSurface(t *testing.T) {
+	m := NewBitmap(10)
+	if m.Len() != 10 {
+		t.Errorf("Bitmap.Len = %d", m.Len())
+	}
+	m.Set(3)
+	m.Clear(3)
+	if m.Get(3) {
+		t.Error("Clear failed")
+	}
+
+	cols := []*Column{FromValues(VBP, 8, []uint64{1, 2}), FromValues(VBP, 8, []uint64{3, 4})}
+	tbl := NewTableFromColumns([]string{"a", "b"}, cols)
+	if tbl.Rows() != 2 || tbl.Query().Sum("b") != 7 {
+		t.Error("NewTableFromColumns wrong")
+	}
+	func() {
+		defer func() { recover() }()
+		NewTableFromColumns([]string{"x"}, nil)
+		t.Error("mismatched names/cols did not panic")
+	}()
+	func() {
+		defer func() { recover() }()
+		NewTableFromColumns([]string{"a", "a"}, cols)
+		t.Error("duplicate name did not panic")
+	}()
+	func() {
+		defer func() { recover() }()
+		NewTableFromColumns([]string{"a", "b"},
+			[]*Column{FromValues(VBP, 8, []uint64{1}), FromValues(VBP, 8, []uint64{1, 2})})
+		t.Error("ragged columns did not panic")
+	}()
+
+	d := NewDecimalColumn(HBP, Decimal{Scale: 1, Max: 10})
+	d.Append(1.5)
+	d.AppendNull()
+	if d.Raw().Len() != 2 || d.Len() != 2 {
+		t.Error("DecimalColumn accessors wrong")
+	}
+	if got, ok := d.Min(d.All()); !ok || got != 1.5 {
+		t.Errorf("DecimalColumn.Min = %v", got)
+	}
+
+	s := NewSignedColumn(VBP, Signed{Min: -5, Max: 5})
+	s.Append(-3)
+	s.AppendNull()
+	if s.Raw().NullCount() != 1 || s.Len() != 2 {
+		t.Error("SignedColumn accessors wrong")
+	}
+
+	sc := NewStringColumn(VBP, []string{"a", "b"})
+	sc.Append("b")
+	if sc.Raw().Len() != 1 || sc.Len() != 1 || sc.Dict().Len() != 2 {
+		t.Error("StringColumn accessors wrong")
+	}
+
+	col := NewColumn(VBP, 8)
+	col.Append(1)
+	if col.IsNull(0) || col.NullCount() != 0 {
+		t.Error("null accessors on null-free column wrong")
+	}
+	func() {
+		defer func() { recover() }()
+		col.IsNull(5)
+		t.Error("IsNull out of range did not panic")
+	}()
+}

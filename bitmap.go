@@ -1,0 +1,59 @@
+package bpagg
+
+import "bpagg/internal/bitvec"
+
+// Bitmap is a selection of rows — the filter bit vector F of the paper.
+// Scans produce it, logical operators combine it, and aggregates consume
+// it. Bit i corresponds to row i.
+type Bitmap struct {
+	b *bitvec.Bitmap
+}
+
+// NewBitmap returns an empty (all-false) selection of n rows.
+func NewBitmap(n int) *Bitmap { return &Bitmap{b: bitvec.New(n)} }
+
+// Len returns the number of rows covered by the selection.
+func (m *Bitmap) Len() int { return m.b.Len() }
+
+// Count returns the number of selected rows.
+func (m *Bitmap) Count() int { return m.b.Count() }
+
+// Get reports whether row i is selected.
+func (m *Bitmap) Get(i int) bool { return m.b.Get(i) }
+
+// Set marks row i selected.
+func (m *Bitmap) Set(i int) { m.b.Set(i) }
+
+// Clear unmarks row i.
+func (m *Bitmap) Clear(i int) { m.b.Clear(i) }
+
+// And intersects m with o in place and returns m (conjunctive predicates,
+// paper §II-E).
+func (m *Bitmap) And(o *Bitmap) *Bitmap {
+	m.b.And(o.b)
+	return m
+}
+
+// Or unions m with o in place and returns m.
+func (m *Bitmap) Or(o *Bitmap) *Bitmap {
+	m.b.Or(o.b)
+	return m
+}
+
+// AndNot removes o's rows from m in place and returns m.
+func (m *Bitmap) AndNot(o *Bitmap) *Bitmap {
+	m.b.AndNot(o.b)
+	return m
+}
+
+// Not complements the selection in place and returns m.
+func (m *Bitmap) Not() *Bitmap {
+	m.b.Not()
+	return m
+}
+
+// Clone returns an independent copy of the selection.
+func (m *Bitmap) Clone() *Bitmap { return &Bitmap{b: m.b.Clone()} }
+
+// ForEach calls fn with each selected row index in ascending order.
+func (m *Bitmap) ForEach(fn func(row int)) { m.b.ForEachOne(fn) }

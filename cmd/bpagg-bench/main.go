@@ -1,0 +1,84 @@
+// Command bpagg-bench regenerates the paper's evaluation (Feng & Lo, ICDE
+// 2015, §IV): Figures 5-7 (micro-benchmarks of the aggregation phase),
+// Figure 8 (multi-threading and wide-word speedups) and Table II (TPC-H
+// style queries).
+//
+// Usage:
+//
+//	bpagg-bench -experiment all
+//	bpagg-bench -experiment fig5 -n 16777216
+//	bpagg-bench -experiment table2 -threads 8
+//
+// Results print as aligned text tables matching the paper's layout; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"bpagg/internal/bench"
+	"bpagg/internal/tpch"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | all")
+		n          = flag.Int("n", 4<<20, "tuples per micro-benchmark column")
+		k          = flag.Int("k", 25, "default value width in bits")
+		sel        = flag.Float64("sel", 0.1, "default filter selectivity")
+		threads    = flag.Int("threads", 4, "worker threads for fig8/table2")
+		seed       = flag.Int64("seed", 1, "data generation seed")
+		minTime    = flag.Duration("mintime", 150*time.Millisecond, "minimum measurement time per data point")
+		skipSanity = flag.Bool("skip-sanity", false, "skip the BP-vs-NBP agreement pre-check")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{
+		N: *n, K: *k, Sel: *sel, Threads: *threads, Seed: *seed, MinTime: *minTime,
+	}
+	fmt.Printf("bpagg-bench: n=%d k=%d sel=%v threads=%d GOMAXPROCS=%d\n\n",
+		cfg.N, cfg.K, cfg.Sel, cfg.Threads, runtime.GOMAXPROCS(0))
+
+	if !*skipSanity {
+		if !bench.Sanity(cfg) {
+			fmt.Fprintln(os.Stderr, "sanity check failed: BP and NBP disagree; not benchmarking")
+			os.Exit(1)
+		}
+		fmt.Println("sanity: BP and NBP agree on all queries and layouts")
+		fmt.Println()
+	}
+
+	run := func(name string) {
+		start := time.Now()
+		switch name {
+		case "fig5":
+			bench.PrintFig5(os.Stdout, bench.Fig5(cfg))
+		case "fig6":
+			bench.PrintFig6(os.Stdout, bench.Fig6(cfg))
+		case "fig7":
+			bench.PrintFig7(os.Stdout, bench.Fig7(cfg))
+		case "fig8":
+			bench.PrintFig8(os.Stdout, bench.Fig8(cfg), cfg.Threads)
+		case "table2":
+			bench.PrintTable2(os.Stdout, tpch.VBP, bench.Table2(cfg, tpch.VBP))
+			fmt.Println()
+			bench.PrintTable2(os.Stdout, tpch.HBP, bench.Table2(cfg, tpch.HBP))
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *experiment == "all" {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2"} {
+			run(name)
+		}
+		return
+	}
+	run(*experiment)
+}

@@ -1,0 +1,239 @@
+// Command bpagg is a small analytical query tool over bit-packed columnar
+// files: load CSV data into a packed table once, then run aggregate
+// queries against it at bit-parallel speed.
+//
+//	bpagg load  -csv sales.csv -schema 'price:decimal(2,105000),qty:uint(6):hbp,region:string' -out sales.bpag
+//	bpagg query -table sales.bpag 'SELECT SUM(price), MEDIAN(qty) WHERE region = "EU" GROUP BY region'
+//	bpagg info  -table sales.bpag
+//
+// The query language is the aggregate subset the paper's wide-table
+// setting reduces everything to: SELECT of aggregates (COUNT(*), COUNT,
+// SUM, AVG, MIN, MAX, MEDIAN, QUANTILE(col, q)), a WHERE conjunction of
+// simple predicates (=, !=, <, <=, >, >=, BETWEEN, IN), and an optional
+// GROUP BY over one column.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"bpagg/internal/catalog"
+	"bpagg/internal/sqlmini"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "load":
+		err = cmdLoad(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "bpagg: unknown command %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bpagg:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  bpagg load  -csv FILE -schema SPEC -out FILE   pack CSV into a .bpag table
+  bpagg query -table FILE [-threads N] [-wide] [SQL]
+              (omit SQL for an interactive session reading stdin)
+  bpagg info  -table FILE
+
+schema SPEC is comma-separated name:type[:layout] with types
+  uint(bits) | decimal(scale,max) | int(min,max) | string
+and layouts vbp (default) | hbp.`)
+}
+
+func cmdLoad(args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	csvPath := fs.String("csv", "", "input CSV file with a header row")
+	schema := fs.String("schema", "", "schema specification")
+	out := fs.String("out", "", "output .bpag file")
+	fs.Parse(args)
+	if *csvPath == "" || *schema == "" || *out == "" {
+		return fmt.Errorf("load needs -csv, -schema and -out")
+	}
+	specs, err := catalog.ParseSchema(*schema)
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(*csvPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	start := time.Now()
+	cat, err := catalog.LoadCSV(bufio.NewReader(in), specs)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	n, err := cat.WriteTo(w)
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("loaded %d rows, %d columns -> %s (%d bytes) in %v\n",
+		cat.Table.Rows(), len(cat.Specs), *out, n, time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func openCatalog(path string) (*catalog.Catalog, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return catalog.Read(bufio.NewReader(f))
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	table := fs.String("table", "", "packed .bpag table")
+	threads := fs.Int("threads", 1, "worker goroutines for aggregation")
+	wide := fs.Bool("wide", false, "use 256-bit wide-word kernels")
+	auto := fs.Bool("auto", true, "pick bit-parallel vs reconstruction per query selectivity")
+	fs.Parse(args)
+	if *table == "" || fs.NArg() > 1 {
+		return fmt.Errorf("query needs -table and at most one SQL argument (none starts a REPL)")
+	}
+	cat, err := openCatalog(*table)
+	if err != nil {
+		return err
+	}
+	opts := sqlmini.ExecOptions{Threads: *threads, Wide: *wide, Auto: *auto}
+	if fs.NArg() == 1 {
+		return runQuery(cat, fs.Arg(0), opts)
+	}
+	// REPL: one query per line from stdin; errors don't end the session.
+	fmt.Printf("bpagg> connected to %s (%d rows); one query per line, ctrl-D to exit\n",
+		*table, cat.Table.Rows())
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("bpagg> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return sc.Err()
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "quit" || line == "exit" {
+			return nil
+		}
+		if err := runQuery(cat, line, opts); err != nil {
+			fmt.Fprintln(os.Stderr, "bpagg:", err)
+		}
+	}
+}
+
+func runQuery(cat *catalog.Catalog, sql string, opts sqlmini.ExecOptions) error {
+	q, err := sqlmini.Parse(sql)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := sqlmini.Execute(cat, q, opts)
+	if err != nil {
+		return err
+	}
+	printResult(res)
+	fmt.Printf("(%d row(s) over %d tuples in %v)\n",
+		len(res.Rows), cat.Table.Rows(), time.Since(start).Round(time.Microsecond))
+	return nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	table := fs.String("table", "", "packed .bpag table")
+	fs.Parse(args)
+	if *table == "" {
+		return fmt.Errorf("info needs -table")
+	}
+	cat, err := openCatalog(*table)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("rows: %d\n", cat.Table.Rows())
+	fmt.Printf("%-16s %-10s %-7s %6s %8s %10s\n",
+		"column", "type", "layout", "bits", "nulls", "words")
+	for _, sp := range cat.Specs {
+		col := cat.Table.Column(sp.Name)
+		fmt.Printf("%-16s %-10s %-7s %6d %8d %10d\n",
+			sp.Name, typeLabel(sp), col.Layout(), col.BitWidth(),
+			col.NullCount(), col.MemoryWords())
+	}
+	return nil
+}
+
+func typeLabel(sp catalog.Spec) string {
+	switch sp.Kind {
+	case catalog.Uint:
+		return fmt.Sprintf("uint(%d)", sp.Bits)
+	case catalog.Decimal:
+		return fmt.Sprintf("decimal(%d)", sp.Scale)
+	case catalog.Int:
+		return fmt.Sprintf("int(%d..%d)", sp.MinInt, sp.MaxInt)
+	case catalog.String:
+		return fmt.Sprintf("string[%d]", len(sp.Keys))
+	}
+	return "?"
+}
+
+func printResult(res *sqlmini.Result) {
+	widths := make([]int, len(res.Headers))
+	for i, h := range res.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range res.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Println(strings.TrimRight(b.String(), " "))
+	}
+	line(res.Headers)
+	for _, row := range res.Rows {
+		line(row)
+	}
+}

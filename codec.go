@@ -1,0 +1,26 @@
+package bpagg
+
+import "bpagg/internal/encode"
+
+// The bit-parallel operators work on unsigned integer codes. These codecs
+// provide the order-preserving mappings the paper refers to for other
+// numeric types (§III footnote 3) and for dictionary-compressed strings.
+
+// Decimal is a fixed-point codec for non-negative decimals in [0, Max],
+// preserving Scale fractional digits. Order-preserving, so scans and rank
+// aggregates on codes are exact; decode sums with DecodeSum.
+type Decimal = encode.Decimal
+
+// Signed is an offset codec for signed integers in [Min, Max].
+type Signed = encode.Signed
+
+// Dict is an order-preserving dictionary for low-cardinality strings.
+type Dict = encode.Dict
+
+// NewDict returns an empty string dictionary. Add all keys, Freeze, then
+// Encode.
+func NewDict() *Dict { return encode.NewDict() }
+
+// BitsFor returns the minimum column bit width that can hold every code in
+// [0, maxCode].
+func BitsFor(maxCode uint64) int { return encode.BitsFor(maxCode) }

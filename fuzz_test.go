@@ -1,0 +1,76 @@
+package bpagg
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadColumn asserts the column deserializer never panics on arbitrary
+// bytes: it must either reject the input with an error or return a column
+// whose aggregates run without crashing.
+func FuzzReadColumn(f *testing.F) {
+	// Seed with valid serializations of both layouts, with and without
+	// NULLs, so mutation explores near-valid inputs.
+	for _, layout := range []Layout{VBP, HBP} {
+		col := FromValues(layout, 9, []uint64{1, 2, 3, 500, 0})
+		var buf bytes.Buffer
+		if _, err := col.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+
+		withNulls := NewColumn(layout, 5)
+		withNulls.Append(7)
+		withNulls.AppendNull()
+		buf.Reset()
+		if _, err := withNulls.WriteTo(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte("BPAG garbage"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		col, err := ReadColumn(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted input must behave like a column.
+		if col.Len() < 0 {
+			t.Fatal("negative length")
+		}
+		all := col.All()
+		_ = col.Sum(all)
+		_, _ = col.Min(all)
+		_, _ = col.Median(all)
+		if col.Len() > 0 {
+			_ = col.Value(0)
+		}
+	})
+}
+
+// FuzzReadTable mirrors FuzzReadColumn for the table container.
+func FuzzReadTable(f *testing.F) {
+	tbl := NewTable()
+	tbl.AddColumn("a", VBP, 4)
+	tbl.AddColumn("b", HBP, 8)
+	tbl.AppendColumnar(map[string][]uint64{"a": {1, 2}, "b": {3, 4}})
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadTable(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for _, name := range got.Columns() {
+			col := got.Column(name)
+			_ = col.Sum(col.All())
+		}
+	})
+}

@@ -1,0 +1,3 @@
+module bpagg
+
+go 1.22

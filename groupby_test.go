@@ -1,0 +1,153 @@
+package bpagg
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGroupByAgainstMapReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	const n = 4000
+	region := make([]uint64, n)
+	amount := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		region[i] = uint64(rng.Intn(7))
+		amount[i] = uint64(rng.Intn(10000))
+	}
+	tbl := NewTable()
+	tbl.AddColumn("region", VBP, 3)
+	tbl.AddColumn("amount", HBP, 14)
+	tbl.AppendColumnar(map[string][]uint64{"region": region, "amount": amount})
+
+	// Reference: map-based group-by with a filter amount < 5000.
+	type agg struct {
+		count, sum, min, max uint64
+		vals                 []uint64
+	}
+	ref := map[uint64]*agg{}
+	for i := 0; i < n; i++ {
+		if amount[i] >= 5000 {
+			continue
+		}
+		a := ref[region[i]]
+		if a == nil {
+			a = &agg{min: ^uint64(0)}
+			ref[region[i]] = a
+		}
+		a.count++
+		a.sum += amount[i]
+		if amount[i] < a.min {
+			a.min = amount[i]
+		}
+		if amount[i] > a.max {
+			a.max = amount[i]
+		}
+		a.vals = append(a.vals, amount[i])
+	}
+
+	g := tbl.Query().Where("amount", Less(5000)).GroupBy("region")
+	keys := g.Keys()
+	if len(keys) != len(ref) {
+		t.Fatalf("got %d groups, want %d", len(keys), len(ref))
+	}
+	// Keys must be ascending.
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1] >= keys[i] {
+			t.Fatalf("keys not ascending: %v", keys)
+		}
+	}
+	counts := g.Count()
+	sums := g.Sum("amount")
+	mins := g.Min("amount")
+	maxs := g.Max("amount")
+	meds := g.Median("amount")
+	avgs := g.Avg("amount")
+	for i, key := range keys {
+		want := ref[key]
+		if want == nil {
+			t.Fatalf("unexpected group %d", key)
+		}
+		if counts[i] != want.count || sums[i] != want.sum ||
+			mins[i] != want.min || maxs[i] != want.max {
+			t.Fatalf("group %d: got (c=%d s=%d mn=%d mx=%d), want (c=%d s=%d mn=%d mx=%d)",
+				key, counts[i], sums[i], mins[i], maxs[i],
+				want.count, want.sum, want.min, want.max)
+		}
+		sort.Slice(want.vals, func(a, b int) bool { return want.vals[a] < want.vals[b] })
+		if wantMed := want.vals[(len(want.vals)+1)/2-1]; meds[i] != wantMed {
+			t.Fatalf("group %d median: got %d want %d", key, meds[i], wantMed)
+		}
+		if wantAvg := float64(want.sum) / float64(want.count); avgs[i] != wantAvg {
+			t.Fatalf("group %d avg: got %v want %v", key, avgs[i], wantAvg)
+		}
+	}
+}
+
+func TestGroupByEmptySelection(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddColumn("g", VBP, 4)
+	tbl.AddColumn("v", VBP, 8)
+	tbl.AppendColumnar(map[string][]uint64{"g": {1, 2, 3}, "v": {10, 20, 30}})
+	g := tbl.Query().Where("v", Greater(100)).GroupBy("g")
+	if g.Len() != 0 {
+		t.Fatalf("empty selection produced %d groups", g.Len())
+	}
+	if len(g.Sum("v")) != 0 || len(g.Keys()) != 0 {
+		t.Fatal("aggregates over zero groups should be empty")
+	}
+}
+
+func TestGroupBySingleGroup(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddColumn("g", HBP, 4)
+	tbl.AddColumn("v", VBP, 8)
+	tbl.AppendColumnar(map[string][]uint64{"g": {5, 5, 5}, "v": {1, 2, 3}})
+	g := tbl.Query().GroupBy("g")
+	if g.Len() != 1 || g.Keys()[0] != 5 {
+		t.Fatalf("groups = %v", g.Keys())
+	}
+	if got := g.Sum("v")[0]; got != 6 {
+		t.Fatalf("Sum = %d", got)
+	}
+	if got := g.Count()[0]; got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	if sel := g.Selection(0); sel.Count() != 3 {
+		t.Fatalf("Selection count = %d", sel.Count())
+	}
+}
+
+func TestGroupByUnknownColumnPanics(t *testing.T) {
+	tbl := NewTable()
+	tbl.AddColumn("g", VBP, 4)
+	tbl.AppendColumnar(map[string][]uint64{"g": {1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GroupBy on unknown column did not panic")
+		}
+	}()
+	tbl.Query().GroupBy("nope")
+}
+
+func TestGroupByWithExecOptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	const n = 3000
+	g := make([]uint64, n)
+	v := make([]uint64, n)
+	for i := range g {
+		g[i] = uint64(rng.Intn(4))
+		v[i] = uint64(rng.Intn(1000))
+	}
+	tbl := NewTable()
+	tbl.AddColumn("g", VBP, 2)
+	tbl.AddColumn("v", VBP, 10)
+	tbl.AppendColumnar(map[string][]uint64{"g": g, "v": v})
+	base := tbl.Query().GroupBy("g").Sum("v")
+	fast := tbl.Query().With(Parallel(4), WideWords()).GroupBy("g").Sum("v")
+	for i := range base {
+		if base[i] != fast[i] {
+			t.Fatalf("group %d: serial %d, parallel+wide %d", i, base[i], fast[i])
+		}
+	}
+}

@@ -1,0 +1,248 @@
+// Package catalog binds typed schemas to bpagg tables: it parses schema
+// specifications, loads CSV data into packed columns through the
+// order-preserving codecs, persists table+schema to one stream, and
+// translates query literals into code space with exact floor/ceil
+// semantics (so `price < 10.005` on a cent-scaled column selects exactly
+// the right rows even though 10.005 has no code).
+package catalog
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"bpagg"
+)
+
+// Kind is a column's logical type.
+type Kind int
+
+// Column kinds of the schema language.
+const (
+	// Uint is an unsigned integer of a fixed bit width: `uint(bits)`.
+	Uint Kind = iota
+	// Decimal is a non-negative fixed-point decimal: `decimal(scale,max)`.
+	Decimal
+	// Int is a signed integer range: `int(min,max)`.
+	Int
+	// String is a dictionary-encoded string: `string` (keys collected from
+	// the data at load time).
+	String
+)
+
+// String returns the schema spelling of the kind.
+func (k Kind) String() string {
+	switch k {
+	case Uint:
+		return "uint"
+	case Decimal:
+		return "decimal"
+	case Int:
+		return "int"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one column of a schema.
+type Spec struct {
+	Name   string
+	Kind   Kind
+	Layout bpagg.Layout
+	// Uint
+	Bits int
+	// Decimal
+	Scale int
+	Max   float64
+	// Int
+	MinInt, MaxInt int64
+	// String: dictionary keys, sorted (filled during CSV load or restore)
+	Keys []string
+}
+
+// ParseSchema parses a comma-separated schema:
+//
+//	name:uint(bits)[:vbp|:hbp]
+//	name:decimal(scale,max)[:layout]
+//	name:int(min,max)[:layout]
+//	name:string[:layout]
+//
+// The default layout is VBP.
+func ParseSchema(s string) ([]Spec, error) {
+	var specs []Spec
+	seen := map[string]bool{}
+	for _, field := range splitTopLevel(s, ',') {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		parts := strings.Split(field, ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("catalog: bad column spec %q (want name:type[:layout])", field)
+		}
+		sp := Spec{Name: strings.TrimSpace(parts[0]), Layout: bpagg.VBP}
+		if sp.Name == "" {
+			return nil, fmt.Errorf("catalog: empty column name in %q", field)
+		}
+		if seen[sp.Name] {
+			return nil, fmt.Errorf("catalog: duplicate column %q", sp.Name)
+		}
+		seen[sp.Name] = true
+		if err := parseType(&sp, strings.TrimSpace(parts[1])); err != nil {
+			return nil, err
+		}
+		if len(parts) == 3 {
+			switch strings.ToLower(strings.TrimSpace(parts[2])) {
+			case "vbp":
+				sp.Layout = bpagg.VBP
+			case "hbp":
+				sp.Layout = bpagg.HBP
+			default:
+				return nil, fmt.Errorf("catalog: unknown layout %q for column %q", parts[2], sp.Name)
+			}
+		}
+		specs = append(specs, sp)
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("catalog: empty schema")
+	}
+	return specs, nil
+}
+
+func parseType(sp *Spec, t string) error {
+	name, args, err := splitTypeArgs(t)
+	if err != nil {
+		return fmt.Errorf("catalog: column %q: %w", sp.Name, err)
+	}
+	switch strings.ToLower(name) {
+	case "uint":
+		if len(args) != 1 {
+			return fmt.Errorf("catalog: column %q: uint takes (bits)", sp.Name)
+		}
+		bits, err := strconv.Atoi(args[0])
+		if err != nil || bits < 1 || bits > 64 {
+			return fmt.Errorf("catalog: column %q: bad bit width %q", sp.Name, args[0])
+		}
+		sp.Kind = Uint
+		sp.Bits = bits
+	case "decimal":
+		if len(args) != 2 {
+			return fmt.Errorf("catalog: column %q: decimal takes (scale,max)", sp.Name)
+		}
+		scale, err := strconv.Atoi(args[0])
+		if err != nil || scale < 0 || scale > 18 {
+			return fmt.Errorf("catalog: column %q: bad scale %q", sp.Name, args[0])
+		}
+		max, err := strconv.ParseFloat(args[1], 64)
+		if err != nil || max <= 0 {
+			return fmt.Errorf("catalog: column %q: bad max %q", sp.Name, args[1])
+		}
+		sp.Kind = Decimal
+		sp.Scale = scale
+		sp.Max = max
+	case "int":
+		if len(args) != 2 {
+			return fmt.Errorf("catalog: column %q: int takes (min,max)", sp.Name)
+		}
+		lo, err1 := strconv.ParseInt(args[0], 10, 64)
+		hi, err2 := strconv.ParseInt(args[1], 10, 64)
+		if err1 != nil || err2 != nil || lo >= hi {
+			return fmt.Errorf("catalog: column %q: bad int range (%q,%q)", sp.Name, args[0], args[1])
+		}
+		sp.Kind = Int
+		sp.MinInt, sp.MaxInt = lo, hi
+	case "string":
+		if len(args) != 0 {
+			return fmt.Errorf("catalog: column %q: string takes no arguments", sp.Name)
+		}
+		sp.Kind = String
+	default:
+		return fmt.Errorf("catalog: column %q: unknown type %q", sp.Name, name)
+	}
+	return nil
+}
+
+func splitTypeArgs(t string) (name string, args []string, err error) {
+	open := strings.IndexByte(t, '(')
+	if open < 0 {
+		return t, nil, nil
+	}
+	if !strings.HasSuffix(t, ")") {
+		return "", nil, fmt.Errorf("unbalanced parentheses in type %q", t)
+	}
+	name = t[:open]
+	inner := t[open+1 : len(t)-1]
+	if strings.TrimSpace(inner) == "" {
+		return name, nil, nil
+	}
+	for _, a := range strings.Split(inner, ",") {
+		args = append(args, strings.TrimSpace(a))
+	}
+	return name, args, nil
+}
+
+// splitTopLevel splits s on sep outside parentheses, so type arguments like
+// decimal(2,105000) survive the column split.
+func splitTopLevel(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			if depth > 0 {
+				depth--
+			}
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// bits returns the packed width of the spec's code space.
+func (sp *Spec) bits() int {
+	switch sp.Kind {
+	case Uint:
+		return sp.Bits
+	case Decimal:
+		return bpagg.Decimal{Scale: sp.Scale, Max: sp.Max}.Bits()
+	case Int:
+		return bpagg.Signed{Min: sp.MinInt, Max: sp.MaxInt}.Bits()
+	case String:
+		n := len(sp.Keys)
+		if n <= 1 {
+			return 1
+		}
+		return bpagg.BitsFor(uint64(n - 1))
+	}
+	panic("catalog: unknown kind")
+}
+
+// maxCode returns the largest valid code of the column.
+func (sp *Spec) maxCode() uint64 {
+	switch sp.Kind {
+	case Uint:
+		if sp.Bits >= 64 {
+			return math.MaxUint64
+		}
+		return 1<<uint(sp.Bits) - 1
+	case Decimal:
+		return bpagg.Decimal{Scale: sp.Scale, Max: sp.Max}.Encode(sp.Max)
+	case Int:
+		return uint64(sp.MaxInt - sp.MinInt)
+	case String:
+		if len(sp.Keys) == 0 {
+			return 0
+		}
+		return uint64(len(sp.Keys) - 1)
+	}
+	panic("catalog: unknown kind")
+}

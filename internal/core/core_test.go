@@ -1,0 +1,298 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/hbp"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+// fixture is a random column with a random filter plus scalar ground truth.
+type fixture struct {
+	vals   []uint64
+	filter *bitvec.Bitmap
+	kept   []uint64 // sorted filtered values
+	sum    uint64
+}
+
+func makeFixture(rng *rand.Rand, n, k int, sel float64) fixture {
+	fx := fixture{
+		vals:   make([]uint64, n),
+		filter: bitvec.New(n),
+	}
+	for i := range fx.vals {
+		fx.vals[i] = rng.Uint64() & word.LowMask(k)
+		if rng.Float64() < sel {
+			fx.filter.Set(i)
+			fx.kept = append(fx.kept, fx.vals[i])
+			fx.sum += fx.vals[i]
+		}
+	}
+	sort.Slice(fx.kept, func(i, j int) bool { return fx.kept[i] < fx.kept[j] })
+	return fx
+}
+
+func (fx fixture) refMin() (uint64, bool) {
+	if len(fx.kept) == 0 {
+		return 0, false
+	}
+	return fx.kept[0], true
+}
+
+func (fx fixture) refMax() (uint64, bool) {
+	if len(fx.kept) == 0 {
+		return 0, false
+	}
+	return fx.kept[len(fx.kept)-1], true
+}
+
+func (fx fixture) refRank(r uint64) (uint64, bool) {
+	if r == 0 || r > uint64(len(fx.kept)) {
+		return 0, false
+	}
+	return fx.kept[r-1], true
+}
+
+func (fx fixture) refMedian() (uint64, bool) {
+	u := uint64(len(fx.kept))
+	if u == 0 {
+		return 0, false
+	}
+	return fx.refRank((u + 1) / 2)
+}
+
+var aggShapes = []struct {
+	n   int
+	k   int
+	sel float64
+}{
+	{1, 1, 1},
+	{1, 7, 0},
+	{64, 8, 0.5},
+	{65, 8, 0.5},
+	{200, 1, 0.5},
+	{257, 12, 0.1},
+	{300, 25, 0.9},
+	{511, 25, 0.01},
+	{513, 33, 0.5},
+	{128, 64, 0.5},
+	{100, 5, 1},
+}
+
+func TestVBPAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, sh := range aggShapes {
+		for _, tau := range []int{1, 4, sh.k} {
+			if tau > sh.k {
+				continue
+			}
+			fx := makeFixture(rng, sh.n, sh.k, sh.sel)
+			col := vbp.Pack(fx.vals, sh.k, tau)
+
+			if got := VBPSum(col, fx.filter); got != fx.sum {
+				t.Fatalf("VBPSum n=%d k=%d tau=%d sel=%v: got %d want %d",
+					sh.n, sh.k, tau, sh.sel, got, fx.sum)
+			}
+			if got := Count(fx.filter); got != uint64(len(fx.kept)) {
+				t.Fatalf("Count: got %d want %d", got, len(fx.kept))
+			}
+			checkOpt(t, "VBPMin", sh, tau, got2(VBPMin(col, fx.filter)), got2(fx.refMin()))
+			checkOpt(t, "VBPMax", sh, tau, got2(VBPMax(col, fx.filter)), got2(fx.refMax()))
+			checkOpt(t, "VBPMedian", sh, tau, got2(VBPMedian(col, fx.filter)), got2(fx.refMedian()))
+			// A few ranks, including boundaries.
+			u := uint64(len(fx.kept))
+			for _, r := range []uint64{0, 1, u / 2, u, u + 1} {
+				checkOpt(t, "VBPRank", sh, tau, got2(VBPRank(col, fx.filter, r)), got2(fx.refRank(r)))
+			}
+			avg, avgOK := VBPAvg(col, fx.filter)
+			if avgOK != (len(fx.kept) > 0) {
+				t.Fatalf("VBPAvg ok mismatch")
+			}
+			if avgOK {
+				want := float64(fx.sum) / float64(len(fx.kept))
+				if avg != want {
+					t.Fatalf("VBPAvg: got %v want %v", avg, want)
+				}
+			}
+		}
+	}
+}
+
+func TestHBPAggregates(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, sh := range aggShapes {
+		taus := []int{1, 2, 3, 4, 7, sh.k}
+		for _, tau := range taus {
+			if tau > sh.k || tau > hbp.MaxTau {
+				continue
+			}
+			fx := makeFixture(rng, sh.n, sh.k, sh.sel)
+			col := hbp.Pack(fx.vals, sh.k, tau)
+
+			if got := HBPSum(col, fx.filter); got != fx.sum {
+				t.Fatalf("HBPSum n=%d k=%d tau=%d sel=%v: got %d want %d",
+					sh.n, sh.k, tau, sh.sel, got, fx.sum)
+			}
+			checkOpt(t, "HBPMin", sh, tau, got2(HBPMin(col, fx.filter)), got2(fx.refMin()))
+			checkOpt(t, "HBPMax", sh, tau, got2(HBPMax(col, fx.filter)), got2(fx.refMax()))
+			checkOpt(t, "HBPMedian", sh, tau, got2(HBPMedian(col, fx.filter)), got2(fx.refMedian()))
+			u := uint64(len(fx.kept))
+			for _, r := range []uint64{0, 1, u / 2, u, u + 1} {
+				checkOpt(t, "HBPRank", sh, tau, got2(HBPRank(col, fx.filter, r)), got2(fx.refRank(r)))
+			}
+			avg, avgOK := HBPAvg(col, fx.filter)
+			if avgOK != (len(fx.kept) > 0) {
+				t.Fatalf("HBPAvg ok mismatch")
+			}
+			if avgOK {
+				want := float64(fx.sum) / float64(len(fx.kept))
+				if avg != want {
+					t.Fatalf("HBPAvg: got %v want %v", avg, want)
+				}
+			}
+		}
+	}
+}
+
+type optResult struct {
+	v  uint64
+	ok bool
+}
+
+func got2(v uint64, ok bool) optResult { return optResult{v, ok} }
+
+func checkOpt(t *testing.T, name string, sh struct {
+	n   int
+	k   int
+	sel float64
+}, tau int, got, want optResult) {
+	t.Helper()
+	if got != want {
+		t.Fatalf("%s n=%d k=%d tau=%d sel=%v: got (%d,%v) want (%d,%v)",
+			name, sh.n, sh.k, tau, sh.sel, got.v, got.ok, want.v, want.ok)
+	}
+}
+
+func TestAllEqualValues(t *testing.T) {
+	// Degenerate distribution: every value identical. Median, min, max and
+	// rank must all return it; sum must multiply it.
+	vals := make([]uint64, 130)
+	for i := range vals {
+		vals[i] = 42
+	}
+	f := bitvec.NewFull(130)
+	vcol := vbp.Pack(vals, 8, 4)
+	hcol := hbp.Pack(vals, 8, 4)
+	if s := VBPSum(vcol, f); s != 42*130 {
+		t.Errorf("VBPSum = %d", s)
+	}
+	if s := HBPSum(hcol, f); s != 42*130 {
+		t.Errorf("HBPSum = %d", s)
+	}
+	for _, fn := range []func() (uint64, bool){
+		func() (uint64, bool) { return VBPMin(vcol, f) },
+		func() (uint64, bool) { return VBPMax(vcol, f) },
+		func() (uint64, bool) { return VBPMedian(vcol, f) },
+		func() (uint64, bool) { return HBPMin(hcol, f) },
+		func() (uint64, bool) { return HBPMax(hcol, f) },
+		func() (uint64, bool) { return HBPMedian(hcol, f) },
+		func() (uint64, bool) { return VBPRank(vcol, f, 130) },
+		func() (uint64, bool) { return HBPRank(hcol, f, 1) },
+	} {
+		if v, ok := fn(); !ok || v != 42 {
+			t.Errorf("degenerate aggregate: got (%d,%v), want (42,true)", v, ok)
+		}
+	}
+}
+
+func TestEmptyFilter(t *testing.T) {
+	vals := []uint64{1, 2, 3}
+	f := bitvec.New(3)
+	vcol := vbp.Pack(vals, 4, 2)
+	hcol := hbp.Pack(vals, 4, 2)
+	if VBPSum(vcol, f) != 0 || HBPSum(hcol, f) != 0 {
+		t.Error("sum over empty filter should be 0")
+	}
+	if _, ok := VBPMin(vcol, f); ok {
+		t.Error("VBPMin over empty filter should report !ok")
+	}
+	if _, ok := HBPMedian(hcol, f); ok {
+		t.Error("HBPMedian over empty filter should report !ok")
+	}
+	if _, ok := VBPAvg(vcol, f); ok {
+		t.Error("VBPAvg over empty filter should report !ok")
+	}
+}
+
+func TestSingleTuple(t *testing.T) {
+	f := bitvec.NewFull(1)
+	vcol := vbp.Pack([]uint64{7}, 3, 3)
+	hcol := hbp.Pack([]uint64{7}, 3, 3)
+	if v, ok := VBPMedian(vcol, f); !ok || v != 7 {
+		t.Errorf("VBPMedian single = (%d,%v)", v, ok)
+	}
+	if v, ok := HBPMedian(hcol, f); !ok || v != 7 {
+		t.Errorf("HBPMedian single = (%d,%v)", v, ok)
+	}
+}
+
+func TestFilterLengthMismatchPanics(t *testing.T) {
+	vcol := vbp.Pack([]uint64{1, 2, 3}, 4, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched filter did not panic")
+		}
+	}()
+	VBPSum(vcol, bitvec.New(4))
+}
+
+// TestMedianRadixDescentPaperExample reproduces the worked example of
+// §III-A [MEDIAN]: segment values {1,7,2,1,6,0,2,7}, median (4th of 8) = 2.
+func TestMedianRadixDescentPaperExample(t *testing.T) {
+	vals := []uint64{1, 7, 2, 1, 6, 0, 2, 7}
+	f := bitvec.NewFull(len(vals))
+	vcol := vbp.Pack(vals, 3, 3)
+	if m, ok := VBPMedian(vcol, f); !ok || m != 2 {
+		t.Errorf("VBP paper example median = (%d,%v), want (2,true)", m, ok)
+	}
+	hcol := hbp.Pack(vals, 3, 3)
+	if m, ok := HBPMedian(hcol, f); !ok || m != 2 {
+		t.Errorf("HBP paper example median = (%d,%v), want (2,true)", m, ok)
+	}
+}
+
+// TestSlotMinPaperExample reproduces the SLOTMIN example of §III-A:
+// S1 = {1,7,2,1,6,0,2,7}, S2 = {1,3,2,0,0,2,2,3} -> min overall 0.
+func TestSlotMinPaperExample(t *testing.T) {
+	vals := append([]uint64{1, 7, 2, 1, 6, 0, 2, 7}, 1, 3, 2, 0, 0, 2, 2, 3)
+	f := bitvec.NewFull(len(vals))
+	if m, ok := VBPMin(vbp.Pack(vals, 3, 3), f); !ok || m != 0 {
+		t.Errorf("VBPMin = (%d,%v), want (0,true)", m, ok)
+	}
+	if m, ok := VBPMax(vbp.Pack(vals, 3, 3), f); !ok || m != 7 {
+		t.Errorf("VBPMax = (%d,%v), want (7,true)", m, ok)
+	}
+}
+
+func TestSumNoOverflowAtWideWidths(t *testing.T) {
+	// k=40 values near max with n=1000: sum ~ 2^50, well inside uint64.
+	rng := rand.New(rand.NewSource(43))
+	n, k := 1000, 40
+	vals := make([]uint64, n)
+	var want uint64
+	for i := range vals {
+		vals[i] = word.LowMask(k) - uint64(rng.Intn(1000))
+		want += vals[i]
+	}
+	f := bitvec.NewFull(n)
+	if got := VBPSum(vbp.Pack(vals, k, 4), f); got != want {
+		t.Errorf("VBPSum wide: got %d want %d", got, want)
+	}
+	if got := HBPSum(hbp.Pack(vals, k, hbp.DefaultTau(k)), f); got != want {
+		t.Errorf("HBPSum wide: got %d want %d", got, want)
+	}
+}

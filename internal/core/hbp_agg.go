@@ -1,0 +1,426 @@
+package core
+
+import (
+	"math/bits"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/hbp"
+	"bpagg/internal/word"
+)
+
+// segWindow reads the filter bits of one HBP segment from the dense bitmap,
+// using the aligned word directly when a segment holds exactly 64 tuples.
+func segWindow(f *bitvec.Bitmap, col *hbp.Column, seg int) uint64 {
+	if col.ValuesPerSegment() == 64 {
+		if seg < f.NumWords() {
+			return f.Word(seg)
+		}
+		return 0
+	}
+	return f.Extract(seg*col.ValuesPerSegment(), col.ValuesPerSegment())
+}
+
+// HBPSum computes SUM over the filtered tuples of an HBP column
+// (Algorithm 4). For each sub-segment the filter bits move onto the
+// delimiter lane (GET-VALUE-FILTER), spread into a value mask that wipes
+// non-qualifying slots, and each word-group's masked word is folded by the
+// Gilles–Miller IN-WORD-SUM; one weighted shift-add per bit-group combines
+// the partial sums at the end.
+func HBPSum(col *hbp.Column, f *bitvec.Bitmap) uint64 {
+	checkFilter(col.Len(), f)
+	return HBPSumRange(col, f, 0, col.NumSegments())
+}
+
+// HBPSumRange computes the SUM contribution of segments [segLo, segHi).
+func HBPSumRange(col *hbp.Column, f *bitvec.Bitmap, segLo, segHi int) uint64 {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	summer := word.NewSummer(tau, col.FieldsPerWord())
+	gws := groupSlices(col)
+
+	sums := make([]uint64, b)
+	if summer.Fast() {
+		// Straight-line Gilles–Miller fold with hoisted constants,
+		// iterating group-major so each inner pass walks one contiguous
+		// word run. This loop runs once per data word and dominates SUM.
+		// Sub-segments whose value filter is empty are skipped (the
+		// GET-VALUE-FILTER early-out that makes selective filters cheap);
+		// the all-active dense case keeps the branch-free contiguous walk.
+		flush, fw2, fin, keep, mul := summer.Consts()
+		peelV, peelF := summer.PeelMasks()
+		var masks [word.MaxTau + 1]uint64
+		allActive := uint64(1)<<uint(subs) - 1
+		for seg := segLo; seg < segHi; seg++ {
+			fw := segWindow(f, col, seg)
+			if fw == 0 {
+				continue
+			}
+			var active uint64
+			for t := 0; t < subs; t++ {
+				m := word.SpreadDelims(col.SubSegmentDelims(fw, t), tau)
+				masks[t] = m
+				if m != 0 {
+					active |= 1 << uint(t)
+				}
+			}
+			base := seg * subs
+			if active == allActive {
+				for g := 0; g < b; g++ {
+					run := gws[g][base : base+subs]
+					var part uint64
+					for t, w := range run {
+						w &= masks[t]
+						x := (w &^ peelF) << flush
+						x += x >> fw2
+						x &= keep
+						part += (x*mul)>>fin + w&peelV
+					}
+					sums[g] += part
+				}
+				continue
+			}
+			for g := 0; g < b; g++ {
+				run := gws[g][base : base+subs]
+				var part uint64
+				for a := active; a != 0; a &= a - 1 {
+					t := bits.TrailingZeros64(a)
+					w := run[t] & masks[t]
+					x := (w &^ peelF) << flush
+					x += x >> fw2
+					x &= keep
+					part += (x*mul)>>fin + w&peelV
+				}
+				sums[g] += part
+			}
+		}
+	} else {
+		for seg := segLo; seg < segHi; seg++ {
+			fw := segWindow(f, col, seg)
+			if fw == 0 {
+				continue
+			}
+			base := seg * subs
+			for t := 0; t < subs; t++ {
+				md := col.SubSegmentDelims(fw, t)
+				if md == 0 {
+					continue
+				}
+				m := word.SpreadDelims(md, tau)
+				for g := 0; g < b; g++ {
+					sums[g] += summer.Sum(gws[g][base+t] & m)
+				}
+			}
+		}
+	}
+	var sum uint64
+	for g := 0; g < b; g++ {
+		sum += sums[g] << uint((b-1-g)*tau)
+	}
+	return sum
+}
+
+// groupSlices gathers the per-group word slices once so inner loops avoid
+// repeated method dispatch.
+func groupSlices(col *hbp.Column) [][]uint64 {
+	gws := make([][]uint64, col.NumGroups())
+	for g := range gws {
+		gws[g] = col.GroupWords(g)
+	}
+	return gws
+}
+
+// HBPMin computes MIN over the filtered tuples (Algorithm 5): a running
+// slot-wise minimum sub-segment folded via SUB-SLOTMIN, whose delimiter-lane
+// less-than comes from the same Lamport comparison the scans use. Only the
+// w/(tau+1) finalist slots are reconstructed at the end. ok is false when
+// no tuple passes the filter.
+func HBPMin(col *hbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return hbpExtreme(col, f, true)
+}
+
+// HBPMax computes MAX over the filtered tuples (the SUB-SLOTMAX variant of
+// Algorithm 5).
+func HBPMax(col *hbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return hbpExtreme(col, f, false)
+}
+
+func hbpExtreme(col *hbp.Column, f *bitvec.Bitmap, wantMin bool) (uint64, bool) {
+	checkFilter(col.Len(), f)
+	if !f.Any() {
+		return 0, false
+	}
+	temp := NewHBPExtremeTemp(col, wantMin)
+	HBPFoldExtreme(col, f, temp, wantMin, 0, col.NumSegments())
+	return HBPFinishExtreme(col, [][]uint64{temp}, wantMin), true
+}
+
+// NewHBPExtremeTemp allocates the running slot-wise extreme sub-segment
+// SS_temp, initialized to the identity (every slot 2^tau-1 per group for
+// MIN, zero for MAX).
+func NewHBPExtremeTemp(col *hbp.Column, wantMin bool) []uint64 {
+	temp := make([]uint64, col.NumGroups())
+	if wantMin {
+		for g := range temp {
+			temp[g] = col.ValueMask()
+		}
+	}
+	return temp
+}
+
+// HBPFoldExtreme folds the sub-segments of segments [segLo, segHi) into
+// temp via SUB-SLOTMIN (or SUB-SLOTMAX), honoring the filter.
+func HBPFoldExtreme(col *hbp.Column, f *bitvec.Bitmap, temp []uint64, wantMin bool, segLo, segHi int) {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	delim := col.DelimMask()
+	x := make([]uint64, b)
+	for seg := segLo; seg < segHi; seg++ {
+		fw := segWindow(f, col, seg)
+		if fw == 0 {
+			continue
+		}
+		base := seg * subs
+		for t := 0; t < subs; t++ {
+			md := col.SubSegmentDelims(fw, t)
+			if md == 0 {
+				continue
+			}
+			for g := 0; g < b; g++ {
+				x[g] = col.GroupWords(g)[base+t]
+			}
+			sel := hbpSlotLanes(x, temp, delim, wantMin)
+			sel &= md
+			if sel == 0 {
+				continue
+			}
+			m := word.SpreadDelims(sel, tau)
+			for g := 0; g < b; g++ {
+				temp[g] = word.Blend(m, x[g], temp[g])
+			}
+		}
+	}
+}
+
+// HBPFinishExtreme merges one temp sub-segment per worker, reconstructing
+// the w/(tau+1) finalist slots of each.
+func HBPFinishExtreme(col *hbp.Column, temps [][]uint64, wantMin bool) uint64 {
+	tau, b, c := col.Tau(), col.NumGroups(), col.FieldsPerWord()
+	best := reconstructHBPSlot(temps[0], tau, b, 0)
+	for _, temp := range temps {
+		for s := 0; s < c; s++ {
+			v := reconstructHBPSlot(temp, tau, b, s)
+			if wantMin && v < best || !wantMin && v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// hbpSlotLanes returns delimiter lanes where x should replace y: x < y
+// slot-wise for MIN, x > y for MAX, staged across bit-groups most
+// significant first.
+func hbpSlotLanes(x, y []uint64, delim uint64, wantMin bool) uint64 {
+	eq := delim
+	var sel uint64
+	for g := range x {
+		var lg uint64
+		if wantMin {
+			lg = word.LTDelims(x[g], y[g], delim)
+		} else {
+			lg = word.GTDelims(x[g], y[g], delim)
+		}
+		sel |= eq & lg
+		eq &= word.EQDelims(x[g], y[g], delim)
+		if eq == 0 {
+			break
+		}
+	}
+	return sel
+}
+
+// reconstructHBPSlot reassembles slot s from per-group words.
+func reconstructHBPSlot(ws []uint64, tau, b, s int) uint64 {
+	var v uint64
+	for g := 0; g < b; g++ {
+		v = v<<uint(tau) | word.Field(ws[g], tau, s)
+	}
+	return v
+}
+
+// HBPMedian computes the lower MEDIAN over the filtered tuples
+// (Algorithm 6). ok is false when no tuple passes.
+func HBPMedian(col *hbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	u := Count(f)
+	if u == 0 {
+		return 0, false
+	}
+	return HBPRank(col, f, lowerMedianRank(u))
+}
+
+// MaxHistBits bounds the histogram used by the HBP r-selection: 2^16
+// 8-byte bins (512 KiB) is the largest table that still behaves like the
+// paper's cache-resident histogram. Bit-groups wider than this descend in
+// sub-chunks — bit-identical to Algorithm 6 when tau <= MaxHistBits, and a
+// graceful multi-round descent otherwise (the paper instead constrains tau
+// at storage-design time so that the histogram fits in cache).
+const MaxHistBits = 16
+
+// HBPChunks splits a tau-bit group into MSB-first descent chunks of at most
+// MaxHistBits bits. Each chunk is (shift, width): the chunk covers field
+// bits [shift, shift+width).
+func HBPChunks(tau int) [][2]int {
+	var out [][2]int
+	hi := tau
+	for hi > 0 {
+		w := hi
+		if w > MaxHistBits {
+			w = MaxHistBits
+		}
+		out = append(out, [2]int{hi - w, w})
+		hi -= w
+	}
+	return out
+}
+
+// HBPRank computes the r-th smallest filtered value (1-based) — the
+// r-selection generalization of Algorithm 6. The value is determined
+// bit-group by bit-group: a cumulative histogram over the possible group
+// values locates the bin containing rank r, the rank re-bases within the
+// bin, and the candidate set narrows to tuples equal to the bin in this
+// group via BIT-PARALLEL-EQUAL. ok is false when fewer than r tuples pass.
+func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64) (uint64, bool) {
+	checkFilter(col.Len(), f)
+	u := Count(f)
+	if r == 0 || r > u {
+		return 0, false
+	}
+	nseg := col.NumSegments()
+	v := NewHBPCandidates(col, f, nseg)
+	b := col.NumGroups()
+	tau := col.Tau()
+	chunks := HBPChunks(tau)
+
+	histBits := tau
+	if histBits > MaxHistBits {
+		histBits = MaxHistBits
+	}
+	hist := make([]uint64, 1<<uint(histBits))
+	var m uint64
+	for g := 0; g < b; g++ {
+		for ci, ch := range chunks {
+			shift, width := ch[0], ch[1]
+			hw := hist[:1<<uint(width)]
+			for i := range hw {
+				hw[i] = 0
+			}
+			HBPHistogramChunk(col, v, g, shift, width, 0, nseg, hw)
+			// Locate the bin containing rank r in the cumulative histogram
+			// (Algorithm 6 lines 7-9; rank re-bases by the cumulative
+			// count below the bin, per the paper's worked example).
+			var cum uint64
+			bin := 0
+			for i, h := range hw {
+				if cum+h >= r {
+					bin = i
+					break
+				}
+				cum += h
+			}
+			r -= cum
+			m = m<<uint(width) | uint64(bin)
+
+			if g == b-1 && ci == len(chunks)-1 {
+				break
+			}
+			HBPRankRefineChunk(col, v, g, shift, width, uint64(bin), 0, nseg)
+		}
+	}
+	return m, true
+}
+
+// NewHBPCandidates copies the filter windows into per-segment candidate
+// vectors V (Algorithm 6 lines 3-4).
+func NewHBPCandidates(col *hbp.Column, f *bitvec.Bitmap, nseg int) []uint64 {
+	v := make([]uint64, nseg)
+	for seg := range v {
+		v[seg] = segWindow(f, col, seg)
+	}
+	return v
+}
+
+// HBPHistogramChunk accumulates the histogram of field bits
+// [shift, shift+width) of the candidates' group-g values in segments
+// [segLo, segHi) into hist (BUILD-HISTOGRAM of Algorithm 6; with
+// shift == 0 and width == tau it covers the whole bit-group). Candidate
+// slots are walked by peeling delimiter bits; empty segments and
+// sub-segments are skipped.
+func HBPHistogramChunk(col *hbp.Column, v []uint64, g, shift, width, segLo, segHi int, hist []uint64) {
+	tau := col.Tau()
+	subs := col.SubSegments()
+	fWidth := col.FieldWidth()
+	mask := word.LowMask(width)
+	gw := col.GroupWords(g)
+	for seg := segLo; seg < segHi; seg++ {
+		if v[seg] == 0 {
+			continue
+		}
+		base := seg * subs
+		for t := 0; t < subs; t++ {
+			md := col.SubSegmentDelims(v[seg], t)
+			if md == 0 {
+				continue
+			}
+			w := gw[base+t]
+			for md != 0 {
+				d := bits.TrailingZeros64(md)
+				s := d / fWidth
+				hist[word.Field(w, tau, s)>>uint(shift)&mask]++
+				md &= md - 1
+			}
+		}
+	}
+}
+
+// HBPRankRefineChunk narrows the candidate vectors of segments
+// [segLo, segHi) to tuples whose group-g field bits [shift, shift+width)
+// equal bin, via the full-word BIT-PARALLEL-EQUAL comparison (Algorithm 6
+// lines 10-11). Masking the compared lane to the chunk keeps the Lamport
+// equality arithmetic field-confined.
+func HBPRankRefineChunk(col *hbp.Column, v []uint64, g, shift, width int, bin uint64, segLo, segHi int) {
+	subs := col.SubSegments()
+	delim := col.DelimMask()
+	c := col.FieldsPerWord()
+	fWidth := col.FieldWidth()
+	laneMask := word.Repeat(word.LowMask(width)<<uint(shift), fWidth, c)
+	binPacked := word.Repeat(bin<<uint(shift), fWidth, c)
+	gw := col.GroupWords(g)
+	for seg := segLo; seg < segHi; seg++ {
+		if v[seg] == 0 {
+			continue
+		}
+		base := seg * subs
+		var nw uint64
+		for t := 0; t < subs; t++ {
+			md := col.SubSegmentDelims(v[seg], t)
+			if md == 0 {
+				continue
+			}
+			lanes := word.EQDelims(gw[base+t]&laneMask, binPacked, delim) & md
+			nw |= col.ScatterDelims(lanes, t)
+		}
+		v[seg] = nw
+	}
+}
+
+// HBPAvg computes AVG = SUM / COUNT (§III-B). ok is false when no tuple
+// passes the filter.
+func HBPAvg(col *hbp.Column, f *bitvec.Bitmap) (float64, bool) {
+	cnt := Count(f)
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(HBPSum(col, f)) / float64(cnt), true
+}

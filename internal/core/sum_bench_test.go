@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/hbp"
+	"bpagg/internal/word"
+)
+
+func BenchmarkHBPSumProfile(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 1 << 20
+	for _, k := range []int{24, 25} {
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & word.LowMask(k)
+		}
+		tau := hbp.DefaultTau(k)
+		col := hbp.Pack(vals, k, tau)
+		sparse := bitvec.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.012 {
+				sparse.Set(i)
+			}
+		}
+		full := bitvec.NewFull(n)
+		b.Run(fmt.Sprintf("k=%d/tau=%d/sparse", k, tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				HBPSum(col, sparse)
+			}
+		})
+		b.Run(fmt.Sprintf("k=%d/tau=%d/dense", k, tau), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				HBPSum(col, full)
+			}
+		})
+	}
+}

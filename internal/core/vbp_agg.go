@@ -1,0 +1,253 @@
+package core
+
+import (
+	"math/bits"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/scan"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+// VBPSum computes SUM over the filtered tuples of a VBP column
+// (Algorithm 1). Bit position p of the value contributes
+// popcount(W_p AND F) * 2^(k-1-p); the per-position counts accumulate in
+// bSum so only k shifts happen in total.
+//
+// The caller must ensure the true sum fits in uint64; with k-bit values that
+// holds whenever n < 2^(64-k).
+func VBPSum(col *vbp.Column, f *bitvec.Bitmap) uint64 {
+	checkFilter(col.Len(), f)
+	return VBPSumRange(col, f, 0, col.NumSegments())
+}
+
+// VBPSumRange computes the SUM contribution of segments [segLo, segHi) — the
+// partition unit for multi-threaded execution (§IV-B).
+func VBPSumRange(col *vbp.Column, f *bitvec.Bitmap, segLo, segHi int) uint64 {
+	k := col.K()
+	bSum := make([]uint64, k)
+	groups := col.Groups()
+	for g := range groups {
+		gr := &groups[g]
+		for seg := segLo; seg < segHi; seg++ {
+			fw := f.Word(seg)
+			if fw == 0 {
+				continue
+			}
+			base := seg * gr.Bits
+			for b := 0; b < gr.Bits; b++ {
+				bSum[gr.StartBit+b] += uint64(bits.OnesCount64(gr.Words[base+b] & fw))
+			}
+		}
+	}
+	var sum uint64
+	for p := 0; p < k; p++ {
+		sum += bSum[p] << uint(k-1-p)
+	}
+	return sum
+}
+
+// VBPMin computes MIN over the filtered tuples (Algorithm 2). A running
+// slot-wise minimum segment S_temp is folded with every segment via SLOTMIN
+// (the staged BIT-PARALLEL-LESSTHAN of the scan substrate plus a blend);
+// only the w finalist slots are reconstructed to plain form at the end.
+// ok is false when no tuple passes the filter.
+func VBPMin(col *vbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return vbpExtreme(col, f, true)
+}
+
+// VBPMax computes MAX over the filtered tuples (the SLOTMAX variant of
+// Algorithm 2).
+func VBPMax(col *vbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return vbpExtreme(col, f, false)
+}
+
+func vbpExtreme(col *vbp.Column, f *bitvec.Bitmap, wantMin bool) (uint64, bool) {
+	checkFilter(col.Len(), f)
+	if !f.Any() {
+		return 0, false
+	}
+	temp := NewVBPExtremeTemp(col.K(), wantMin)
+	VBPFoldExtreme(col, f, temp, wantMin, 0, col.NumSegments())
+	return VBPFinishExtreme([][]uint64{temp}, col.K(), wantMin), true
+}
+
+// NewVBPExtremeTemp allocates the running slot-wise extreme segment S_temp,
+// initialized to the identity (all slots 2^k-1 for MIN, 0 for MAX).
+func NewVBPExtremeTemp(k int, wantMin bool) []uint64 {
+	temp := make([]uint64, k)
+	if wantMin {
+		for p := range temp {
+			temp[p] = ^uint64(0)
+		}
+	}
+	return temp
+}
+
+// VBPFoldExtreme folds segments [segLo, segHi) into temp via SLOTMIN (or
+// SLOTMAX), honoring the filter.
+func VBPFoldExtreme(col *vbp.Column, f *bitvec.Bitmap, temp []uint64, wantMin bool, segLo, segHi int) {
+	k := col.K()
+	groups := col.Groups()
+	x := make([]uint64, k)
+	for seg := segLo; seg < segHi; seg++ {
+		fw := f.Word(seg)
+		if fw == 0 {
+			continue
+		}
+		for g := range groups {
+			gr := &groups[g]
+			base := seg * gr.Bits
+			copy(x[gr.StartBit:gr.StartBit+gr.Bits], gr.Words[base:base+gr.Bits])
+		}
+		var m uint64
+		if wantMin {
+			m, _ = scan.VBPSlotCompare(x, temp)
+		} else {
+			m, _ = scan.VBPSlotCompareGT(x, temp)
+		}
+		m &= fw
+		if m == 0 {
+			continue
+		}
+		for p := 0; p < k; p++ {
+			temp[p] = word.Blend(m, x[p], temp[p])
+		}
+	}
+}
+
+// VBPFinishExtreme merges one temp segment per worker and reconstructs the
+// w finalist slots of each — the only per-value reconstruction in the whole
+// algorithm, O(w*k) per temp and negligible per the paper.
+func VBPFinishExtreme(temps [][]uint64, k int, wantMin bool) uint64 {
+	best := reconstructSlot(temps[0], k, 0)
+	for _, temp := range temps {
+		for j := 0; j < 64; j++ {
+			v := reconstructSlot(temp, k, j)
+			if wantMin && v < best || !wantMin && v > best {
+				best = v
+			}
+		}
+	}
+	return best
+}
+
+// reconstructSlot gathers slot j's bits from a VBP-ordered word slice.
+func reconstructSlot(ws []uint64, k, j int) uint64 {
+	var v uint64
+	for p := 0; p < k; p++ {
+		v |= (ws[p] >> uint(j) & 1) << uint(k-1-p)
+	}
+	return v
+}
+
+// VBPMedian computes the lower MEDIAN over the filtered tuples
+// (Algorithm 3). ok is false when no tuple passes.
+func VBPMedian(col *vbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	u := Count(f)
+	if u == 0 {
+		return 0, false
+	}
+	return VBPRank(col, f, lowerMedianRank(u))
+}
+
+// VBPRank computes the r-th smallest filtered value (1-based) — the
+// r-selection generalization the paper notes for Algorithm 3. ok is false
+// when fewer than r tuples pass the filter or r == 0.
+//
+// The value is determined bit by bit, most significant first: at each bit
+// position, c candidates have a 1 there; if the candidates with 0 (u-c of
+// them) cannot cover rank r, the bit is 1 and the rank re-bases into the
+// 1-side, otherwise the bit is 0. Candidate bit vectors V (one word per
+// segment) shrink monotonically, and segments whose V reached zero skip
+// their POPCNTs entirely.
+func VBPRank(col *vbp.Column, f *bitvec.Bitmap, r uint64) (uint64, bool) {
+	checkFilter(col.Len(), f)
+	u := Count(f)
+	if r == 0 || r > u {
+		return 0, false
+	}
+	nseg := col.NumSegments()
+	v := NewVBPCandidates(f, nseg)
+	k := col.K()
+	var m uint64
+	for p := 0; p < k; p++ {
+		c := VBPRankCount(col, v, p, 0, nseg)
+		if u-c < r {
+			// The r-th smallest lies among candidates with bit p set.
+			m |= 1 << uint(k-1-p)
+			r -= u - c
+			u = c
+			VBPRankRefine(col, v, p, true, 0, nseg)
+		} else {
+			u -= c
+			VBPRankRefine(col, v, p, false, 0, nseg)
+		}
+	}
+	return m, true
+}
+
+// NewVBPCandidates copies the filter words into the per-segment candidate
+// vectors V (Algorithm 3 lines 4-5).
+func NewVBPCandidates(f *bitvec.Bitmap, nseg int) []uint64 {
+	v := make([]uint64, nseg)
+	for seg := range v {
+		v[seg] = f.Word(seg)
+	}
+	return v
+}
+
+// VBPRankCount counts the candidates in segments [segLo, segHi) whose bit at
+// position p (0 = MSB) is set — the per-iteration global counter c the
+// paper's multi-threaded variant synchronizes on.
+func VBPRankCount(col *vbp.Column, v []uint64, p, segLo, segHi int) uint64 {
+	grp := &col.Groups()[locateBit(col, p)]
+	b := p - grp.StartBit
+	var c uint64
+	for seg := segLo; seg < segHi; seg++ {
+		if v[seg] == 0 {
+			continue
+		}
+		c += uint64(bits.OnesCount64(v[seg] & grp.Words[seg*grp.Bits+b]))
+	}
+	return c
+}
+
+// VBPRankRefine narrows the candidate vectors of segments [segLo, segHi) to
+// those whose bit p matches the decided bit (keepOnes).
+func VBPRankRefine(col *vbp.Column, v []uint64, p int, keepOnes bool, segLo, segHi int) {
+	grp := &col.Groups()[locateBit(col, p)]
+	b := p - grp.StartBit
+	for seg := segLo; seg < segHi; seg++ {
+		if v[seg] == 0 {
+			continue
+		}
+		w := grp.Words[seg*grp.Bits+b]
+		if keepOnes {
+			v[seg] &= w
+		} else {
+			v[seg] &^= w
+		}
+	}
+}
+
+// locateBit maps a global bit position to its word-group index.
+func locateBit(col *vbp.Column, p int) int {
+	return p / col.Tau()
+}
+
+// VBPAvg computes AVG = SUM / COUNT (§III-A). ok is false when no tuple
+// passes the filter.
+func VBPAvg(col *vbp.Column, f *bitvec.Bitmap) (float64, bool) {
+	cnt := Count(f)
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(VBPSum(col, f)) / float64(cnt), true
+}
+
+func checkFilter(n int, f *bitvec.Bitmap) {
+	if f.Len() != n {
+		panic("core: filter length does not match column length")
+	}
+}

@@ -1,0 +1,159 @@
+// Package encode maps domain values onto the k-bit unsigned codes the
+// bit-parallel algorithms operate on (paper §III footnote 3: "other numeric
+// types like signed integers and floating point with limited precision can
+// be mapped to unsigned integers with a scaling scheme").
+//
+// All codecs are order-preserving, so comparisons on codes match
+// comparisons on the original values and the filter scans, MIN/MAX, MEDIAN
+// and any rank query remain exact; SUM and AVG decode through the same
+// linear mapping.
+package encode
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+)
+
+// BitsFor returns the minimum number of bits that can represent every code
+// in [0, maxCode]. BitsFor(0) is 1 so that a constant column still packs.
+func BitsFor(maxCode uint64) int {
+	if maxCode == 0 {
+		return 1
+	}
+	return bits.Len64(maxCode)
+}
+
+// Decimal is a fixed-point codec for non-negative decimals: value v maps to
+// round(v * 10^Scale). It covers TPC-H-style price and discount attributes
+// (the paper's example: l_extendedprice fits 24 bits once scaled).
+type Decimal struct {
+	// Scale is the number of preserved fractional digits.
+	Scale int
+	// Max is the largest encodable value; used to size the bit width.
+	Max float64
+}
+
+// Bits returns the bit width needed for this codec's code space.
+func (d Decimal) Bits() int {
+	return BitsFor(d.Encode(d.Max))
+}
+
+// Encode maps a decimal to its order-preserving code. v must lie in
+// [0, Max].
+func (d Decimal) Encode(v float64) uint64 {
+	if v < 0 || v > d.Max {
+		panic(fmt.Sprintf("encode: decimal %v outside [0, %v]", v, d.Max))
+	}
+	return uint64(math.Round(v * math.Pow10(d.Scale)))
+}
+
+// Decode maps a code back to its decimal value.
+func (d Decimal) Decode(c uint64) float64 {
+	return float64(c) / math.Pow10(d.Scale)
+}
+
+// DecodeSum rescales an aggregated sum of codes.
+func (d Decimal) DecodeSum(sum uint64) float64 {
+	return float64(sum) / math.Pow10(d.Scale)
+}
+
+// Signed is an offset codec for signed integers in [Min, Max]: value v maps
+// to v - Min.
+type Signed struct {
+	Min, Max int64
+}
+
+// Bits returns the bit width needed for this codec's code space.
+func (s Signed) Bits() int {
+	return BitsFor(uint64(s.Max - s.Min))
+}
+
+// Encode maps a signed integer to its order-preserving code.
+func (s Signed) Encode(v int64) uint64 {
+	if v < s.Min || v > s.Max {
+		panic(fmt.Sprintf("encode: %d outside [%d, %d]", v, s.Min, s.Max))
+	}
+	return uint64(v - s.Min)
+}
+
+// Decode maps a code back to the signed integer.
+func (s Signed) Decode(c uint64) int64 {
+	return int64(c) + s.Min
+}
+
+// DecodeSum converts an aggregated sum of n codes back to the signed sum.
+func (s Signed) DecodeSum(sum uint64, n uint64) int64 {
+	return int64(sum) + s.Min*int64(n)
+}
+
+// Dict is an order-preserving dictionary for low-cardinality string
+// attributes (the standard column-store dictionary compression of [5]).
+// Keys must be added before Freeze; codes are assigned in sorted key order
+// so that range predicates on codes match lexicographic ranges on keys.
+type Dict struct {
+	codes  map[string]uint64
+	keys   []string
+	frozen bool
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]uint64)}
+}
+
+// Add registers a key. Adding after Freeze panics.
+func (d *Dict) Add(key string) {
+	if d.frozen {
+		panic("encode: Add after Freeze")
+	}
+	if _, ok := d.codes[key]; ok {
+		return
+	}
+	d.codes[key] = 0 // placeholder until Freeze
+	d.keys = append(d.keys, key)
+}
+
+// Freeze sorts the key space and assigns final codes. It is idempotent.
+func (d *Dict) Freeze() {
+	if d.frozen {
+		return
+	}
+	sort.Strings(d.keys)
+	for i, k := range d.keys {
+		d.codes[k] = uint64(i)
+	}
+	d.frozen = true
+}
+
+// Bits returns the bit width of the frozen code space.
+func (d *Dict) Bits() int {
+	d.mustBeFrozen()
+	if len(d.keys) == 0 {
+		return 1
+	}
+	return BitsFor(uint64(len(d.keys) - 1))
+}
+
+// Encode returns the code of key; ok is false for unknown keys.
+func (d *Dict) Encode(key string) (uint64, bool) {
+	d.mustBeFrozen()
+	c, ok := d.codes[key]
+	return c, ok
+}
+
+// Decode returns the key of a code.
+func (d *Dict) Decode(c uint64) string {
+	d.mustBeFrozen()
+	return d.keys[c]
+}
+
+// Len returns the number of distinct keys.
+func (d *Dict) Len() int { return len(d.keys) }
+
+func (d *Dict) mustBeFrozen() {
+	if !d.frozen {
+		panic("encode: dictionary used before Freeze")
+	}
+}

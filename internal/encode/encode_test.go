@@ -1,0 +1,228 @@
+package encode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsFor(t *testing.T) {
+	cases := []struct {
+		max  uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 2}, {3, 2}, {4, 3}, {255, 8}, {256, 9},
+		{1<<24 - 1, 24}, {math.MaxUint64, 64},
+	}
+	for _, c := range cases {
+		if got := BitsFor(c.max); got != c.want {
+			t.Errorf("BitsFor(%d) = %d, want %d", c.max, got, c.want)
+		}
+	}
+}
+
+func TestDecimalRoundTrip(t *testing.T) {
+	d := Decimal{Scale: 2, Max: 99999.99}
+	for _, v := range []float64{0, 0.01, 12.34, 99999.99, 50000} {
+		if got := d.Decode(d.Encode(v)); got != v {
+			t.Errorf("Decimal round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestDecimalOrderPreserving(t *testing.T) {
+	d := Decimal{Scale: 3, Max: 1000}
+	f := func(a, b uint16) bool {
+		x := float64(a) / 66
+		y := float64(b) / 66
+		cx, cy := d.Encode(x), d.Encode(y)
+		if x < y && cx > cy {
+			return false
+		}
+		if x > y && cx < cy {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecimalBits(t *testing.T) {
+	// The paper's example: l_extendedprice needs 24 bits at cent precision.
+	d := Decimal{Scale: 2, Max: 104999.99}
+	if d.Bits() != 24 {
+		t.Errorf("Bits = %d, want 24", d.Bits())
+	}
+}
+
+func TestDecimalRangePanics(t *testing.T) {
+	d := Decimal{Scale: 2, Max: 10}
+	for _, v := range []float64{-0.01, 10.01} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Encode(%v) did not panic", v)
+				}
+			}()
+			d.Encode(v)
+		}()
+	}
+}
+
+func TestDecimalDecodeSum(t *testing.T) {
+	d := Decimal{Scale: 2, Max: 1000}
+	sum := d.Encode(1.25) + d.Encode(2.75) + d.Encode(0.01)
+	if got := d.DecodeSum(sum); got != 4.01 {
+		t.Errorf("DecodeSum = %v", got)
+	}
+}
+
+func TestSignedRoundTrip(t *testing.T) {
+	s := Signed{Min: -1000, Max: 1000}
+	for _, v := range []int64{-1000, -1, 0, 1, 999, 1000} {
+		if got := s.Decode(s.Encode(v)); got != v {
+			t.Errorf("Signed round trip %d -> %d", v, got)
+		}
+	}
+	if s.Bits() != 11 {
+		t.Errorf("Bits = %d, want 11", s.Bits())
+	}
+}
+
+func TestSignedOrderPreserving(t *testing.T) {
+	s := Signed{Min: -5000, Max: 5000}
+	f := func(a, b int16) bool {
+		x, y := int64(a)%5000, int64(b)%5000
+		cx, cy := s.Encode(x), s.Encode(y)
+		return (x < y) == (cx < cy) || x == y
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSignedDecodeSum(t *testing.T) {
+	s := Signed{Min: -100, Max: 100}
+	vals := []int64{-50, 30, -20, 100}
+	var codeSum uint64
+	var want int64
+	for _, v := range vals {
+		codeSum += s.Encode(v)
+		want += v
+	}
+	if got := s.DecodeSum(codeSum, uint64(len(vals))); got != want {
+		t.Errorf("DecodeSum = %d, want %d", got, want)
+	}
+}
+
+func TestSignedRangePanics(t *testing.T) {
+	s := Signed{Min: 0, Max: 10}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Encode did not panic")
+		}
+	}()
+	s.Encode(-1)
+}
+
+func TestDictBasics(t *testing.T) {
+	d := NewDict()
+	keys := []string{"pear", "apple", "orange", "apple"} // duplicate ignored
+	for _, k := range keys {
+		d.Add(k)
+	}
+	d.Freeze()
+	d.Freeze() // idempotent
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.Bits() != 2 {
+		t.Errorf("Bits = %d", d.Bits())
+	}
+	// Codes follow lexicographic order: apple < orange < pear.
+	a, _ := d.Encode("apple")
+	o, _ := d.Encode("orange")
+	p, _ := d.Encode("pear")
+	if !(a < o && o < p) {
+		t.Errorf("order broken: %d %d %d", a, o, p)
+	}
+	for _, k := range []string{"apple", "orange", "pear"} {
+		c, ok := d.Encode(k)
+		if !ok || d.Decode(c) != k {
+			t.Errorf("round trip %q failed", k)
+		}
+	}
+	if _, ok := d.Encode("mango"); ok {
+		t.Error("unknown key encoded")
+	}
+}
+
+func TestDictRangeScanSemantics(t *testing.T) {
+	// Order preservation means a BETWEEN on codes equals a lexicographic
+	// range on keys — the property dictionary scans rely on.
+	d := NewDict()
+	words := []string{"delta", "alpha", "echo", "bravo", "charlie"}
+	for _, w := range words {
+		d.Add(w)
+	}
+	d.Freeze()
+	lo, _ := d.Encode("bravo")
+	hi, _ := d.Encode("delta")
+	var inRange []string
+	for c := lo; c <= hi; c++ {
+		inRange = append(inRange, d.Decode(c))
+	}
+	want := []string{"bravo", "charlie", "delta"}
+	if len(inRange) != len(want) {
+		t.Fatalf("range decode = %v", inRange)
+	}
+	for i := range want {
+		if inRange[i] != want[i] {
+			t.Fatalf("range decode = %v, want %v", inRange, want)
+		}
+	}
+}
+
+func TestDictGuards(t *testing.T) {
+	d := NewDict()
+	d.Add("x")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Encode before Freeze did not panic")
+			}
+		}()
+		d.Encode("x")
+	}()
+	d.Freeze()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add after Freeze did not panic")
+			}
+		}()
+		d.Add("y")
+	}()
+}
+
+func TestEmptyDict(t *testing.T) {
+	d := NewDict()
+	d.Freeze()
+	if d.Bits() != 1 {
+		t.Errorf("empty dict Bits = %d, want 1", d.Bits())
+	}
+}
+
+func TestDecimalRandomizedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := Decimal{Scale: 2, Max: 100000}
+	for i := 0; i < 1000; i++ {
+		v := math.Round(rng.Float64()*1e7) / 100
+		if got := d.Decode(d.Encode(v)); got != v {
+			t.Fatalf("round trip %v -> %v", v, got)
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package hbp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAccessors(t *testing.T) {
+	c := Pack([]uint64{1, 2, 3}, 10, 5)
+	if c.K() != 10 || c.Tau() != 5 {
+		t.Errorf("K=%d Tau=%d", c.K(), c.Tau())
+	}
+	if c.ValueMask()&c.DelimMask() != 0 {
+		t.Error("value and delimiter masks overlap")
+	}
+	if c.MemoryWords() != c.NumGroups()*(c.Tau()+1)*c.NumSegments() {
+		t.Errorf("MemoryWords = %d", c.MemoryWords())
+	}
+}
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	vals := randValues(rng, 200, 13)
+	orig := Pack(vals, 13, 4)
+	groups := make([][]uint64, orig.NumGroups())
+	for g := range groups {
+		groups[g] = append([]uint64(nil), orig.GroupWords(g)...)
+	}
+	got, err := FromWords(13, 4, 200, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vals {
+		if got.At(i) != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got.At(i), want)
+		}
+	}
+}
+
+func TestFromWordsValidation(t *testing.T) {
+	orig := Pack([]uint64{1, 2, 3}, 8, 4)
+	good := func() [][]uint64 {
+		groups := make([][]uint64, orig.NumGroups())
+		for g := range groups {
+			groups[g] = append([]uint64(nil), orig.GroupWords(g)...)
+		}
+		return groups
+	}
+
+	if _, err := FromWords(8, 4, -1, good()); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := FromWords(8, 4, 3, good()[:1]); err == nil {
+		t.Error("missing group accepted")
+	}
+	short := good()
+	short[0] = short[0][:1]
+	if _, err := FromWords(8, 4, 3, short); err == nil {
+		t.Error("short group accepted")
+	}
+	bad := good()
+	bad[0][0] |= 1 << 4 // delimiter of slot 0 (tau=4)
+	if _, err := FromWords(8, 4, 3, bad); err == nil {
+		t.Error("delimiter bit accepted")
+	}
+	pad := good()
+	pad[1][0] |= 1 << 63 // padding above the last field (c=12, f=5 -> 60 bits)
+	if _, err := FromWords(8, 4, 3, pad); err == nil {
+		t.Error("padding bit accepted")
+	}
+}

@@ -1,0 +1,205 @@
+package hbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/word"
+)
+
+func randValues(rng *rand.Rand, n, k int) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = rng.Uint64() & word.LowMask(k)
+	}
+	return v
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, k := range []int{1, 2, 3, 7, 8, 25, 31, 33, 63, 64} {
+		taus := []int{1, 2, 3, 4, 7, 15, 31, k}
+		for _, tau := range taus {
+			if tau > k || tau > MaxTau {
+				continue
+			}
+			for _, n := range []int{0, 1, 59, 60, 64, 65, 200} {
+				vals := randValues(rng, n, k)
+				c := Pack(vals, k, tau)
+				if c.Len() != n {
+					t.Fatalf("k=%d tau=%d n=%d: Len=%d", k, tau, n, c.Len())
+				}
+				got := c.Unpack()
+				for i := range vals {
+					if got[i] != vals[i] {
+						t.Fatalf("k=%d tau=%d n=%d: value %d = %d, want %d",
+							k, tau, n, i, got[i], vals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShape(t *testing.T) {
+	// Paper Figure 4b scaled to w=64: k=6, tau=3 -> fields of 4 bits,
+	// 16 per word, 2 bit-groups, 4 sub-segments, 64 values per segment.
+	c := New(6, 3)
+	if c.FieldWidth() != 4 || c.FieldsPerWord() != 16 || c.NumGroups() != 2 ||
+		c.SubSegments() != 4 || c.ValuesPerSegment() != 64 {
+		t.Fatalf("unexpected shape: f=%d c=%d B=%d ss=%d vps=%d",
+			c.FieldWidth(), c.FieldsPerWord(), c.NumGroups(), c.SubSegments(), c.ValuesPerSegment())
+	}
+	// Basic HBP (tau = k): one group, k+1-bit fields.
+	b := New(25, 25)
+	if b.NumGroups() != 1 || b.FieldWidth() != 26 || b.FieldsPerWord() != 2 ||
+		b.ValuesPerSegment() != 52 {
+		t.Fatalf("basic layout shape: B=%d f=%d c=%d vps=%d",
+			b.NumGroups(), b.FieldWidth(), b.FieldsPerWord(), b.ValuesPerSegment())
+	}
+}
+
+func TestDelimitersAlwaysZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for _, tau := range []int{1, 3, 4, 7} {
+		k := 2 * tau
+		c := Pack(randValues(rng, 300, k), k, tau)
+		delim := c.DelimMask()
+		for g := 0; g < c.NumGroups(); g++ {
+			for wi, w := range c.GroupWords(g) {
+				if w&delim != 0 {
+					t.Fatalf("tau=%d group %d word %d has delimiter bits set: %#x", tau, g, wi, w)
+				}
+				// Padding bits above the last field must be zero too.
+				if w&^word.FieldMask(tau, c.FieldsPerWord()) != 0 {
+					t.Fatalf("tau=%d group %d word %d has padding bits set: %#x", tau, g, wi, w)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundRobinPlacement(t *testing.T) {
+	// k=6, tau=3: sub-segments get tuples round-robin; slot advances every
+	// tau+1 tuples. Value j = j for traceability.
+	vals := make([]uint64, 64)
+	for j := range vals {
+		vals[j] = uint64(j)
+	}
+	c := Pack(vals, 6, 3)
+	for j := 0; j < 64; j++ {
+		t1 := j % 4
+		s := j / 4
+		// Group 0 holds the high 3 bits, group 1 the low 3 bits.
+		hi := word.Field(c.Word(0, 0, t1), 3, s)
+		lo := word.Field(c.Word(1, 0, t1), 3, s)
+		if got := hi<<3 | lo; got != uint64(j) {
+			t.Fatalf("tuple %d: reassembled %d", j, got)
+		}
+	}
+}
+
+func TestSubSegmentDelimsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for _, tau := range []int{1, 2, 3, 4, 7, 12} {
+		c := New(2*tau, tau)
+		vps := c.ValuesPerSegment()
+		for trial := 0; trial < 50; trial++ {
+			fw := rng.Uint64() & word.LowMask(vps)
+			// Union over sub-segments of scattered delimiters must equal fw.
+			var back uint64
+			for t1 := 0; t1 < c.SubSegments(); t1++ {
+				md := c.SubSegmentDelims(fw, t1)
+				if md&^c.DelimMask() != 0 {
+					t.Fatalf("tau=%d: M_d has non-delimiter bits", tau)
+				}
+				back |= c.ScatterDelims(md, t1)
+			}
+			if back != fw {
+				t.Fatalf("tau=%d: scatter(gather(F)) = %#x, want %#x", tau, back, fw)
+			}
+		}
+	}
+}
+
+func TestSubSegmentDelimsSemantics(t *testing.T) {
+	// A delimiter must be set exactly for the tuples assigned to that
+	// sub-segment and slot.
+	c := New(6, 3) // vps=64
+	for i := 0; i < 64; i++ {
+		fw := uint64(1) << uint(i)
+		tWant := i % 4
+		sWant := i / 4
+		for t1 := 0; t1 < 4; t1++ {
+			md := c.SubSegmentDelims(fw, t1)
+			if t1 != tWant {
+				if md != 0 {
+					t.Fatalf("tuple %d: sub-segment %d unexpectedly selected", i, t1)
+				}
+				continue
+			}
+			wantBit := uint64(1) << uint(sWant*4+3)
+			if md != wantBit {
+				t.Fatalf("tuple %d: M_d = %#x, want %#x", i, md, wantBit)
+			}
+		}
+	}
+}
+
+func TestDefaultTau(t *testing.T) {
+	for k := 1; k <= 64; k++ {
+		tau := DefaultTau(k)
+		if tau < 1 || tau > MaxTau || (k <= MaxTau && tau > k) {
+			t.Fatalf("DefaultTau(%d) = %d out of range", k, tau)
+		}
+		// The choice must not be worse than basic HBP (tau=min(k,31)).
+		basic := k
+		if basic > MaxTau {
+			basic = MaxTau
+		}
+		if costPerValue(min(k, MaxTau), tau) > costPerValue(min(k, MaxTau), basic) {
+			t.Errorf("DefaultTau(%d)=%d costs more than basic tau=%d", k, tau, basic)
+		}
+	}
+}
+
+func TestSegmentValues(t *testing.T) {
+	c := New(25, 25) // vps = 52
+	c.Append(randValues(rand.New(rand.NewSource(24)), 105, 25)...)
+	if c.NumSegments() != 3 {
+		t.Fatalf("NumSegments = %d, want 3", c.NumSegments())
+	}
+	if c.SegmentValues(0) != 52 || c.SegmentValues(2) != 1 {
+		t.Errorf("SegmentValues = %d,%d", c.SegmentValues(0), c.SegmentValues(2))
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	cases := []struct{ k, tau int }{{0, 1}, {65, 4}, {8, 0}, {8, 9}, {40, 32}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.k, c.tau)
+				}
+			}()
+			New(c.k, c.tau)
+		}()
+	}
+}
+
+func TestOversizedValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append of oversized value did not panic")
+		}
+	}()
+	New(4, 2).Append(16)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

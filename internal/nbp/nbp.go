@@ -1,0 +1,184 @@
+// Package nbp implements the non-bit-parallel aggregation baseline of the
+// paper (§III introduction): the method suggested by BitWeaving for
+// aggregating after a bit-parallel scan.
+//
+// For each set bit of the filter bit vector F — found with the
+// F AND (F-1) erasure loop — the corresponding data value is reconstructed
+// from its packed form into a standalone 64-bit word, and the aggregate is
+// computed over the plain values. The reconstruction is the cost the
+// bit-parallel algorithms of package core avoid: a VBP value gathers one
+// bit from each of k words; an HBP value shifts and masks one field from
+// each of its B bit-group words.
+//
+// MEDIAN collects the reconstructed values and runs quickselect — the
+// natural plain-form r-selection.
+package nbp
+
+import (
+	"math/bits"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/hbp"
+	"bpagg/internal/vbp"
+)
+
+// Count returns the number of tuples passing the filter. Counting needs no
+// reconstruction, so the paper's NBP and BP COUNT coincide.
+func Count(f *bitvec.Bitmap) uint64 {
+	return uint64(f.Count())
+}
+
+// valueSource reconstructs tuple i to plain form. Both layouts implement it.
+type valueSource interface {
+	At(i int) uint64
+	Len() int
+}
+
+// forEachValue drives the paper's four-step reconstruction loop: walk each
+// word of F, peel the lowest set bit, reconstruct that tuple, repeat until
+// the word is exhausted.
+func forEachValue(col valueSource, f *bitvec.Bitmap, fn func(v uint64)) {
+	if f.Len() != col.Len() {
+		panic("nbp: filter length does not match column length")
+	}
+	words := f.Words()
+	for wi, w := range words {
+		base := wi * 64
+		for w != 0 {
+			i := base + bits.TrailingZeros64(w)
+			fn(col.At(i))
+			w &= w - 1
+		}
+	}
+}
+
+// Sum aggregates SUM by reconstructing every passing value.
+func Sum(col valueSource, f *bitvec.Bitmap) uint64 {
+	var sum uint64
+	forEachValue(col, f, func(v uint64) { sum += v })
+	return sum
+}
+
+// Min aggregates MIN; ok is false when no tuple passes.
+func Min(col valueSource, f *bitvec.Bitmap) (uint64, bool) {
+	var m uint64
+	found := false
+	forEachValue(col, f, func(v uint64) {
+		if !found || v < m {
+			m, found = v, true
+		}
+	})
+	return m, found
+}
+
+// Max aggregates MAX; ok is false when no tuple passes.
+func Max(col valueSource, f *bitvec.Bitmap) (uint64, bool) {
+	var m uint64
+	found := false
+	forEachValue(col, f, func(v uint64) {
+		if !found || v > m {
+			m, found = v, true
+		}
+	})
+	return m, found
+}
+
+// Avg aggregates AVG; ok is false when no tuple passes.
+func Avg(col valueSource, f *bitvec.Bitmap) (float64, bool) {
+	var sum, cnt uint64
+	forEachValue(col, f, func(v uint64) { sum += v; cnt++ })
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(sum) / float64(cnt), true
+}
+
+// Median aggregates the lower MEDIAN; ok is false when no tuple passes.
+func Median(col valueSource, f *bitvec.Bitmap) (uint64, bool) {
+	vals := collect(col, f)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return Quickselect(vals, (uint64(len(vals))+1)/2), true
+}
+
+// Rank returns the r-th smallest passing value (1-based); ok is false when
+// fewer than r tuples pass or r == 0.
+func Rank(col valueSource, f *bitvec.Bitmap, r uint64) (uint64, bool) {
+	vals := collect(col, f)
+	if r == 0 || r > uint64(len(vals)) {
+		return 0, false
+	}
+	return Quickselect(vals, r), true
+}
+
+func collect(col valueSource, f *bitvec.Bitmap) []uint64 {
+	vals := make([]uint64, 0, f.Count())
+	forEachValue(col, f, func(v uint64) { vals = append(vals, v) })
+	return vals
+}
+
+// Quickselect returns the r-th smallest element (1-based) of vals,
+// reordering vals in place. It uses median-of-three pivoting with a
+// three-way partition, so duplicate-heavy inputs stay linear.
+func Quickselect(vals []uint64, r uint64) uint64 {
+	lo, hi := 0, len(vals)-1
+	k := int(r - 1)
+	for lo < hi {
+		p := medianOfThree(vals, lo, hi)
+		lt, gt := partition3(vals, lo, hi, p)
+		switch {
+		case k < lt:
+			hi = lt - 1
+		case k > gt:
+			lo = gt + 1
+		default:
+			return vals[k]
+		}
+	}
+	return vals[k]
+}
+
+// medianOfThree returns a pivot value drawn from the ends and middle.
+func medianOfThree(v []uint64, lo, hi int) uint64 {
+	mid := int(uint(lo+hi) >> 1)
+	a, b, c := v[lo], v[mid], v[hi]
+	if a > b {
+		a, b = b, a
+	}
+	if b > c {
+		b = c
+		if a > b {
+			b = a
+		}
+	}
+	return b
+}
+
+// partition3 performs a Dutch-national-flag partition of v[lo..hi] around
+// pivot p, returning the bounds [lt, gt] of the equal run.
+func partition3(v []uint64, lo, hi int, p uint64) (lt, gt int) {
+	lt, gt = lo, hi
+	i := lo
+	for i <= gt {
+		switch {
+		case v[i] < p:
+			v[i], v[lt] = v[lt], v[i]
+			lt++
+			i++
+		case v[i] > p:
+			v[i], v[gt] = v[gt], v[i]
+			gt--
+		default:
+			i++
+		}
+	}
+	return lt, gt
+}
+
+// Compile-time checks that both layouts satisfy the reconstruction
+// interface.
+var (
+	_ valueSource = (*vbp.Column)(nil)
+	_ valueSource = (*hbp.Column)(nil)
+)

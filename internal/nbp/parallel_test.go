@@ -1,0 +1,70 @@
+package nbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/hbp"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+func TestParallelNBPMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for _, sh := range []struct {
+		n   int
+		k   int
+		sel float64
+	}{
+		{1, 8, 1}, {700, 25, 0.3}, {3000, 12, 0.01}, {500, 8, 0},
+	} {
+		vals := make([]uint64, sh.n)
+		f := bitvec.New(sh.n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & word.LowMask(sh.k)
+			if rng.Float64() < sh.sel {
+				f.Set(i)
+			}
+		}
+		cols := []valueSource{
+			vbp.Pack(vals, sh.k, 4),
+			hbp.Pack(vals, sh.k, hbp.DefaultTau(sh.k)),
+		}
+		for ci, col := range cols {
+			for _, o := range []Options{{Threads: 0}, {Threads: 1}, {Threads: 3}, {Threads: 16}} {
+				if got, want := SumOpt(col, f, o), Sum(col, f); got != want {
+					t.Fatalf("col %d SumOpt %+v: got %d want %d", ci, o, got, want)
+				}
+				gm, okm := MinOpt(col, f, o)
+				wm, wok := Min(col, f)
+				if gm != wm || okm != wok {
+					t.Fatalf("col %d MinOpt %+v: got (%d,%v) want (%d,%v)", ci, o, gm, okm, wm, wok)
+				}
+				gm, okm = MaxOpt(col, f, o)
+				wm, wok = Max(col, f)
+				if gm != wm || okm != wok {
+					t.Fatalf("col %d MaxOpt %+v: got (%d,%v) want (%d,%v)", ci, o, gm, okm, wm, wok)
+				}
+				gm, okm = MedianOpt(col, f, o)
+				wm, wok = Median(col, f)
+				if gm != wm || okm != wok {
+					t.Fatalf("col %d MedianOpt %+v: got (%d,%v) want (%d,%v)", ci, o, gm, okm, wm, wok)
+				}
+				ga, oka := AvgOpt(col, f, o)
+				wa, wokA := Avg(col, f)
+				if ga != wa || oka != wokA {
+					t.Fatalf("col %d AvgOpt %+v: got (%v,%v) want (%v,%v)", ci, o, ga, oka, wa, wokA)
+				}
+				u := uint64(f.Count())
+				for _, r := range []uint64{0, 1, u / 2, u, u + 1} {
+					gr, okr := RankOpt(col, f, r, o)
+					wr, wokR := Rank(col, f, r)
+					if gr != wr || okr != wokR {
+						t.Fatalf("col %d RankOpt(%d) %+v: got (%d,%v) want (%d,%v)", ci, r, o, gr, okr, wr, wokR)
+					}
+				}
+			}
+		}
+	}
+}

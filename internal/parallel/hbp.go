@@ -1,0 +1,170 @@
+package parallel
+
+import (
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/hbp"
+	"bpagg/internal/wide"
+)
+
+// HBPSum computes SUM over an HBP column with the selected strategy.
+func HBPSum(col *hbp.Column, f *bitvec.Bitmap, o Options) uint64 {
+	if o.threads() == 1 {
+		if o.Wide {
+			return wide.HBPSum(col, f)
+		}
+		return core.HBPSum(col, f)
+	}
+	nseg := col.NumSegments()
+	partials := make([]uint64, o.threads())
+	forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+		if o.Wide {
+			partials[w] = wide.HBPSumRange(col, f, lo, hi)
+		} else {
+			partials[w] = core.HBPSumRange(col, f, lo, hi)
+		}
+	})
+	var sum uint64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}
+
+// HBPMin computes MIN over an HBP column with the selected strategy; ok is
+// false when no tuple passes the filter.
+func HBPMin(col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
+	return hbpExtreme(col, f, o, true)
+}
+
+// HBPMax computes MAX over an HBP column with the selected strategy.
+func HBPMax(col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
+	return hbpExtreme(col, f, o, false)
+}
+
+func hbpExtreme(col *hbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uint64, bool) {
+	if o.threads() == 1 {
+		if o.Wide {
+			if wantMin {
+				return wide.HBPMin(col, f)
+			}
+			return wide.HBPMax(col, f)
+		}
+		if wantMin {
+			return core.HBPMin(col, f)
+		}
+		return core.HBPMax(col, f)
+	}
+	if !f.Any() {
+		return 0, false
+	}
+	nseg := col.NumSegments()
+	var temps [][]uint64
+	if o.Wide {
+		workerTemps := make([]wide.HBPExtremeTemps, o.threads())
+		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			workerTemps[w] = wide.NewHBPExtremeTemps(col, wantMin)
+			wide.HBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+		})
+		for w := 0; w < used; w++ {
+			temps = append(temps, workerTemps[w][:]...)
+		}
+	} else {
+		workerTemps := make([][]uint64, o.threads())
+		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			workerTemps[w] = core.NewHBPExtremeTemp(col, wantMin)
+			core.HBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+		})
+		temps = workerTemps[:used]
+	}
+	return core.HBPFinishExtreme(col, temps, wantMin), true
+}
+
+// HBPMedian computes the lower MEDIAN with the selected strategy.
+func HBPMedian(col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
+	u := core.Count(f)
+	if u == 0 {
+		return 0, false
+	}
+	return HBPRank(col, f, (u+1)/2, o)
+}
+
+// HBPRank computes the r-th smallest filtered value with the selected
+// strategy. Workers build private histograms per bit-group and merge at the
+// rendezvous, then refine their candidate partitions.
+func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bool) {
+	if o.threads() == 1 {
+		if o.Wide {
+			return wide.HBPRank(col, f, r)
+		}
+		return core.HBPRank(col, f, r)
+	}
+	u := core.Count(f)
+	if r == 0 || r > u {
+		return 0, false
+	}
+	nseg := col.NumSegments()
+	v := core.NewHBPCandidates(col, f, nseg)
+	b := col.NumGroups()
+	tau := col.Tau()
+	chunks := core.HBPChunks(tau)
+	histBits := tau
+	if histBits > core.MaxHistBits {
+		histBits = core.MaxHistBits
+	}
+
+	workerHists := make([][]uint64, o.threads())
+	for w := range workerHists {
+		workerHists[w] = make([]uint64, 1<<uint(histBits))
+	}
+	var m uint64
+	for g := 0; g < b; g++ {
+		for ci, ch := range chunks {
+			shift, width := ch[0], ch[1]
+			bins := 1 << uint(width)
+			used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+				h := workerHists[w][:bins]
+				for i := range h {
+					h[i] = 0
+				}
+				core.HBPHistogramChunk(col, v, g, shift, width, lo, hi, h)
+			})
+			// Merge worker histograms and locate the bin containing rank r.
+			var cum uint64
+			bin := bins - 1
+			for i := 0; i < bins; i++ {
+				var h uint64
+				for w := 0; w < used; w++ {
+					h += workerHists[w][i]
+				}
+				if cum+h >= r {
+					bin = i
+					break
+				}
+				cum += h
+			}
+			r -= cum
+			m = m<<uint(width) | uint64(bin)
+			if g == b-1 && ci == len(chunks)-1 {
+				break
+			}
+			forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+				if o.Wide {
+					wide.HBPRankRefineChunkRange(col, v, g, shift, width, uint64(bin), lo, hi)
+				} else {
+					core.HBPRankRefineChunk(col, v, g, shift, width, uint64(bin), lo, hi)
+				}
+			})
+		}
+	}
+	return m, true
+}
+
+// HBPAvg computes AVG = SUM / COUNT with the selected strategy.
+func HBPAvg(col *hbp.Column, f *bitvec.Bitmap, o Options) (float64, bool) {
+	cnt := core.Count(f)
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(HBPSum(col, f, o)) / float64(cnt), true
+}

@@ -1,0 +1,151 @@
+package parallel
+
+import (
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/vbp"
+	"bpagg/internal/wide"
+)
+
+// VBPSum computes SUM over a VBP column with the selected strategy.
+func VBPSum(col *vbp.Column, f *bitvec.Bitmap, o Options) uint64 {
+	if o.threads() == 1 {
+		if o.Wide {
+			return wide.VBPSum(col, f)
+		}
+		return core.VBPSum(col, f)
+	}
+	nseg := col.NumSegments()
+	partials := make([]uint64, o.threads())
+	forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+		if o.Wide {
+			partials[w] = wide.VBPSumRange(col, f, lo, hi)
+		} else {
+			partials[w] = core.VBPSumRange(col, f, lo, hi)
+		}
+	})
+	var sum uint64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum
+}
+
+// VBPMin computes MIN over a VBP column with the selected strategy; ok is
+// false when no tuple passes the filter.
+func VBPMin(col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
+	return vbpExtreme(col, f, o, true)
+}
+
+// VBPMax computes MAX over a VBP column with the selected strategy.
+func VBPMax(col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
+	return vbpExtreme(col, f, o, false)
+}
+
+func vbpExtreme(col *vbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uint64, bool) {
+	if o.threads() == 1 {
+		if o.Wide {
+			if wantMin {
+				return wide.VBPMin(col, f)
+			}
+			return wide.VBPMax(col, f)
+		}
+		if wantMin {
+			return core.VBPMin(col, f)
+		}
+		return core.VBPMax(col, f)
+	}
+	if !f.Any() {
+		return 0, false
+	}
+	k := col.K()
+	nseg := col.NumSegments()
+	var temps [][]uint64
+	if o.Wide {
+		workerTemps := make([]wide.VBPExtremeTemps, o.threads())
+		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			workerTemps[w] = wide.NewVBPExtremeTemps(k, wantMin)
+			wide.VBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+		})
+		for w := 0; w < used; w++ {
+			temps = append(temps, workerTemps[w][:]...)
+		}
+	} else {
+		workerTemps := make([][]uint64, o.threads())
+		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			workerTemps[w] = core.NewVBPExtremeTemp(k, wantMin)
+			core.VBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+		})
+		temps = workerTemps[:used]
+	}
+	return core.VBPFinishExtreme(temps, k, wantMin), true
+}
+
+// VBPMedian computes the lower MEDIAN with the selected strategy.
+func VBPMedian(col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
+	u := core.Count(f)
+	if u == 0 {
+		return 0, false
+	}
+	return VBPRank(col, f, (u+1)/2, o)
+}
+
+// VBPRank computes the r-th smallest filtered value with the selected
+// strategy. Workers synchronize once per bit position on the global
+// candidate counter, exactly the overhead the paper attributes to
+// multi-threaded VBP-MEDIAN.
+func VBPRank(col *vbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bool) {
+	if o.threads() == 1 {
+		if o.Wide {
+			return wide.VBPRank(col, f, r)
+		}
+		return core.VBPRank(col, f, r)
+	}
+	u := core.Count(f)
+	if r == 0 || r > u {
+		return 0, false
+	}
+	nseg := col.NumSegments()
+	v := core.NewVBPCandidates(f, nseg)
+	k := col.K()
+	partials := make([]uint64, o.threads())
+	var m uint64
+	for p := 0; p < k; p++ {
+		forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			if o.Wide {
+				partials[w] = wide.VBPRankCountRange(col, v, p, lo, hi)
+			} else {
+				partials[w] = core.VBPRankCount(col, v, p, lo, hi)
+			}
+		})
+		var c uint64
+		for _, pc := range partials {
+			c += pc
+		}
+		keepOnes := u-c < r
+		if keepOnes {
+			m |= 1 << uint(k-1-p)
+			r -= u - c
+			u = c
+		} else {
+			u -= c
+		}
+		forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			if o.Wide {
+				wide.VBPRankRefineRange(col, v, p, keepOnes, lo, hi)
+			} else {
+				core.VBPRankRefine(col, v, p, keepOnes, lo, hi)
+			}
+		})
+	}
+	return m, true
+}
+
+// VBPAvg computes AVG = SUM / COUNT with the selected strategy.
+func VBPAvg(col *vbp.Column, f *bitvec.Bitmap, o Options) (float64, bool) {
+	cnt := core.Count(f)
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(VBPSum(col, f, o)) / float64(cnt), true
+}

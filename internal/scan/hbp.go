@@ -1,0 +1,144 @@
+package scan
+
+import (
+	"bpagg/internal/bitvec"
+	"bpagg/internal/hbp"
+	"bpagg/internal/word"
+)
+
+// HBP evaluates p over an HBP column and returns the dense filter bitmap.
+//
+// Per sub-segment, each word-group contributes one full-word Lamport
+// comparison on the delimiter lane (paper §II-B): the injected delimiter
+// gives each field the headroom that turns a single 64-bit subtraction into
+// c independent tau-bit comparisons. Groups are staged most significant
+// first with running eq/lt/gt delimiter lanes, stopping early once every
+// lane is decided.
+func HBP(col *hbp.Column, p Predicate) *bitvec.Bitmap {
+	p.check(col.K())
+	if p.Op == Between {
+		return hbpBetween(col, p.A, p.B)
+	}
+	cw := constWordsHBP(col, p.A)
+	delim := col.DelimMask()
+	bGroups := col.NumGroups()
+	subs := col.SubSegments()
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	for seg := 0; seg < nseg; seg++ {
+		if lo, hi, ok := col.ZoneRange(seg); ok {
+			if none, all := p.zoneDecision(lo, hi); none {
+				continue // bitmap already zero
+			} else if all {
+				depositSegment(out, col, seg, word.LowMask(col.SegmentValues(seg)))
+				continue
+			}
+		}
+		var fw uint64
+		base := seg * subs
+		for t := 0; t < subs; t++ {
+			st := state{eq: delim}
+			for g := 0; g < bGroups; g++ {
+				x := col.GroupWords(g)[base+t]
+				y := cw[g]
+				st.step(
+					word.LTDelims(x, y, delim),
+					word.GTDelims(x, y, delim),
+					word.EQDelims(x, y, delim),
+				)
+				if st.eq == 0 {
+					break
+				}
+			}
+			fw |= col.ScatterDelims(st.result(p.Op, delim), t)
+		}
+		depositSegment(out, col, seg, fw&word.LowMask(col.SegmentValues(seg)))
+	}
+	return out
+}
+
+// hbpBetween evaluates A <= v <= B in a single pass per sub-segment.
+func hbpBetween(col *hbp.Column, lo, hi uint64) *bitvec.Bitmap {
+	cLo := constWordsHBP(col, lo)
+	cHi := constWordsHBP(col, hi)
+	delim := col.DelimMask()
+	bGroups := col.NumGroups()
+	subs := col.SubSegments()
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	for seg := 0; seg < nseg; seg++ {
+		if zlo, zhi, ok := col.ZoneRange(seg); ok {
+			p := Predicate{Op: Between, A: lo, B: hi}
+			if none, all := p.zoneDecision(zlo, zhi); none {
+				continue
+			} else if all {
+				depositSegment(out, col, seg, word.LowMask(col.SegmentValues(seg)))
+				continue
+			}
+		}
+		var fw uint64
+		base := seg * subs
+		for t := 0; t < subs; t++ {
+			sLo := state{eq: delim}
+			sHi := state{eq: delim}
+			for g := 0; g < bGroups; g++ {
+				x := col.GroupWords(g)[base+t]
+				sLo.step(
+					word.LTDelims(x, cLo[g], delim),
+					word.GTDelims(x, cLo[g], delim),
+					word.EQDelims(x, cLo[g], delim),
+				)
+				sHi.step(
+					word.LTDelims(x, cHi[g], delim),
+					word.GTDelims(x, cHi[g], delim),
+					word.EQDelims(x, cHi[g], delim),
+				)
+				if sLo.eq == 0 && sHi.eq == 0 {
+					break
+				}
+			}
+			sel := sLo.result(GE, delim) & sHi.result(LE, delim)
+			fw |= col.ScatterDelims(sel, t)
+		}
+		depositSegment(out, col, seg, fw&word.LowMask(col.SegmentValues(seg)))
+	}
+	return out
+}
+
+// HBPEqualGroupLanes returns the delimiter lanes where the group-g fields of
+// w equal the tau-bit constant bin packed across all slots. It is the
+// BIT-PARALLEL-EQUAL step of Algorithm 6 line 11, applied to a single
+// word-group rather than the whole value.
+func HBPEqualGroupLanes(col *hbp.Column, w uint64, bin uint64) uint64 {
+	delim := col.DelimMask()
+	y := word.Repeat(bin, col.FieldWidth(), col.FieldsPerWord())
+	return word.EQDelims(w, y, delim)
+}
+
+// constWordsHBP packs each bit-group of the constant into all fields of a
+// word, one word per group (the paper's W_c of Figure 3b, per group).
+func constWordsHBP(col *hbp.Column, c uint64) []uint64 {
+	b, tau := col.NumGroups(), col.Tau()
+	kPad := b * tau
+	out := make([]uint64, b)
+	for g := 0; g < b; g++ {
+		bg := c >> uint(kPad-(g+1)*tau) & word.LowMask(tau)
+		out[g] = word.Repeat(bg, col.FieldWidth(), col.FieldsPerWord())
+	}
+	return out
+}
+
+// depositSegment writes a segment's filter window into the dense bitmap,
+// using the aligned fast path when a segment holds exactly 64 tuples.
+func depositSegment(out *bitvec.Bitmap, col *hbp.Column, seg int, fw uint64) {
+	vps := col.ValuesPerSegment()
+	if vps == 64 {
+		if seg < out.NumWords() {
+			out.SetWord(seg, fw)
+		}
+		return
+	}
+	out.Deposit(seg*vps, vps, fw)
+}

@@ -1,0 +1,125 @@
+// Package scan implements bit-parallel filter scans over VBP and HBP
+// columns — the BitWeaving substrate (Li & Patel, SIGMOD 2013) that the
+// paper's aggregation algorithms consume (§II) and build on (SLOTMIN uses
+// BIT-PARALLEL-LESSTHAN, HBP MEDIAN uses BIT-PARALLEL-EQUAL).
+//
+// A scan evaluates one simple predicate over a packed column and produces a
+// dense filter Bitmap (bit i = tuple i passed). Complex predicates compose
+// by Bitmap intersection/union per §II-E.
+package scan
+
+import (
+	"fmt"
+
+	"bpagg/internal/word"
+)
+
+// Op is a comparison operator of a simple predicate.
+type Op int
+
+// Comparison operators. Between is inclusive on both ends.
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+	Between
+)
+
+// String returns the SQL spelling of the operator.
+func (o Op) String() string {
+	switch o {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	case Between:
+		return "BETWEEN"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Predicate is a simple comparison against constants. B is used only by
+// Between (A <= v <= B).
+type Predicate struct {
+	Op   Op
+	A, B uint64
+}
+
+// Matches reports whether a plain value satisfies the predicate — the
+// scalar reference semantics all bit-parallel scans are tested against.
+func (p Predicate) Matches(v uint64) bool {
+	switch p.Op {
+	case EQ:
+		return v == p.A
+	case NE:
+		return v != p.A
+	case LT:
+		return v < p.A
+	case LE:
+		return v <= p.A
+	case GT:
+		return v > p.A
+	case GE:
+		return v >= p.A
+	case Between:
+		return p.A <= v && v <= p.B
+	default:
+		panic(fmt.Sprintf("scan: unknown op %d", int(p.Op)))
+	}
+}
+
+func (p Predicate) check(k int) {
+	max := word.LowMask(k)
+	if p.A > max || (p.Op == Between && p.B > max) {
+		panic(fmt.Sprintf("scan: predicate constant does not fit in %d bits", k))
+	}
+}
+
+// state holds the per-segment staged comparison lanes shared by the VBP and
+// HBP scan loops: eq starts all-ones and loses lanes as higher bits
+// discriminate; lt and gt accumulate lanes decided at each stage.
+type state struct {
+	eq, lt, gt uint64
+}
+
+// step folds one stage into the state. ltg/gtg/eqg are the stage-local
+// comparison lanes; only lanes still equal on all more significant bits may
+// be decided here.
+func (s *state) step(ltg, gtg, eqg uint64) {
+	s.lt |= s.eq & ltg
+	s.gt |= s.eq & gtg
+	s.eq &= eqg
+}
+
+// result maps the final lanes to the predicate's truth lanes. full is the
+// all-lanes mask (per-segment tuple mask for VBP, delimiter mask for HBP).
+func (s *state) result(op Op, full uint64) uint64 {
+	switch op {
+	case EQ:
+		return s.eq
+	case NE:
+		return (s.eq ^ full) & full
+	case LT:
+		return s.lt
+	case LE:
+		return s.lt | s.eq
+	case GT:
+		return s.gt
+	case GE:
+		return s.gt | s.eq
+	default:
+		panic(fmt.Sprintf("scan: unknown op %d", int(op)))
+	}
+}

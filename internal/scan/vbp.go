@@ -1,0 +1,135 @@
+package scan
+
+import (
+	"bpagg/internal/bitvec"
+	"bpagg/internal/vbp"
+)
+
+// VBP evaluates p over a VBP column and returns the dense filter bitmap.
+//
+// For each segment the comparison proceeds bit position by bit position
+// (most significant first), word-group by word-group: lanes still equal so
+// far are decided by the first differing bit, and the segment is abandoned
+// early once every lane is decided (eq == 0) — the paper's §II-A early
+// stop, which the word-group layout turns into skipped cache lines.
+func VBP(col *vbp.Column, p Predicate) *bitvec.Bitmap {
+	p.check(col.K())
+	if p.Op == Between {
+		return vbpBetween(col, p.A, p.B)
+	}
+	k := col.K()
+	groups := col.Groups()
+	// cbits[p] is the constant's bit at position p spread to all 64 lanes.
+	cbits := constLanesVBP(p.A, k)
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	for seg := 0; seg < nseg; seg++ {
+		if lo, hi, ok := col.ZoneRange(seg); ok {
+			if none, all := p.zoneDecision(lo, hi); none {
+				continue // word already zero
+			} else if all {
+				out.SetWord(seg, ^uint64(0))
+				continue
+			}
+		}
+		st := state{eq: ^uint64(0)}
+		for g := range groups {
+			gr := &groups[g]
+			base := seg * gr.Bits
+			for b := 0; b < gr.Bits; b++ {
+				w := gr.Words[base+b]
+				c := cbits[gr.StartBit+b]
+				// lanes where data bit 0, const bit 1 -> value < const.
+				st.step(^w&c, w&^c, ^(w ^ c))
+			}
+			if st.eq == 0 {
+				break
+			}
+		}
+		out.SetWord(seg, st.result(p.Op, ^uint64(0)))
+	}
+	return out
+}
+
+// vbpBetween evaluates A <= v <= B in a single pass, maintaining two staged
+// comparisons (against A and against B) per segment.
+func vbpBetween(col *vbp.Column, lo, hi uint64) *bitvec.Bitmap {
+	k := col.K()
+	groups := col.Groups()
+	cLo := constLanesVBP(lo, k)
+	cHi := constLanesVBP(hi, k)
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	for seg := 0; seg < nseg; seg++ {
+		if zlo, zhi, ok := col.ZoneRange(seg); ok {
+			p := Predicate{Op: Between, A: lo, B: hi}
+			if none, all := p.zoneDecision(zlo, zhi); none {
+				continue
+			} else if all {
+				out.SetWord(seg, ^uint64(0))
+				continue
+			}
+		}
+		sLo := state{eq: ^uint64(0)} // v versus lo
+		sHi := state{eq: ^uint64(0)} // v versus hi
+		for g := range groups {
+			gr := &groups[g]
+			base := seg * gr.Bits
+			for b := 0; b < gr.Bits; b++ {
+				w := gr.Words[base+b]
+				l, h := cLo[gr.StartBit+b], cHi[gr.StartBit+b]
+				sLo.step(^w&l, w&^l, ^(w ^ l))
+				sHi.step(^w&h, w&^h, ^(w ^ h))
+			}
+			if sLo.eq == 0 && sHi.eq == 0 {
+				break
+			}
+		}
+		ge := sLo.result(GE, ^uint64(0))
+		le := sHi.result(LE, ^uint64(0))
+		out.SetWord(seg, ge&le)
+	}
+	return out
+}
+
+// constLanesVBP spreads each bit of the k-bit constant to a full word of
+// lanes: entry p is all-ones iff bit p (0 = MSB) of c is set.
+func constLanesVBP(c uint64, k int) []uint64 {
+	lanes := make([]uint64, k)
+	for p := 0; p < k; p++ {
+		if c>>uint(k-1-p)&1 == 1 {
+			lanes[p] = ^uint64(0)
+		}
+	}
+	return lanes
+}
+
+// VBPSlotCompare runs the staged less-than/equal comparison between two
+// segments given as word slices in VBP order (bit position p at index p,
+// both of length k). It returns the lt and eq lane masks. It is the
+// BIT-PARALLEL-LESSTHAN building block of SLOTMIN (Algorithm 2): lanes
+// where x < y slot-wise.
+func VBPSlotCompare(x, y []uint64) (lt, eq uint64) {
+	st := state{eq: ^uint64(0)}
+	for p := range x {
+		st.step(^x[p]&y[p], x[p]&^y[p], ^(x[p] ^ y[p]))
+		if st.eq == 0 {
+			break
+		}
+	}
+	return st.lt, st.eq
+}
+
+// VBPSlotCompareGT is the greater-than counterpart used by SLOTMAX.
+func VBPSlotCompareGT(x, y []uint64) (gt, eq uint64) {
+	st := state{eq: ^uint64(0)}
+	for p := range x {
+		st.step(^x[p]&y[p], x[p]&^y[p], ^(x[p] ^ y[p]))
+		if st.eq == 0 {
+			break
+		}
+	}
+	return st.gt, st.eq
+}

@@ -1,0 +1,28 @@
+package scan
+
+// zoneDecision classifies a predicate against a segment's zone-map range
+// [lo, hi]: none means no value in the range can match (the whole segment
+// skips with an all-zero filter word), all means every value must match
+// (the segment skips with an all-one word). Both prunes avoid touching the
+// segment's packed words entirely — the zone-map counterpart of the
+// paper's early stopping, decisive on sorted or clustered columns.
+func (p Predicate) zoneDecision(lo, hi uint64) (none, all bool) {
+	switch p.Op {
+	case EQ:
+		return p.A < lo || p.A > hi, lo == hi && lo == p.A
+	case NE:
+		return lo == hi && lo == p.A, p.A < lo || p.A > hi
+	case LT:
+		return lo >= p.A, hi < p.A
+	case LE:
+		return lo > p.A, hi <= p.A
+	case GT:
+		return hi <= p.A, lo > p.A
+	case GE:
+		return hi < p.A, lo >= p.A
+	case Between:
+		return hi < p.A || lo > p.B, lo >= p.A && hi <= p.B
+	default:
+		return false, false
+	}
+}

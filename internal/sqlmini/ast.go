@@ -1,0 +1,103 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AggFunc is an aggregate function name.
+type AggFunc int
+
+// Aggregate functions of the SELECT list.
+const (
+	CountStar AggFunc = iota
+	Count
+	Sum
+	Avg
+	Min
+	Max
+	Median
+	Quantile
+)
+
+// String returns the SQL spelling.
+func (f AggFunc) String() string {
+	switch f {
+	case CountStar:
+		return "COUNT(*)"
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Median:
+		return "MEDIAN"
+	case Quantile:
+		return "QUANTILE"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", int(f))
+	}
+}
+
+// SelectExpr is one aggregate of the SELECT list.
+type SelectExpr struct {
+	Func   AggFunc
+	Column string  // empty for COUNT(*)
+	Arg    float64 // QUANTILE's q
+}
+
+// Label renders the expression for result headers.
+func (s SelectExpr) Label() string {
+	switch s.Func {
+	case CountStar:
+		return "count(*)"
+	case Quantile:
+		return fmt.Sprintf("quantile(%s,%g)", s.Column, s.Arg)
+	default:
+		return fmt.Sprintf("%s(%s)", strings.ToLower(s.Func.String()), s.Column)
+	}
+}
+
+// CmpOp is a predicate comparison operator.
+type CmpOp int
+
+// Predicate operators.
+const (
+	OpEq CmpOp = iota
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpBetween
+	OpIn
+)
+
+// Literal is a constant of a predicate: either numeric or string.
+type Literal struct {
+	IsString bool
+	Str      string
+	Num      float64 // numeric literals parse as float64; binders narrow
+	Neg      bool    // the literal carried a leading minus
+}
+
+// Condition is one conjunctive predicate: Column Op Lits.
+// OpBetween uses Lits[0..1]; OpIn uses all of Lits; others use Lits[0].
+type Condition struct {
+	Column string
+	Op     CmpOp
+	Lits   []Literal
+}
+
+// Query is a parsed aggregate query.
+type Query struct {
+	Selects []SelectExpr
+	From    string // optional, informational only
+	Where   []Condition
+	GroupBy string // empty when ungrouped
+}

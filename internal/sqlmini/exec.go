@@ -1,0 +1,302 @@
+package sqlmini
+
+import (
+	"fmt"
+
+	"bpagg"
+	"bpagg/internal/catalog"
+)
+
+// Result is an executed query: one row when ungrouped, one row per group
+// otherwise. Cells are rendered in each column's domain (decimals with
+// their scale, dictionary strings as text).
+type Result struct {
+	Headers []string
+	Rows    [][]string
+}
+
+// ExecOptions forwards execution knobs to the aggregates.
+type ExecOptions struct {
+	Threads int
+	Wide    bool
+	// Auto lets each aggregate pick between the bit-parallel kernels and
+	// the reconstruction baseline from the realized selectivity (the
+	// paper's optimizer policy).
+	Auto bool
+}
+
+func (o ExecOptions) opts() []bpagg.ExecOption {
+	var out []bpagg.ExecOption
+	if o.Threads > 1 {
+		out = append(out, bpagg.Parallel(o.Threads))
+	}
+	if o.Wide {
+		out = append(out, bpagg.WideWords())
+	}
+	if o.Auto {
+		out = append(out, bpagg.Access(bpagg.Auto))
+	}
+	return out
+}
+
+// Execute runs a parsed query against a catalog.
+func Execute(cat *catalog.Catalog, q *Query, o ExecOptions) (*Result, error) {
+	// Validate select list against the schema.
+	for _, sel := range q.Selects {
+		if sel.Func == CountStar {
+			continue
+		}
+		if cat.Spec(sel.Column) == nil {
+			return nil, fmt.Errorf("sql: unknown column %q", sel.Column)
+		}
+		if (sel.Func == Sum || sel.Func == Avg) && !cat.Summable(sel.Column) {
+			return nil, fmt.Errorf("sql: %s over string column %q", sel.Func, sel.Column)
+		}
+	}
+
+	sel, err := bindWhere(cat, q.Where)
+	if err != nil {
+		return nil, err
+	}
+
+	if q.GroupBy == "" {
+		row, err := aggregateRow(cat, q.Selects, sel, o)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Headers: headers(q, false), Rows: [][]string{row}}, nil
+	}
+
+	gspec := cat.Spec(q.GroupBy)
+	if gspec == nil {
+		return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
+	}
+	gcol := cat.Table.Column(q.GroupBy)
+	grouped := groupSelections(gcol, sel)
+	res := &Result{Headers: headers(q, true)}
+	for _, g := range grouped {
+		row, err := aggregateRow(cat, q.Selects, g.sel, o)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, append([]string{cat.FormatValue(q.GroupBy, g.key)}, row...))
+	}
+	return res, nil
+}
+
+func headers(q *Query, grouped bool) []string {
+	var hs []string
+	if grouped {
+		hs = append(hs, q.GroupBy)
+	}
+	for _, s := range q.Selects {
+		hs = append(hs, s.Label())
+	}
+	return hs
+}
+
+type group struct {
+	key uint64
+	sel *bpagg.Bitmap
+}
+
+// groupSelections walks the distinct keys bit-parallel (repeated MIN plus
+// strictly-greater scans) and intersects per-key equality with the filter.
+func groupSelections(gcol *bpagg.Column, sel *bpagg.Bitmap) []group {
+	var out []group
+	rest := sel.Clone()
+	for {
+		v, ok := gcol.Min(rest)
+		if !ok {
+			break
+		}
+		out = append(out, group{key: v, sel: sel.Clone().And(gcol.Scan(bpagg.Equal(v)))})
+		rest.And(gcol.Scan(bpagg.Greater(v)))
+	}
+	return out
+}
+
+func aggregateRow(cat *catalog.Catalog, sels []SelectExpr, sel *bpagg.Bitmap, o ExecOptions) ([]string, error) {
+	opts := o.opts()
+	row := make([]string, len(sels))
+	for i, s := range sels {
+		if s.Func == CountStar {
+			row[i] = fmt.Sprintf("%d", sel.Count())
+			continue
+		}
+		col := cat.Table.Column(s.Column)
+		switch s.Func {
+		case Count:
+			row[i] = fmt.Sprintf("%d", col.Count(sel))
+		case Sum:
+			row[i] = cat.FormatSum(s.Column, col.Sum(sel, opts...), col.Count(sel))
+		case Avg:
+			row[i] = cat.FormatAvg(s.Column, col.Sum(sel, opts...), col.Count(sel))
+		case Min:
+			v, ok := col.Min(sel, opts...)
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		case Max:
+			v, ok := col.Max(sel, opts...)
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		case Median:
+			v, ok := col.Median(sel, opts...)
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		case Quantile:
+			v, ok := col.Quantile(sel, s.Arg, opts...)
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		default:
+			return nil, fmt.Errorf("sql: unsupported aggregate %v", s.Func)
+		}
+	}
+	return row, nil
+}
+
+func formatOpt(cat *catalog.Catalog, col string, code uint64, ok bool) string {
+	if !ok {
+		return "NULL"
+	}
+	return cat.FormatValue(col, code)
+}
+
+// bindWhere turns the conjunctive predicate list into one selection bitmap,
+// translating literals into code space with floor/ceil semantics so
+// unrepresentable constants (10.005 on a cent-scaled column, out-of-range
+// values) select exactly the right rows.
+func bindWhere(cat *catalog.Catalog, conds []Condition) (*bpagg.Bitmap, error) {
+	tbl := cat.Table
+	if len(conds) == 0 {
+		first := tbl.Column(tbl.Columns()[0])
+		return first.All(), nil
+	}
+	var sel *bpagg.Bitmap
+	for _, cond := range conds {
+		m, err := bindCondition(cat, cond)
+		if err != nil {
+			return nil, err
+		}
+		if sel == nil {
+			sel = m
+		} else {
+			sel.And(m)
+		}
+	}
+	return sel, nil
+}
+
+func bindCondition(cat *catalog.Catalog, cond Condition) (*bpagg.Bitmap, error) {
+	col := cat.Table.Column(cond.Column)
+	if col == nil {
+		return nil, fmt.Errorf("sql: unknown column %q", cond.Column)
+	}
+	switch cond.Op {
+	case OpBetween:
+		lo, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpGe, Lits: cond.Lits[:1]})
+		if err != nil {
+			return nil, err
+		}
+		hi, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpLe, Lits: cond.Lits[1:2]})
+		if err != nil {
+			return nil, err
+		}
+		return lo.And(hi), nil
+	case OpIn:
+		out := col.None()
+		for _, lit := range cond.Lits {
+			m, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpEq, Lits: []Literal{lit}})
+			if err != nil {
+				return nil, err
+			}
+			out.Or(m)
+		}
+		return out, nil
+	default:
+		return bindOne(cat, col, cond)
+	}
+}
+
+// bindOne binds a single-literal comparison.
+func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bitmap, error) {
+	lit := cond.Lits[0]
+	if lit.IsString {
+		code, ok, err := cat.StrToCode(cond.Column, lit.Str)
+		if err != nil {
+			return nil, err
+		}
+		switch cond.Op {
+		case OpEq:
+			if !ok {
+				return col.None(), nil
+			}
+			return col.Scan(bpagg.Equal(code)), nil
+		case OpNe:
+			if !ok {
+				return allNonNull(cat, col, cond.Column)
+			}
+			return col.Scan(bpagg.NotEqual(code)), nil
+		default:
+			return nil, fmt.Errorf("sql: only = and != apply to string column %q", cond.Column)
+		}
+	}
+
+	cr, err := cat.NumToCode(cond.Column, lit.Num)
+	if err != nil {
+		return nil, err
+	}
+	all := func() (*bpagg.Bitmap, error) { return allNonNull(cat, col, cond.Column) }
+	none := func() (*bpagg.Bitmap, error) { return col.None(), nil }
+	switch cond.Op {
+	case OpEq:
+		if cr.Below || cr.Above || !cr.Exact {
+			return none()
+		}
+		return col.Scan(bpagg.Equal(cr.Floor)), nil
+	case OpNe:
+		if cr.Below || cr.Above || !cr.Exact {
+			return all()
+		}
+		return col.Scan(bpagg.NotEqual(cr.Floor)), nil
+	case OpLt:
+		if cr.Below {
+			return none()
+		}
+		if cr.Above {
+			return all()
+		}
+		// v < L <=> code < ceil(L) when L is not a code, code < L otherwise.
+		return col.Scan(bpagg.Less(cr.Ceil)), nil
+	case OpLe:
+		if cr.Below {
+			return none()
+		}
+		if cr.Above {
+			return all()
+		}
+		return col.Scan(bpagg.LessEq(cr.Floor)), nil
+	case OpGt:
+		if cr.Above {
+			return none()
+		}
+		if cr.Below {
+			return all()
+		}
+		return col.Scan(bpagg.Greater(cr.Floor)), nil
+	case OpGe:
+		if cr.Above {
+			return none()
+		}
+		if cr.Below {
+			return all()
+		}
+		return col.Scan(bpagg.GreaterEq(cr.Ceil)), nil
+	}
+	return nil, fmt.Errorf("sql: unsupported operator %d", int(cond.Op))
+}
+
+// allNonNull selects every non-NULL row of the column.
+func allNonNull(cat *catalog.Catalog, col *bpagg.Column, name string) (*bpagg.Bitmap, error) {
+	max, err := cat.MaxCode(name)
+	if err != nil {
+		return nil, err
+	}
+	return col.Scan(bpagg.LessEq(max)), nil
+}

@@ -1,0 +1,46 @@
+package sqlmini
+
+import "testing"
+
+// FuzzParse asserts the parser never panics and that anything it accepts
+// round-trips through the AST invariants (non-empty select list, literal
+// arity matching the operator).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT SUM(price), COUNT(*) WHERE qty < 24 GROUP BY region",
+		"select quantile(lat, 0.99) from t where s = 'x' and v between -1 and 2.5",
+		"SELECT MIN(a) WHERE b IN (1,2,3) AND c != 'q'",
+		"SELECT COUNT(*)",
+		"",
+		"SELECT SUM( WHERE",
+		"'", "((((", "SELECT SUM(x) WHERE a <",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		if len(q.Selects) == 0 {
+			t.Fatalf("accepted query with empty select list: %q", input)
+		}
+		for _, c := range q.Where {
+			switch c.Op {
+			case OpBetween:
+				if len(c.Lits) != 2 {
+					t.Fatalf("BETWEEN with %d literals: %q", len(c.Lits), input)
+				}
+			case OpIn:
+				if len(c.Lits) == 0 {
+					t.Fatalf("IN with no literals: %q", input)
+				}
+			default:
+				if len(c.Lits) != 1 {
+					t.Fatalf("comparison with %d literals: %q", len(c.Lits), input)
+				}
+			}
+		}
+	})
+}

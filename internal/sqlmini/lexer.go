@@ -1,0 +1,110 @@
+// Package sqlmini implements the aggregate-query subset of SQL that the
+// paper's setting reduces every query to (§III, after WideTable [11]):
+// conjunctive predicates over single columns of a denormalized wide table,
+// followed by aggregation, optionally grouped by one column.
+//
+//	SELECT SUM(price), MEDIAN(qty), COUNT(*)
+//	WHERE qty < 24 AND region = 'EU' AND price BETWEEN 10.5 AND 99.9
+//	GROUP BY region
+//
+// Supported aggregates: COUNT(*), COUNT(col), SUM, AVG, MIN, MAX, MEDIAN,
+// QUANTILE(col, q). Predicate operators: =, !=/<>, <, <=, >, >=,
+// BETWEEN ... AND ..., IN (...). An optional FROM clause is accepted and
+// ignored (the engine queries one table at a time).
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifier (original case), number text, string contents, or symbol
+	pos  int    // byte offset in the input, for error messages
+}
+
+// lex splits the input into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	n := len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case isIdentStart(rune(c)):
+			start := i
+			for i < n && isIdentPart(rune(input[i])) {
+				i++
+			}
+			toks = append(toks, token{tokIdent, input[start:i], start})
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && input[i+1] >= '0' && input[i+1] <= '9':
+			start := i
+			seenDot := false
+			for i < n {
+				d := input[i]
+				if d == '.' {
+					if seenDot {
+						break
+					}
+					seenDot = true
+					i++
+					continue
+				}
+				if d < '0' || d > '9' {
+					break
+				}
+				i++
+			}
+			toks = append(toks, token{tokNumber, input[start:i], start})
+		case c == '\'' || c == '"':
+			quote := c
+			i++
+			start := i
+			for i < n && input[i] != quote {
+				i++
+			}
+			if i >= n {
+				return nil, fmt.Errorf("sql: unterminated string at offset %d", start-1)
+			}
+			toks = append(toks, token{tokString, input[start:i], start})
+			i++
+		case c == '<' || c == '>' || c == '!':
+			start := i
+			i++
+			if i < n && (input[i] == '=' || (c == '<' && input[i] == '>')) {
+				i++
+			}
+			toks = append(toks, token{tokSymbol, input[start:i], start})
+		case strings.IndexByte("=(),*-", c) >= 0:
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		default:
+			return nil, fmt.Errorf("sql: unexpected character %q at offset %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", n})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

@@ -1,0 +1,269 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one aggregate query. See the package comment for the
+// accepted grammar.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	i    int
+}
+
+func (p *parser) cur() token  { return p.toks[p.i] }
+func (p *parser) next() token { t := p.toks[p.i]; p.i++; return t }
+
+// keyword reports whether the current token is the given keyword
+// (case-insensitive) and consumes it if so.
+func (p *parser) keyword(kw string) bool {
+	t := p.cur()
+	if t.kind == tokIdent && strings.EqualFold(t.text, kw) {
+		p.i++
+		return true
+	}
+	return false
+}
+
+// symbol consumes the given symbol or fails.
+func (p *parser) symbol(s string) error {
+	t := p.cur()
+	if t.kind == tokSymbol && t.text == s {
+		p.i++
+		return nil
+	}
+	return fmt.Errorf("sql: expected %q at offset %d, found %q", s, t.pos, t.text)
+}
+
+// ident consumes an identifier or fails.
+func (p *parser) ident() (string, error) {
+	t := p.cur()
+	if t.kind != tokIdent {
+		return "", fmt.Errorf("sql: expected identifier at offset %d, found %q", t.pos, t.text)
+	}
+	p.i++
+	return t.text, nil
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	if !p.keyword("SELECT") {
+		return nil, fmt.Errorf("sql: query must start with SELECT")
+	}
+	q := &Query{}
+	for {
+		sel, err := p.parseSelectExpr()
+		if err != nil {
+			return nil, err
+		}
+		q.Selects = append(q.Selects, sel)
+		if p.cur().kind == tokSymbol && p.cur().text == "," {
+			p.i++
+			continue
+		}
+		break
+	}
+	if p.keyword("FROM") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.From = name
+	}
+	if p.keyword("WHERE") {
+		for {
+			cond, err := p.parseCondition()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cond)
+			if p.keyword("AND") {
+				continue
+			}
+			break
+		}
+	}
+	if p.keyword("GROUP") {
+		if !p.keyword("BY") {
+			return nil, fmt.Errorf("sql: expected BY after GROUP at offset %d", p.cur().pos)
+		}
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		q.GroupBy = col
+	}
+	if t := p.cur(); t.kind != tokEOF {
+		return nil, fmt.Errorf("sql: unexpected %q at offset %d", t.text, t.pos)
+	}
+	return q, nil
+}
+
+var aggNames = map[string]AggFunc{
+	"COUNT": Count, "SUM": Sum, "AVG": Avg, "MIN": Min, "MAX": Max,
+	"MEDIAN": Median, "QUANTILE": Quantile,
+}
+
+func (p *parser) parseSelectExpr() (SelectExpr, error) {
+	name, err := p.ident()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	fn, ok := aggNames[strings.ToUpper(name)]
+	if !ok {
+		return SelectExpr{}, fmt.Errorf("sql: unknown aggregate %q", name)
+	}
+	if err := p.symbol("("); err != nil {
+		return SelectExpr{}, err
+	}
+	if fn == Count && p.cur().kind == tokSymbol && p.cur().text == "*" {
+		p.i++
+		if err := p.symbol(")"); err != nil {
+			return SelectExpr{}, err
+		}
+		return SelectExpr{Func: CountStar}, nil
+	}
+	col, err := p.ident()
+	if err != nil {
+		return SelectExpr{}, err
+	}
+	sel := SelectExpr{Func: fn, Column: col}
+	if fn == Quantile {
+		if err := p.symbol(","); err != nil {
+			return SelectExpr{}, err
+		}
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return SelectExpr{}, err
+		}
+		if lit.IsString {
+			return SelectExpr{}, fmt.Errorf("sql: QUANTILE needs a numeric quantile")
+		}
+		sel.Arg = lit.Num
+		if sel.Arg < 0 || sel.Arg > 1 {
+			return SelectExpr{}, fmt.Errorf("sql: quantile %g outside [0,1]", sel.Arg)
+		}
+	}
+	if err := p.symbol(")"); err != nil {
+		return SelectExpr{}, err
+	}
+	return sel, nil
+}
+
+func (p *parser) parseCondition() (Condition, error) {
+	col, err := p.ident()
+	if err != nil {
+		return Condition{}, err
+	}
+	t := p.cur()
+	switch {
+	case t.kind == tokSymbol:
+		var op CmpOp
+		switch t.text {
+		case "=":
+			op = OpEq
+		case "!=", "<>":
+			op = OpNe
+		case "<":
+			op = OpLt
+		case "<=":
+			op = OpLe
+		case ">":
+			op = OpGt
+		case ">=":
+			op = OpGe
+		default:
+			return Condition{}, fmt.Errorf("sql: unexpected operator %q at offset %d", t.text, t.pos)
+		}
+		p.i++
+		lit, err := p.parseLiteral()
+		if err != nil {
+			return Condition{}, err
+		}
+		return Condition{Column: col, Op: op, Lits: []Literal{lit}}, nil
+
+	case t.kind == tokIdent && strings.EqualFold(t.text, "BETWEEN"):
+		p.i++
+		lo, err := p.parseLiteral()
+		if err != nil {
+			return Condition{}, err
+		}
+		if !p.keyword("AND") {
+			return Condition{}, fmt.Errorf("sql: expected AND in BETWEEN at offset %d", p.cur().pos)
+		}
+		hi, err := p.parseLiteral()
+		if err != nil {
+			return Condition{}, err
+		}
+		return Condition{Column: col, Op: OpBetween, Lits: []Literal{lo, hi}}, nil
+
+	case t.kind == tokIdent && strings.EqualFold(t.text, "IN"):
+		p.i++
+		if err := p.symbol("("); err != nil {
+			return Condition{}, err
+		}
+		var lits []Literal
+		for {
+			lit, err := p.parseLiteral()
+			if err != nil {
+				return Condition{}, err
+			}
+			lits = append(lits, lit)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.i++
+				continue
+			}
+			break
+		}
+		if err := p.symbol(")"); err != nil {
+			return Condition{}, err
+		}
+		return Condition{Column: col, Op: OpIn, Lits: lits}, nil
+	}
+	return Condition{}, fmt.Errorf("sql: expected operator after %q at offset %d", col, t.pos)
+}
+
+func (p *parser) parseLiteral() (Literal, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokString:
+		p.i++
+		return Literal{IsString: true, Str: t.text}, nil
+	case tokNumber:
+		p.i++
+		v, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return Literal{}, fmt.Errorf("sql: bad number %q at offset %d", t.text, t.pos)
+		}
+		return Literal{Num: v}, nil
+	case tokSymbol:
+		if t.text == "-" {
+			p.i++
+			inner, err := p.parseLiteral()
+			if err != nil {
+				return Literal{}, err
+			}
+			if inner.IsString {
+				return Literal{}, fmt.Errorf("sql: cannot negate a string at offset %d", t.pos)
+			}
+			inner.Num = -inner.Num
+			inner.Neg = true
+			return inner, nil
+		}
+	}
+	return Literal{}, fmt.Errorf("sql: expected literal at offset %d, found %q", t.pos, t.text)
+}

@@ -1,0 +1,158 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBasicSelect(t *testing.T) {
+	q, err := Parse("SELECT SUM(price), COUNT(*) WHERE qty < 24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Selects) != 2 {
+		t.Fatalf("selects = %d", len(q.Selects))
+	}
+	if q.Selects[0].Func != Sum || q.Selects[0].Column != "price" {
+		t.Errorf("first select = %+v", q.Selects[0])
+	}
+	if q.Selects[1].Func != CountStar {
+		t.Errorf("second select = %+v", q.Selects[1])
+	}
+	if len(q.Where) != 1 || q.Where[0].Op != OpLt || q.Where[0].Column != "qty" ||
+		q.Where[0].Lits[0].Num != 24 {
+		t.Errorf("where = %+v", q.Where)
+	}
+}
+
+func TestParseAllAggregates(t *testing.T) {
+	q, err := Parse("select count(a), sum(b), avg(c), min(d), max(e), median(f), quantile(g, 0.95)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []AggFunc{Count, Sum, Avg, Min, Max, Median, Quantile}
+	for i, fn := range want {
+		if q.Selects[i].Func != fn {
+			t.Errorf("select %d: %v, want %v", i, q.Selects[i].Func, fn)
+		}
+	}
+	if q.Selects[6].Arg != 0.95 {
+		t.Errorf("quantile arg = %v", q.Selects[6].Arg)
+	}
+}
+
+func TestParseOperators(t *testing.T) {
+	q, err := Parse(`SELECT COUNT(*) WHERE a = 1 AND b != 2 AND c <> 3 AND d < 4
+		AND e <= 5 AND f > 6 AND g >= 7 AND h BETWEEN 8 AND 9 AND i IN (1, 2, 3)
+		AND s = 'hello' AND t != "world"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []CmpOp{OpEq, OpNe, OpNe, OpLt, OpLe, OpGt, OpGe, OpBetween, OpIn, OpEq, OpNe}
+	if len(q.Where) != len(ops) {
+		t.Fatalf("conditions = %d, want %d", len(q.Where), len(ops))
+	}
+	for i, op := range ops {
+		if q.Where[i].Op != op {
+			t.Errorf("cond %d op = %d, want %d", i, int(q.Where[i].Op), int(op))
+		}
+	}
+	if got := q.Where[7].Lits; got[0].Num != 8 || got[1].Num != 9 {
+		t.Errorf("between lits = %+v", got)
+	}
+	if got := q.Where[8].Lits; len(got) != 3 || got[2].Num != 3 {
+		t.Errorf("in lits = %+v", got)
+	}
+	if !q.Where[9].Lits[0].IsString || q.Where[9].Lits[0].Str != "hello" {
+		t.Errorf("string lit = %+v", q.Where[9].Lits[0])
+	}
+}
+
+func TestParseGroupByAndFrom(t *testing.T) {
+	q, err := Parse("SELECT SUM(v) FROM sales WHERE v > 0 GROUP BY region")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.From != "sales" || q.GroupBy != "region" {
+		t.Errorf("from=%q groupby=%q", q.From, q.GroupBy)
+	}
+}
+
+func TestParseNegativeAndFloatLiterals(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) WHERE a >= -12.5 AND b < 0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Where[0].Lits[0].Num != -12.5 || !q.Where[0].Lits[0].Neg {
+		t.Errorf("negative literal = %+v", q.Where[0].Lits[0])
+	}
+	if q.Where[1].Lits[0].Num != 0.25 {
+		t.Errorf("float literal = %+v", q.Where[1].Lits[0])
+	}
+}
+
+func TestParseCaseInsensitiveKeywords(t *testing.T) {
+	if _, err := Parse("select Sum(x) where X between 1 and 2 group by Y"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"FROM t",
+		"SELECT",
+		"SELECT frobnicate(x)",
+		"SELECT SUM(x,)",
+		"SELECT SUM(x) WHERE",
+		"SELECT SUM(x) WHERE a",
+		"SELECT SUM(x) WHERE a = ",
+		"SELECT SUM(x) WHERE a BETWEEN 1",
+		"SELECT SUM(x) WHERE a BETWEEN 1 OR 2",
+		"SELECT SUM(x) WHERE a IN ()",
+		"SELECT SUM(x) WHERE a IN (1",
+		"SELECT SUM(x) GROUP region",
+		"SELECT SUM(x) trailing garbage",
+		"SELECT QUANTILE(x, 1.5)",
+		"SELECT QUANTILE(x, 'a')",
+		"SELECT SUM(x) WHERE s = 'unterminated",
+		"SELECT COUNT(*) WHERE a = -'x'",
+		"SELECT SUM(x) WHERE a @ 3",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSelectLabel(t *testing.T) {
+	cases := []struct {
+		sel  SelectExpr
+		want string
+	}{
+		{SelectExpr{Func: CountStar}, "count(*)"},
+		{SelectExpr{Func: Sum, Column: "x"}, "sum(x)"},
+		{SelectExpr{Func: Quantile, Column: "lat", Arg: 0.99}, "quantile(lat,0.99)"},
+	}
+	for _, c := range cases {
+		if got := c.sel.Label(); got != c.want {
+			t.Errorf("Label = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestLexerTokens(t *testing.T) {
+	toks, err := lex("a <= 'b c' 1.5 <> (x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var texts []string
+	for _, tk := range toks[:len(toks)-1] {
+		texts = append(texts, tk.text)
+	}
+	want := []string{"a", "<=", "b c", "1.5", "<>", "(", "x", ")"}
+	if strings.Join(texts, "|") != strings.Join(want, "|") {
+		t.Errorf("tokens = %v, want %v", texts, want)
+	}
+}

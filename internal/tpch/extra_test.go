@@ -1,0 +1,46 @@
+package tpch
+
+import (
+	"testing"
+
+	"bpagg/internal/nbp"
+	"bpagg/internal/parallel"
+)
+
+func TestOpAndLayoutStrings(t *testing.T) {
+	want := map[AggOp]string{
+		Sum: "SUM", Avg: "AVG", CountOp: "COUNT", Max: "MAX", Median: "MEDIAN",
+	}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("AggOp %d String = %q", int(op), op.String())
+		}
+	}
+	if VBP.String() != "VBP" || HBP.String() != "HBP" {
+		t.Error("layout names wrong")
+	}
+}
+
+func TestMedianAggOp(t *testing.T) {
+	// No Table II query uses MEDIAN, but the runner supports it; exercise
+	// it with a synthetic query on both layouts.
+	q := Query{
+		Name: "QM", Selectivity: 0.5,
+		Filters: []FilterSpec{{"f", 10, 0.5}},
+		Aggs:    []AggSpec{{"m", Median, 12}, {"c", CountOp, 0}},
+	}
+	for _, layout := range []Layout{VBP, HBP} {
+		inst := Build(q, layout, 20000, 9)
+		f := inst.Scan()
+		bp := inst.RunAggBP(f, parallel.Options{})
+		nb := inst.RunAggNBP(f, nbp.Options{})
+		for i := range bp {
+			if bp[i] != nb[i] {
+				t.Errorf("%v agg %d: BP %+v NBP %+v", layout, i, bp[i], nb[i])
+			}
+		}
+		if !bp[0].Ok {
+			t.Errorf("%v median not ok", layout)
+		}
+	}
+}

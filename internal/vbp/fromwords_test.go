@@ -1,0 +1,54 @@
+package vbp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAccessors(t *testing.T) {
+	c := Pack([]uint64{1, 2, 3}, 10, 4)
+	if c.K() != 10 || c.Tau() != 4 {
+		t.Errorf("K=%d Tau=%d", c.K(), c.Tau())
+	}
+}
+
+func TestFromWordsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	vals := randValues(rng, 200, 13)
+	orig := Pack(vals, 13, 4)
+	groups := make([][]uint64, orig.NumGroups())
+	for g := range groups {
+		groups[g] = append([]uint64(nil), orig.Groups()[g].Words...)
+	}
+	got, err := FromWords(13, 4, 200, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range vals {
+		if got.At(i) != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got.At(i), want)
+		}
+	}
+}
+
+func TestFromWordsValidation(t *testing.T) {
+	orig := Pack([]uint64{1, 2, 3}, 8, 4)
+	good := func() [][]uint64 {
+		groups := make([][]uint64, orig.NumGroups())
+		for g := range groups {
+			groups[g] = append([]uint64(nil), orig.Groups()[g].Words...)
+		}
+		return groups
+	}
+	if _, err := FromWords(8, 4, -1, good()); err == nil {
+		t.Error("negative length accepted")
+	}
+	if _, err := FromWords(8, 4, 3, good()[:1]); err == nil {
+		t.Error("missing group accepted")
+	}
+	short := good()
+	short[1] = short[1][:2]
+	if _, err := FromWords(8, 4, 3, short); err == nil {
+		t.Error("short group accepted")
+	}
+}

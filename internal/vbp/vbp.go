@@ -1,0 +1,303 @@
+// Package vbp implements the Vertical Bit Packing storage layout (paper
+// §II-A, §II-C; BitWeaving/V of Li & Patel).
+//
+// A column of k-bit values is stored one bit position per processor word: a
+// segment holds 64 consecutive tuples, and word i of the segment carries bit
+// i (counting from the most significant bit of the value) of all 64 tuples.
+// Tuple j of the segment occupies bit j (LSB-first) of every word, matching
+// the filter-bit-vector convention of package bitvec.
+//
+// For the cache-line optimization of §II-C the k bit positions are split
+// into bit-groups of tau bits. All words of one bit-group are stored
+// contiguously (segment-major within the group), so a scan that prunes every
+// tuple after the first group never touches the memory of later groups.
+// The last group may be ragged (k - (B-1)*tau bits).
+package vbp
+
+import (
+	"fmt"
+
+	"bpagg/internal/word"
+)
+
+// SegBits is the number of tuples per VBP segment (one per bit of a word).
+const SegBits = 64
+
+// Group is one bit-group: a contiguous run of bit positions of the value,
+// stored as numSegments*Bits words.
+type Group struct {
+	// StartBit is the first bit position of the group, counting from 0 at
+	// the value's most significant bit.
+	StartBit int
+	// Bits is the number of bit positions in the group (tau, except for a
+	// ragged last group).
+	Bits int
+	// Words holds the group's data, indexed [seg*Bits + b] where b is the
+	// bit position within the group.
+	Words []uint64
+}
+
+// Column is a VBP-packed column of n values of k bits each.
+type Column struct {
+	k      int
+	tau    int
+	n      int
+	groups []Group
+	// Per-segment zone map: the min and max value of each segment,
+	// maintained on append. Scans prune segments whose range cannot
+	// intersect a predicate (and emit all-match words when it is
+	// contained), which pays off heavily on sorted or clustered data.
+	zMin, zMax []uint64
+}
+
+// New returns an empty VBP column for k-bit values with bit-groups of tau
+// bits. k must be in [1, 64] and tau in [1, k].
+func New(k, tau int) *Column {
+	if k < 1 || k > 64 {
+		panic(fmt.Sprintf("vbp: value width %d out of range [1,64]", k))
+	}
+	if tau < 1 || tau > k {
+		panic(fmt.Sprintf("vbp: bit-group size %d out of range [1,%d]", tau, k))
+	}
+	b := (k + tau - 1) / tau
+	groups := make([]Group, b)
+	for g := range groups {
+		groups[g].StartBit = g * tau
+		groups[g].Bits = tau
+	}
+	groups[b-1].Bits = k - (b-1)*tau
+	return &Column{k: k, tau: tau, groups: groups}
+}
+
+// Pack builds a VBP column from plain values. Every value must fit in k
+// bits.
+func Pack(values []uint64, k, tau int) *Column {
+	c := New(k, tau)
+	c.Append(values...)
+	return c
+}
+
+// FromWords adopts raw group word slices as an n-value column — the
+// deserialization path. groups[g] must hold NumSegments*Bits(g) words in
+// the layout documented on Group.
+func FromWords(k, tau, n int, groups [][]uint64) (*Column, error) {
+	c := New(k, tau)
+	if n < 0 {
+		return nil, fmt.Errorf("vbp: negative length %d", n)
+	}
+	c.n = n
+	if len(groups) != len(c.groups) {
+		return nil, fmt.Errorf("vbp: %d groups, want %d", len(groups), len(c.groups))
+	}
+	nseg := c.NumSegments()
+	for g := range c.groups {
+		if want := nseg * c.groups[g].Bits; len(groups[g]) != want {
+			return nil, fmt.Errorf("vbp: group %d has %d words, want %d", g, len(groups[g]), want)
+		}
+		c.groups[g].Words = groups[g]
+	}
+	return c, nil
+}
+
+// K returns the value width in bits.
+func (c *Column) K() int { return c.k }
+
+// Tau returns the bit-group size.
+func (c *Column) Tau() int { return c.tau }
+
+// Len returns the number of values in the column.
+func (c *Column) Len() int { return c.n }
+
+// NumSegments returns the number of 64-tuple segments (the last may be
+// partially filled; its unused tuple slots are zero).
+func (c *Column) NumSegments() int { return (c.n + SegBits - 1) / SegBits }
+
+// NumGroups returns the number of bit-groups B.
+func (c *Column) NumGroups() int { return len(c.groups) }
+
+// Groups exposes the bit-groups. Callers must not resize the slices.
+func (c *Column) Groups() []Group { return c.groups }
+
+// Word returns the word of bit position b (within group g) of segment seg.
+func (c *Column) Word(g, seg, b int) uint64 {
+	return c.groups[g].Words[seg*c.groups[g].Bits+b]
+}
+
+// Append adds values to the column. Each value must fit in k bits.
+//
+// Runs of 64 values starting at a segment boundary take the bulk path: one
+// 64x64 bit-matrix transpose yields all bit-position words of the segment
+// at once (~6 word operations per row instead of k single-bit deposits per
+// value).
+func (c *Column) Append(values ...uint64) {
+	max := word.LowMask(c.k)
+	i := 0
+	for i < len(values) {
+		if c.n%SegBits == 0 && len(values)-i >= SegBits {
+			c.appendSegment(values[i:i+SegBits], max)
+			i += SegBits
+			continue
+		}
+		c.appendOne(values[i], max)
+		i++
+	}
+}
+
+// appendSegment packs exactly one full segment via transpose.
+func (c *Column) appendSegment(vals []uint64, max uint64) {
+	var m [64]uint64
+	lo, hi := vals[0], vals[0]
+	for j, v := range vals {
+		if v > max {
+			panic(fmt.Sprintf("vbp: value %d does not fit in %d bits", v, c.k))
+		}
+		m[j] = v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	c.ensureZones(c.n / SegBits)
+	c.zMin = append(c.zMin, lo)
+	c.zMax = append(c.zMax, hi)
+	word.Transpose64(&m)
+	// Now m[b] holds, at bit j, bit b (LSB-indexed) of value j; the word
+	// for bit position p (0 = MSB) is therefore m[k-1-p].
+	for g := range c.groups {
+		gr := &c.groups[g]
+		for b := 0; b < gr.Bits; b++ {
+			gr.Words = append(gr.Words, m[c.k-1-(gr.StartBit+b)])
+		}
+	}
+	c.n += SegBits
+}
+
+// appendOne is the single-value path for partial segments.
+func (c *Column) appendOne(v, max uint64) {
+	if v > max {
+		panic(fmt.Sprintf("vbp: value %d does not fit in %d bits", v, c.k))
+	}
+	seg, slot := c.n/SegBits, uint(c.n%SegBits)
+	if slot == 0 {
+		for g := range c.groups {
+			gr := &c.groups[g]
+			gr.Words = append(gr.Words, make([]uint64, gr.Bits)...)
+		}
+		c.ensureZones(seg)
+		c.zMin = append(c.zMin, v)
+		c.zMax = append(c.zMax, v)
+	} else {
+		c.ensureZones(seg + 1)
+		if v < c.zMin[seg] {
+			c.zMin[seg] = v
+		}
+		if v > c.zMax[seg] {
+			c.zMax[seg] = v
+		}
+	}
+	for g := range c.groups {
+		gr := &c.groups[g]
+		base := seg * gr.Bits
+		for b := 0; b < gr.Bits; b++ {
+			bitPos := gr.StartBit + b // 0 = MSB of the value
+			if v>>(uint(c.k-1-bitPos))&1 == 1 {
+				gr.Words[base+b] |= 1 << slot
+			}
+		}
+	}
+	c.n++
+}
+
+// At reconstructs value i to plain form. It is the per-value reconstruction
+// path whose cost the paper's bit-parallel algorithms avoid; aggregation
+// code uses it only for the O(w) finalist values of MIN/MAX.
+func (c *Column) At(i int) uint64 {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("vbp: index %d out of range [0,%d)", i, c.n))
+	}
+	seg, slot := i/SegBits, uint(i%SegBits)
+	var v uint64
+	for g := range c.groups {
+		gr := &c.groups[g]
+		base := seg * gr.Bits
+		for b := 0; b < gr.Bits; b++ {
+			bit := gr.Words[base+b] >> slot & 1
+			v |= bit << uint(c.k-1-(gr.StartBit+b))
+		}
+	}
+	return v
+}
+
+// Unpack reconstructs the whole column to plain form (for tests and
+// debugging).
+func (c *Column) Unpack() []uint64 {
+	out := make([]uint64, c.n)
+	for i := range out {
+		out[i] = c.At(i)
+	}
+	return out
+}
+
+// SegmentValues returns how many tuples of segment seg hold real data (64
+// for all but possibly the last segment).
+func (c *Column) SegmentValues(seg int) int {
+	if seg == c.NumSegments()-1 {
+		if r := c.n % SegBits; r != 0 {
+			return r
+		}
+	}
+	return SegBits
+}
+
+// Zones exposes the per-segment zone arrays for serialization; both are
+// nil or shorter than NumSegments when zones are (partially) untracked.
+func (c *Column) Zones() (zMin, zMax []uint64) { return c.zMin, c.zMax }
+
+// SetZones adopts zone arrays (the deserialization path). Lengths must
+// equal NumSegments and every range must be ordered and fit in k bits.
+func (c *Column) SetZones(zMin, zMax []uint64) error {
+	nseg := c.NumSegments()
+	if len(zMin) != nseg || len(zMax) != nseg {
+		return fmt.Errorf("%s: zone arrays have %d/%d entries, want %d", "vbp", len(zMin), len(zMax), nseg)
+	}
+	max := word.LowMask(c.k)
+	for i := range zMin {
+		if zMin[i] > zMax[i] || zMax[i] > max {
+			return fmt.Errorf("%s: invalid zone [%d, %d] at segment %d", "vbp", zMin[i], zMax[i], i)
+		}
+	}
+	c.zMin, c.zMax = zMin, zMax
+	return nil
+}
+
+// ZoneRange returns the minimum and maximum value stored in segment seg.
+// ok is false when no zone is tracked for the segment (columns adopted via
+// FromWords carry no zones); callers must then assume the full k-bit range.
+func (c *Column) ZoneRange(seg int) (lo, hi uint64, ok bool) {
+	if seg >= len(c.zMin) {
+		return 0, word.LowMask(c.k), false
+	}
+	return c.zMin[seg], c.zMax[seg], true
+}
+
+// ensureZones pads conservative full-range zones for segments [len, upto)
+// — needed when appends resume on a column adopted via FromWords.
+func (c *Column) ensureZones(upto int) {
+	for len(c.zMin) < upto {
+		c.zMin = append(c.zMin, 0)
+		c.zMax = append(c.zMax, word.LowMask(c.k))
+	}
+}
+
+// MemoryWords returns the number of 64-bit words backing the column,
+// used by space-efficiency reporting (VBP stores exactly k bits per value,
+// §II-D).
+func (c *Column) MemoryWords() int {
+	var t int
+	for g := range c.groups {
+		t += len(c.groups[g].Words)
+	}
+	return t
+}

@@ -1,0 +1,207 @@
+package vbp
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/word"
+)
+
+func randValues(rng *rand.Rand, n, k int) []uint64 {
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = rng.Uint64() & word.LowMask(k)
+	}
+	return v
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, k := range []int{1, 2, 7, 8, 25, 33, 63, 64} {
+		for _, tau := range []int{1, 2, 4, k} {
+			if tau > k {
+				continue
+			}
+			for _, n := range []int{0, 1, 63, 64, 65, 200} {
+				vals := randValues(rng, n, k)
+				c := Pack(vals, k, tau)
+				if c.Len() != n {
+					t.Fatalf("k=%d tau=%d n=%d: Len=%d", k, tau, n, c.Len())
+				}
+				got := c.Unpack()
+				for i := range vals {
+					if got[i] != vals[i] {
+						t.Fatalf("k=%d tau=%d n=%d: value %d = %d, want %d",
+							k, tau, n, i, got[i], vals[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestGroupShape(t *testing.T) {
+	c := New(25, 4)
+	if c.NumGroups() != 7 {
+		t.Fatalf("k=25 tau=4: NumGroups=%d, want 7", c.NumGroups())
+	}
+	groups := c.Groups()
+	for g := 0; g < 6; g++ {
+		if groups[g].Bits != 4 {
+			t.Errorf("group %d bits = %d, want 4", g, groups[g].Bits)
+		}
+		if groups[g].StartBit != g*4 {
+			t.Errorf("group %d start = %d", g, groups[g].StartBit)
+		}
+	}
+	if groups[6].Bits != 1 {
+		t.Errorf("ragged last group bits = %d, want 1", groups[6].Bits)
+	}
+}
+
+func TestSegmentLayout(t *testing.T) {
+	// 64 values whose bit pattern we can predict: value j = j (6 bits).
+	vals := make([]uint64, 64)
+	for j := range vals {
+		vals[j] = uint64(j)
+	}
+	c := Pack(vals, 6, 3)
+	if c.NumSegments() != 1 {
+		t.Fatalf("NumSegments = %d", c.NumSegments())
+	}
+	// Word of bit position p holds bit (k-1-p of the value) of each tuple at
+	// tuple position j.
+	for p := 0; p < 6; p++ {
+		g, b := p/3, p%3
+		w := c.Word(g, 0, b)
+		for j := 0; j < 64; j++ {
+			want := uint64(j) >> uint(6-1-p) & 1
+			if w>>uint(j)&1 != want {
+				t.Fatalf("bit position %d tuple %d: got %d want %d", p, j, w>>uint(j)&1, want)
+			}
+		}
+	}
+}
+
+func TestSegmentValues(t *testing.T) {
+	c := Pack(randValues(rand.New(rand.NewSource(1)), 130, 8), 8, 4)
+	if c.NumSegments() != 3 {
+		t.Fatalf("NumSegments = %d", c.NumSegments())
+	}
+	if c.SegmentValues(0) != 64 || c.SegmentValues(1) != 64 {
+		t.Error("full segments should report 64 values")
+	}
+	if c.SegmentValues(2) != 2 {
+		t.Errorf("tail segment values = %d, want 2", c.SegmentValues(2))
+	}
+	full := Pack(randValues(rand.New(rand.NewSource(2)), 128, 8), 8, 4)
+	if full.SegmentValues(1) != 64 {
+		t.Error("exactly-full tail segment should report 64")
+	}
+}
+
+func TestMemoryWords(t *testing.T) {
+	// 128 values of 10 bits: 2 segments * 10 words = exactly k bits/value.
+	c := Pack(randValues(rand.New(rand.NewSource(3)), 128, 10), 10, 4)
+	if got := c.MemoryWords(); got != 20 {
+		t.Errorf("MemoryWords = %d, want 20", got)
+	}
+}
+
+func TestAppendIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := New(12, 4)
+	var ref []uint64
+	for i := 0; i < 150; i++ {
+		v := rng.Uint64() & word.LowMask(12)
+		c.Append(v)
+		ref = append(ref, v)
+		if c.At(i) != v {
+			t.Fatalf("At(%d) immediately after append: got %d want %d", i, c.At(i), v)
+		}
+	}
+	for i, want := range ref {
+		if got := c.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestInvalidParamsPanic(t *testing.T) {
+	cases := []struct{ k, tau int }{{0, 1}, {65, 4}, {8, 0}, {8, 9}}
+	for _, c := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d) did not panic", c.k, c.tau)
+				}
+			}()
+			New(c.k, c.tau)
+		}()
+	}
+}
+
+func TestOversizedValuePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append of oversized value did not panic")
+		}
+	}()
+	New(4, 2).Append(16)
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	c := Pack([]uint64{1, 2, 3}, 4, 2)
+	for _, i := range []int{-1, 3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", i)
+				}
+			}()
+			c.At(i)
+		}()
+	}
+}
+
+func TestBulkAppendMatchesIncremental(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, k := range []int{1, 7, 25, 64} {
+		vals := randValues(rng, 300, k)
+		tau := 4
+		if tau > k {
+			tau = k
+		}
+		bulk := Pack(vals, k, tau)
+		one := New(k, tau)
+		for _, v := range vals {
+			one.Append(v)
+		}
+		for g := range bulk.groups {
+			for wi := range bulk.groups[g].Words {
+				if bulk.groups[g].Words[wi] != one.groups[g].Words[wi] {
+					t.Fatalf("k=%d: word (%d,%d) differs between bulk and incremental", k, g, wi)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPackBulk(b *testing.B) {
+	vals := randValues(rand.New(rand.NewSource(1)), 1<<16, 25)
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		Pack(vals, 25, 4)
+	}
+}
+
+func BenchmarkPackIncremental(b *testing.B) {
+	vals := randValues(rand.New(rand.NewSource(1)), 1<<16, 25)
+	b.SetBytes(int64(len(vals) * 8))
+	for i := 0; i < b.N; i++ {
+		c := New(25, 4)
+		for _, v := range vals {
+			c.Append(v)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+package wide
+
+import (
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/hbp"
+	"bpagg/internal/word"
+)
+
+// HBPSum computes SUM over an HBP column with four independent 64-bit
+// algorithm instances per loop iteration (the paper's SIMD mapping for
+// HBP).
+func HBPSum(col *hbp.Column, f *bitvec.Bitmap) uint64 {
+	return HBPSumRange(col, f, 0, col.NumSegments())
+}
+
+// HBPSumRange is the wide Algorithm 4 over segments [segLo, segHi): each of
+// four consecutive segments runs its own GET-VALUE-FILTER and IN-WORD-SUM
+// chain, giving the scheduler four independent dependency chains.
+func HBPSumRange(col *hbp.Column, f *bitvec.Bitmap, segLo, segHi int) uint64 {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	vps := col.ValuesPerSegment()
+	summer := word.NewSummer(tau, col.FieldsPerWord())
+	aligned := vps == 64
+
+	sums := make([]uint64, b)
+	gws := make([][]uint64, b)
+	for g := range gws {
+		gws[g] = col.GroupWords(g)
+	}
+	fast := summer.Fast()
+	flush, fsh, fin, keep, mul := summer.Consts()
+	peelV, peelF := summer.PeelMasks()
+	fold := func(w uint64) uint64 {
+		x := (w &^ peelF) << flush
+		x += x >> fsh
+		x &= keep
+		return (x*mul)>>fin + w&peelV
+	}
+	seg := segLo
+	for ; seg+4 <= segHi; seg += 4 {
+		var fv Vec
+		if aligned {
+			fv = Vec{f.Word(seg), f.Word(seg + 1), f.Word(seg + 2), f.Word(seg + 3)}
+		} else {
+			for l := 0; l < 4; l++ {
+				fv[l] = f.Extract((seg+l)*vps, vps)
+			}
+		}
+		if fv.IsZero() {
+			continue
+		}
+		for t := 0; t < subs; t++ {
+			var md Vec
+			for l := 0; l < 4; l++ {
+				md[l] = col.SubSegmentDelims(fv[l], t)
+			}
+			if md.IsZero() {
+				continue
+			}
+			var m Vec
+			for l := 0; l < 4; l++ {
+				m[l] = word.SpreadDelims(md[l], tau)
+			}
+			if fast {
+				for g := 0; g < b; g++ {
+					gw := gws[g]
+					sums[g] += fold(gw[(seg+0)*subs+t]&m[0]) +
+						fold(gw[(seg+1)*subs+t]&m[1]) +
+						fold(gw[(seg+2)*subs+t]&m[2]) +
+						fold(gw[(seg+3)*subs+t]&m[3])
+				}
+			} else {
+				for g := 0; g < b; g++ {
+					gw := gws[g]
+					sums[g] += summer.Sum(gw[(seg+0)*subs+t]&m[0]) +
+						summer.Sum(gw[(seg+1)*subs+t]&m[1]) +
+						summer.Sum(gw[(seg+2)*subs+t]&m[2]) +
+						summer.Sum(gw[(seg+3)*subs+t]&m[3])
+				}
+			}
+		}
+	}
+	var sum uint64
+	for g := 0; g < b; g++ {
+		sum += sums[g] << uint((b-1-g)*tau)
+	}
+	if seg < segHi {
+		sum += core.HBPSumRange(col, f, seg, segHi)
+	}
+	return sum
+}
+
+// HBPMin computes MIN with four wide lanes; ok is false when no tuple
+// passes.
+func HBPMin(col *hbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return hbpExtreme(col, f, true)
+}
+
+// HBPMax computes MAX with four wide lanes.
+func HBPMax(col *hbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return hbpExtreme(col, f, false)
+}
+
+func hbpExtreme(col *hbp.Column, f *bitvec.Bitmap, wantMin bool) (uint64, bool) {
+	if f.Len() != col.Len() {
+		panic("wide: filter length does not match column length")
+	}
+	if !f.Any() {
+		return 0, false
+	}
+	temps := NewHBPExtremeTemps(col, wantMin)
+	HBPFoldExtremeRange(col, f, &temps, wantMin, 0, col.NumSegments())
+	return core.HBPFinishExtreme(col, temps[:], wantMin), true
+}
+
+// HBPExtremeTemps holds the four per-lane running extreme sub-segments.
+type HBPExtremeTemps [4][]uint64
+
+// NewHBPExtremeTemps allocates identity-initialized lane temps.
+func NewHBPExtremeTemps(col *hbp.Column, wantMin bool) HBPExtremeTemps {
+	var t HBPExtremeTemps
+	for l := range t {
+		t[l] = core.NewHBPExtremeTemp(col, wantMin)
+	}
+	return t
+}
+
+// HBPFoldExtremeRange folds segments [segLo, segHi) into the lane temps:
+// lane l of each 4-segment block runs an independent SUB-SLOTMIN instance.
+func HBPFoldExtremeRange(col *hbp.Column, f *bitvec.Bitmap, temps *HBPExtremeTemps, wantMin bool, segLo, segHi int) {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	vps := col.ValuesPerSegment()
+	delim := col.DelimMask()
+	aligned := vps == 64
+
+	var x [4][]uint64
+	for l := range x {
+		x[l] = make([]uint64, b)
+	}
+	seg := segLo
+	for ; seg+4 <= segHi; seg += 4 {
+		var fv Vec
+		if aligned {
+			fv = Vec{f.Word(seg), f.Word(seg + 1), f.Word(seg + 2), f.Word(seg + 3)}
+		} else {
+			for l := 0; l < 4; l++ {
+				fv[l] = f.Extract((seg+l)*vps, vps)
+			}
+		}
+		if fv.IsZero() {
+			continue
+		}
+		for t := 0; t < subs; t++ {
+			var md Vec
+			for l := 0; l < 4; l++ {
+				md[l] = col.SubSegmentDelims(fv[l], t)
+			}
+			if md.IsZero() {
+				continue
+			}
+			for g := 0; g < b; g++ {
+				gw := col.GroupWords(g)
+				for l := 0; l < 4; l++ {
+					x[l][g] = gw[(seg+l)*subs+t]
+				}
+			}
+			// Four staged delimiter-lane comparisons in lockstep.
+			eq := Vec{delim, delim, delim, delim}
+			var sel Vec
+			for g := 0; g < b; g++ {
+				for l := 0; l < 4; l++ {
+					var lg uint64
+					if wantMin {
+						lg = word.LTDelims(x[l][g], temps[l][g], delim)
+					} else {
+						lg = word.GTDelims(x[l][g], temps[l][g], delim)
+					}
+					sel[l] |= eq[l] & lg
+					eq[l] &= word.EQDelims(x[l][g], temps[l][g], delim)
+				}
+				if eq.IsZero() {
+					break
+				}
+			}
+			sel = sel.And(md)
+			if sel.IsZero() {
+				continue
+			}
+			var m Vec
+			for l := 0; l < 4; l++ {
+				m[l] = word.SpreadDelims(sel[l], tau)
+			}
+			for g := 0; g < b; g++ {
+				for l := 0; l < 4; l++ {
+					temps[l][g] = word.Blend(m[l], x[l][g], temps[l][g])
+				}
+			}
+		}
+	}
+	if seg < segHi {
+		core.HBPFoldExtreme(col, f, temps[0], wantMin, seg, segHi)
+	}
+}
+
+// HBPMedian computes the lower MEDIAN with wide lanes.
+func HBPMedian(col *hbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	u := core.Count(f)
+	if u == 0 {
+		return 0, false
+	}
+	return HBPRank(col, f, (u+1)/2)
+}
+
+// HBPRank computes the r-th smallest filtered value. The histogram build
+// walks candidate slots scalar-wise exactly as Algorithm 6 does; the
+// refinement phase (full-word BIT-PARALLEL-EQUAL) runs four segments per
+// iteration.
+func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64) (uint64, bool) {
+	if f.Len() != col.Len() {
+		panic("wide: filter length does not match column length")
+	}
+	u := core.Count(f)
+	if r == 0 || r > u {
+		return 0, false
+	}
+	nseg := col.NumSegments()
+	v := core.NewHBPCandidates(col, f, nseg)
+	b := col.NumGroups()
+	tau := col.Tau()
+	chunks := core.HBPChunks(tau)
+
+	histBits := tau
+	if histBits > core.MaxHistBits {
+		histBits = core.MaxHistBits
+	}
+	hist := make([]uint64, 1<<uint(histBits))
+	var m uint64
+	for g := 0; g < b; g++ {
+		for ci, ch := range chunks {
+			shift, width := ch[0], ch[1]
+			hw := hist[:1<<uint(width)]
+			for i := range hw {
+				hw[i] = 0
+			}
+			core.HBPHistogramChunk(col, v, g, shift, width, 0, nseg, hw)
+			var cum uint64
+			bin := 0
+			for i, h := range hw {
+				if cum+h >= r {
+					bin = i
+					break
+				}
+				cum += h
+			}
+			r -= cum
+			m = m<<uint(width) | uint64(bin)
+			if g == b-1 && ci == len(chunks)-1 {
+				break
+			}
+			HBPRankRefineChunkRange(col, v, g, shift, width, uint64(bin), 0, nseg)
+		}
+	}
+	return m, true
+}
+
+// HBPRankRefineChunkRange is the wide candidate-refinement phase of
+// Algorithm 6, four segments per iteration.
+func HBPRankRefineChunkRange(col *hbp.Column, v []uint64, g, shift, width int, bin uint64, segLo, segHi int) {
+	subs := col.SubSegments()
+	delim := col.DelimMask()
+	c := col.FieldsPerWord()
+	fWidth := col.FieldWidth()
+	laneMask := word.Repeat(word.LowMask(width)<<uint(shift), fWidth, c)
+	binPacked := word.Repeat(bin<<uint(shift), fWidth, c)
+	gw := col.GroupWords(g)
+	seg := segLo
+	for ; seg+4 <= segHi; seg += 4 {
+		vv := Vec{v[seg], v[seg+1], v[seg+2], v[seg+3]}
+		if vv.IsZero() {
+			continue
+		}
+		var nw Vec
+		for t := 0; t < subs; t++ {
+			for l := 0; l < 4; l++ {
+				md := col.SubSegmentDelims(vv[l], t)
+				if md == 0 {
+					continue
+				}
+				lanes := word.EQDelims(gw[(seg+l)*subs+t]&laneMask, binPacked, delim) & md
+				nw[l] |= col.ScatterDelims(lanes, t)
+			}
+		}
+		v[seg], v[seg+1], v[seg+2], v[seg+3] = nw[0], nw[1], nw[2], nw[3]
+	}
+	if seg < segHi {
+		core.HBPRankRefineChunk(col, v, g, shift, width, bin, seg, segHi)
+	}
+}
+
+// HBPAvg computes AVG = SUM / COUNT with wide lanes.
+func HBPAvg(col *hbp.Column, f *bitvec.Bitmap) (float64, bool) {
+	cnt := core.Count(f)
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(HBPSum(col, f)) / float64(cnt), true
+}

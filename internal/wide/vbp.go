@@ -1,0 +1,245 @@
+package wide
+
+import (
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+// VBPSum computes SUM over a VBP column with 256-bit wide words.
+func VBPSum(col *vbp.Column, f *bitvec.Bitmap) uint64 {
+	return VBPSumRange(col, f, 0, col.NumSegments())
+}
+
+// VBPSumRange is the wide-word Algorithm 1 over segments [segLo, segHi):
+// four consecutive segments form one 256-value segment, and each bit
+// position contributes one wide POPCNT of W AND F.
+func VBPSumRange(col *vbp.Column, f *bitvec.Bitmap, segLo, segHi int) uint64 {
+	k := col.K()
+	bSum := make([]uint64, k)
+	groups := col.Groups()
+	seg := segLo
+	for ; seg+4 <= segHi; seg += 4 {
+		fv := Vec{f.Word(seg), f.Word(seg + 1), f.Word(seg + 2), f.Word(seg + 3)}
+		if fv.IsZero() {
+			continue
+		}
+		for g := range groups {
+			gr := &groups[g]
+			b0 := (seg + 0) * gr.Bits
+			b1 := (seg + 1) * gr.Bits
+			b2 := (seg + 2) * gr.Bits
+			b3 := (seg + 3) * gr.Bits
+			for b := 0; b < gr.Bits; b++ {
+				wv := Vec{gr.Words[b0+b], gr.Words[b1+b], gr.Words[b2+b], gr.Words[b3+b]}
+				bSum[gr.StartBit+b] += uint64(wv.And(fv).Popcount())
+			}
+		}
+	}
+	var sum uint64
+	for p := 0; p < k; p++ {
+		sum += bSum[p] << uint(k-1-p)
+	}
+	// Remainder segments take the scalar kernel.
+	if seg < segHi {
+		sum += core.VBPSumRange(col, f, seg, segHi)
+	}
+	return sum
+}
+
+// VBPMin computes MIN with wide words; ok is false when no tuple passes.
+func VBPMin(col *vbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return vbpExtreme(col, f, true)
+}
+
+// VBPMax computes MAX with wide words.
+func VBPMax(col *vbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	return vbpExtreme(col, f, false)
+}
+
+func vbpExtreme(col *vbp.Column, f *bitvec.Bitmap, wantMin bool) (uint64, bool) {
+	if f.Len() != col.Len() {
+		panic("wide: filter length does not match column length")
+	}
+	if !f.Any() {
+		return 0, false
+	}
+	temps := NewVBPExtremeTemps(col.K(), wantMin)
+	VBPFoldExtremeRange(col, f, &temps, wantMin, 0, col.NumSegments())
+	return core.VBPFinishExtreme(temps[:], col.K(), wantMin), true
+}
+
+// VBPExtremeTemps holds the four per-lane running extreme segments of the
+// wide SLOTMIN/SLOTMAX.
+type VBPExtremeTemps [4][]uint64
+
+// NewVBPExtremeTemps allocates identity-initialized lane temps.
+func NewVBPExtremeTemps(k int, wantMin bool) VBPExtremeTemps {
+	var t VBPExtremeTemps
+	for l := range t {
+		t[l] = core.NewVBPExtremeTemp(k, wantMin)
+	}
+	return t
+}
+
+// VBPFoldExtremeRange folds segments [segLo, segHi) into the lane temps:
+// lane l of each 4-segment block runs an independent SLOTMIN instance, and
+// the staged comparison's early exit triggers only when all four lanes are
+// fully decided — the shared-control-flow shape of one wide instruction
+// stream.
+func VBPFoldExtremeRange(col *vbp.Column, f *bitvec.Bitmap, temps *VBPExtremeTemps, wantMin bool, segLo, segHi int) {
+	k := col.K()
+	groups := col.Groups()
+	var x [4][]uint64
+	for l := range x {
+		x[l] = make([]uint64, k)
+	}
+	seg := segLo
+	for ; seg+4 <= segHi; seg += 4 {
+		fv := Vec{f.Word(seg), f.Word(seg + 1), f.Word(seg + 2), f.Word(seg + 3)}
+		if fv.IsZero() {
+			continue
+		}
+		for g := range groups {
+			gr := &groups[g]
+			for l := 0; l < 4; l++ {
+				base := (seg + l) * gr.Bits
+				copy(x[l][gr.StartBit:gr.StartBit+gr.Bits], gr.Words[base:base+gr.Bits])
+			}
+		}
+		// Four staged comparisons advance in lockstep.
+		eq := Vec{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+		var sel Vec
+		for p := 0; p < k; p++ {
+			for l := 0; l < 4; l++ {
+				xp, yp := x[l][p], temps[l][p]
+				var lg uint64
+				if wantMin {
+					lg = ^xp & yp
+				} else {
+					lg = xp &^ yp
+				}
+				sel[l] |= eq[l] & lg
+				eq[l] &= ^(xp ^ yp)
+			}
+			if eq.IsZero() {
+				break
+			}
+		}
+		sel = sel.And(fv)
+		if sel.IsZero() {
+			continue
+		}
+		for p := 0; p < k; p++ {
+			for l := 0; l < 4; l++ {
+				temps[l][p] = word.Blend(sel[l], x[l][p], temps[l][p])
+			}
+		}
+	}
+	if seg < segHi {
+		core.VBPFoldExtreme(col, f, temps[0], wantMin, seg, segHi)
+	}
+}
+
+// VBPMedian computes the lower MEDIAN with wide words.
+func VBPMedian(col *vbp.Column, f *bitvec.Bitmap) (uint64, bool) {
+	u := core.Count(f)
+	if u == 0 {
+		return 0, false
+	}
+	return VBPRank(col, f, (u+1)/2)
+}
+
+// VBPRank computes the r-th smallest filtered value with wide words. The
+// radix-descent control flow is inherently serial per bit (the paper's
+// multi-thread sync point); the wide variant accelerates the two data-
+// parallel phases, counting and candidate refinement.
+func VBPRank(col *vbp.Column, f *bitvec.Bitmap, r uint64) (uint64, bool) {
+	if f.Len() != col.Len() {
+		panic("wide: filter length does not match column length")
+	}
+	u := core.Count(f)
+	if r == 0 || r > u {
+		return 0, false
+	}
+	nseg := col.NumSegments()
+	v := core.NewVBPCandidates(f, nseg)
+	k := col.K()
+	var m uint64
+	for p := 0; p < k; p++ {
+		c := VBPRankCountRange(col, v, p, 0, nseg)
+		if u-c < r {
+			m |= 1 << uint(k-1-p)
+			r -= u - c
+			u = c
+			VBPRankRefineRange(col, v, p, true, 0, nseg)
+		} else {
+			u -= c
+			VBPRankRefineRange(col, v, p, false, 0, nseg)
+		}
+	}
+	return m, true
+}
+
+// VBPRankCountRange is the wide counting phase of Algorithm 3.
+func VBPRankCountRange(col *vbp.Column, v []uint64, p, segLo, segHi int) uint64 {
+	grp := &col.Groups()[p/col.Tau()]
+	b := p - grp.StartBit
+	var c uint64
+	seg := segLo
+	for ; seg+4 <= segHi; seg += 4 {
+		vv := Vec{v[seg], v[seg+1], v[seg+2], v[seg+3]}
+		if vv.IsZero() {
+			continue
+		}
+		wv := Vec{
+			grp.Words[(seg+0)*grp.Bits+b],
+			grp.Words[(seg+1)*grp.Bits+b],
+			grp.Words[(seg+2)*grp.Bits+b],
+			grp.Words[(seg+3)*grp.Bits+b],
+		}
+		c += uint64(vv.And(wv).Popcount())
+	}
+	if seg < segHi {
+		c += core.VBPRankCount(col, v, p, seg, segHi)
+	}
+	return c
+}
+
+// VBPRankRefineRange is the wide candidate-refinement phase of Algorithm 3.
+func VBPRankRefineRange(col *vbp.Column, v []uint64, p int, keepOnes bool, segLo, segHi int) {
+	grp := &col.Groups()[p/col.Tau()]
+	b := p - grp.StartBit
+	seg := segLo
+	for ; seg+4 <= segHi; seg += 4 {
+		vv := Vec{v[seg], v[seg+1], v[seg+2], v[seg+3]}
+		if vv.IsZero() {
+			continue
+		}
+		wv := Vec{
+			grp.Words[(seg+0)*grp.Bits+b],
+			grp.Words[(seg+1)*grp.Bits+b],
+			grp.Words[(seg+2)*grp.Bits+b],
+			grp.Words[(seg+3)*grp.Bits+b],
+		}
+		if keepOnes {
+			vv = vv.And(wv)
+		} else {
+			vv = vv.AndNot(wv)
+		}
+		v[seg], v[seg+1], v[seg+2], v[seg+3] = vv[0], vv[1], vv[2], vv[3]
+	}
+	if seg < segHi {
+		core.VBPRankRefine(col, v, p, keepOnes, seg, segHi)
+	}
+}
+
+// VBPAvg computes AVG = SUM / COUNT with wide words.
+func VBPAvg(col *vbp.Column, f *bitvec.Bitmap) (float64, bool) {
+	cnt := core.Count(f)
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(VBPSum(col, f)) / float64(cnt), true
+}

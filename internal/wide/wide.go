@@ -1,0 +1,68 @@
+// Package wide implements 256-bit "wide word" variants of the bit-parallel
+// aggregation kernels — the portable substitute for the paper's AVX2 SIMD
+// acceleration (§IV-B).
+//
+// The paper maps its algorithms onto 256-bit registers in exactly the two
+// ways reproduced here:
+//
+//   - VBP uses only bitwise instructions, so a 256-bit register is treated
+//     as one wide word and a segment simply grows to 256 values. Here a Vec
+//     of four 64-bit lanes plays the register, and four consecutive
+//     64-tuple segments play the 256-value segment. POPCNT has no 256-bit
+//     form (on AVX2 or here), so population counts fall back to four serial
+//     64-bit counts — the bottleneck the paper calls out for VBP.
+//
+//   - HBP relies on shifts, adds and multiplies that do not cross 64-bit
+//     lanes, so the paper "runs four instances of the 64-bit algorithms" in
+//     one register. Here four consecutive segments are processed per loop
+//     iteration with four independent running states.
+//
+// Go has no stdlib SIMD intrinsics; these manually unrolled kernels
+// exercise the identical algorithmic structure (and give the compiler
+// straight-line independent lanes to schedule), which is what Figure 8's
+// SIMD comparison measures. Results are bit-identical to package core, and
+// the tests pin that.
+package wide
+
+import "math/bits"
+
+// Vec is a 256-bit wide word: four 64-bit lanes.
+type Vec [4]uint64
+
+// And returns the lane-wise AND of a and b.
+func (a Vec) And(b Vec) Vec {
+	return Vec{a[0] & b[0], a[1] & b[1], a[2] & b[2], a[3] & b[3]}
+}
+
+// Or returns the lane-wise OR of a and b.
+func (a Vec) Or(b Vec) Vec {
+	return Vec{a[0] | b[0], a[1] | b[1], a[2] | b[2], a[3] | b[3]}
+}
+
+// AndNot returns the lane-wise a AND NOT b.
+func (a Vec) AndNot(b Vec) Vec {
+	return Vec{a[0] &^ b[0], a[1] &^ b[1], a[2] &^ b[2], a[3] &^ b[3]}
+}
+
+// Xor returns the lane-wise XOR of a and b.
+func (a Vec) Xor(b Vec) Vec {
+	return Vec{a[0] ^ b[0], a[1] ^ b[1], a[2] ^ b[2], a[3] ^ b[3]}
+}
+
+// Not returns the lane-wise complement.
+func (a Vec) Not() Vec {
+	return Vec{^a[0], ^a[1], ^a[2], ^a[3]}
+}
+
+// IsZero reports whether every lane is zero.
+func (a Vec) IsZero() bool {
+	return a[0]|a[1]|a[2]|a[3] == 0
+}
+
+// Popcount returns the total set bits across all lanes. A 256-bit POPCNT
+// does not exist, so this is four serial 64-bit counts — deliberately, per
+// the package comment.
+func (a Vec) Popcount() int {
+	return bits.OnesCount64(a[0]) + bits.OnesCount64(a[1]) +
+		bits.OnesCount64(a[2]) + bits.OnesCount64(a[3])
+}

@@ -1,0 +1,153 @@
+package wide
+
+import (
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/hbp"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+func TestVecOps(t *testing.T) {
+	a := Vec{0xF0, 0x0F, ^uint64(0), 0}
+	b := Vec{0xFF, 0xFF, 0, 1}
+	if got := a.And(b); got != (Vec{0xF0, 0x0F, 0, 0}) {
+		t.Errorf("And = %v", got)
+	}
+	if got := a.Or(b); got != (Vec{0xFF, 0xFF, ^uint64(0), 1}) {
+		t.Errorf("Or = %v", got)
+	}
+	if got := a.Xor(b); got != (Vec{0x0F, 0xF0, ^uint64(0), 1}) {
+		t.Errorf("Xor = %v", got)
+	}
+	if got := a.AndNot(b); got != (Vec{0, 0, ^uint64(0), 0}) {
+		t.Errorf("AndNot = %v", got)
+	}
+	if got := a.Not()[3]; got != ^uint64(0) {
+		t.Errorf("Not lane 3 = %#x", got)
+	}
+	if !(Vec{}).IsZero() || a.IsZero() {
+		t.Error("IsZero wrong")
+	}
+	if got := a.Popcount(); got != 4+4+64+0 {
+		t.Errorf("Popcount = %d", got)
+	}
+}
+
+// fixture builds a random column + filter for cross-checking wide against
+// core.
+func fixture(rng *rand.Rand, n, k int, sel float64) ([]uint64, *bitvec.Bitmap) {
+	vals := make([]uint64, n)
+	f := bitvec.New(n)
+	for i := range vals {
+		vals[i] = rng.Uint64() & word.LowMask(k)
+		if rng.Float64() < sel {
+			f.Set(i)
+		}
+	}
+	return vals, f
+}
+
+var shapes = []struct {
+	n   int
+	k   int
+	sel float64
+}{
+	{1, 8, 1},        // single tuple: pure remainder path
+	{64 * 3, 8, 0.5}, // fewer than 4 segments
+	{64 * 4, 8, 0.5}, // exactly one wide block
+	{64*7 + 13, 25, 0.3},
+	{64*9 + 1, 12, 0.01},
+	{64 * 8, 1, 0.5},
+	{300, 33, 0.9},
+	{500, 25, 0},
+}
+
+func TestWideVBPMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for _, sh := range shapes {
+		vals, f := fixture(rng, sh.n, sh.k, sh.sel)
+		tau := 4
+		if tau > sh.k {
+			tau = sh.k
+		}
+		col := vbp.Pack(vals, sh.k, tau)
+		if got, want := VBPSum(col, f), core.VBPSum(col, f); got != want {
+			t.Fatalf("VBPSum n=%d k=%d: wide %d core %d", sh.n, sh.k, got, want)
+		}
+		check := func(name string, gw uint64, okw bool, gc uint64, okc bool) {
+			t.Helper()
+			if gw != gc || okw != okc {
+				t.Fatalf("VBP%s n=%d k=%d: wide (%d,%v) core (%d,%v)",
+					name, sh.n, sh.k, gw, okw, gc, okc)
+			}
+		}
+		gw, okw := VBPMin(col, f)
+		gc, okc := core.VBPMin(col, f)
+		check("Min", gw, okw, gc, okc)
+		gw, okw = VBPMax(col, f)
+		gc, okc = core.VBPMax(col, f)
+		check("Max", gw, okw, gc, okc)
+		gw, okw = VBPMedian(col, f)
+		gc, okc = core.VBPMedian(col, f)
+		check("Median", gw, okw, gc, okc)
+		u := core.Count(f)
+		for _, r := range []uint64{0, 1, u / 3, u, u + 1} {
+			gw, okw := VBPRank(col, f, r)
+			gc, okc := core.VBPRank(col, f, r)
+			if gw != gc || okw != okc {
+				t.Fatalf("VBPRank(%d) n=%d: wide (%d,%v) core (%d,%v)", r, sh.n, gw, okw, gc, okc)
+			}
+		}
+		aw, okw2 := VBPAvg(col, f)
+		ac, okc2 := core.VBPAvg(col, f)
+		if aw != ac || okw2 != okc2 {
+			t.Fatalf("VBPAvg n=%d: wide (%v,%v) core (%v,%v)", sh.n, aw, okw2, ac, okc2)
+		}
+	}
+}
+
+func TestWideHBPMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, sh := range shapes {
+		for _, tau := range []int{3, 4, hbp.DefaultTau(sh.k)} {
+			if tau > sh.k {
+				continue
+			}
+			vals, f := fixture(rng, sh.n, sh.k, sh.sel)
+			col := hbp.Pack(vals, sh.k, tau)
+			if got, want := HBPSum(col, f), core.HBPSum(col, f); got != want {
+				t.Fatalf("HBPSum n=%d k=%d tau=%d: wide %d core %d", sh.n, sh.k, tau, got, want)
+			}
+			gw, okw := HBPMin(col, f)
+			gc, okc := core.HBPMin(col, f)
+			if gw != gc || okw != okc {
+				t.Fatalf("HBPMin n=%d k=%d tau=%d: wide (%d,%v) core (%d,%v)", sh.n, sh.k, tau, gw, okw, gc, okc)
+			}
+			gw, okw = HBPMax(col, f)
+			gc, okc = core.HBPMax(col, f)
+			if gw != gc || okw != okc {
+				t.Fatalf("HBPMax n=%d k=%d tau=%d: wide (%d,%v) core (%d,%v)", sh.n, sh.k, tau, gw, okw, gc, okc)
+			}
+			gw, okw = HBPMedian(col, f)
+			gc, okc = core.HBPMedian(col, f)
+			if gw != gc || okw != okc {
+				t.Fatalf("HBPMedian n=%d k=%d tau=%d: wide (%d,%v) core (%d,%v)", sh.n, sh.k, tau, gw, okw, gc, okc)
+			}
+			u := core.Count(f)
+			for _, r := range []uint64{1, u / 2, u} {
+				if r == 0 {
+					continue
+				}
+				gw, okw := HBPRank(col, f, r)
+				gc, okc := core.HBPRank(col, f, r)
+				if gw != gc || okw != okc {
+					t.Fatalf("HBPRank(%d): wide (%d,%v) core (%d,%v)", r, gw, okw, gc, okc)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package word
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The property tests pin the SWAR primitives against their scalar meaning
+// over quick-generated words. Raw uint64 inputs are masked into valid
+// packed form (delimiters and padding zero) before use.
+
+// sanitize clears delimiter and padding bits so w satisfies the packed-word
+// contract for (tau, c).
+func sanitize(w uint64, tau, c int) uint64 {
+	return w & ValueMask(tau, c)
+}
+
+func TestPropInWordSumEqualsFieldSum(t *testing.T) {
+	f := func(raw uint64, tauRaw, cRaw uint8) bool {
+		tau := int(tauRaw)%MaxTau + 1
+		maxC := FieldsPerWord(tau)
+		c := int(cRaw)%maxC + 1
+		w := sanitize(raw, tau, c)
+		return InWordSum(w, tau, c) == InWordSumRef(w, tau, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSummerEqualsInWordSum(t *testing.T) {
+	f := func(raw uint64, tauRaw, cRaw uint8) bool {
+		tau := int(tauRaw)%MaxTau + 1
+		maxC := FieldsPerWord(tau)
+		c := int(cRaw)%maxC + 1
+		w := sanitize(raw, tau, c)
+		return NewSummer(tau, c).Sum(w) == InWordSumRef(w, tau, c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropComparisonTrichotomy(t *testing.T) {
+	// Exactly one of LT, EQ, GT holds per slot, and GE = EQ OR GT.
+	f := func(rawX, rawY uint64, tauRaw uint8) bool {
+		tau := int(tauRaw)%MaxTau + 1
+		c := FieldsPerWord(tau)
+		x := sanitize(rawX, tau, c)
+		y := sanitize(rawY, tau, c)
+		d := DelimMask(tau, c)
+		lt := LTDelims(x, y, d)
+		eq := EQDelims(x, y, d)
+		gt := GTDelims(x, y, d)
+		if lt&eq != 0 || lt&gt != 0 || eq&gt != 0 {
+			return false // overlap
+		}
+		if lt|eq|gt != d {
+			return false // a slot decided nothing
+		}
+		return GEDelims(x, y, d) == (eq|gt) && LEDelims(x, y, d) == (eq|lt)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropComparisonAntisymmetry(t *testing.T) {
+	// x < y per slot iff y > x per slot; equality is symmetric.
+	f := func(rawX, rawY uint64, tauRaw uint8) bool {
+		tau := int(tauRaw)%MaxTau + 1
+		c := FieldsPerWord(tau)
+		x := sanitize(rawX, tau, c)
+		y := sanitize(rawY, tau, c)
+		d := DelimMask(tau, c)
+		return LTDelims(x, y, d) == GTDelims(y, x, d) &&
+			EQDelims(x, y, d) == EQDelims(y, x, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropBlendPicksPerBit(t *testing.T) {
+	f := func(m, x, y uint64) bool {
+		b := Blend(m, x, y)
+		return b&m == x&m && b&^m == y&^m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSpreadDelimsCoversValueBits(t *testing.T) {
+	// Spreading any sub-mask of the delimiter lane yields exactly the
+	// value bits of the selected slots.
+	f := func(sel uint64, tauRaw uint8) bool {
+		tau := int(tauRaw)%MaxTau + 1
+		c := FieldsPerWord(tau)
+		md := sel & DelimMask(tau, c)
+		got := SpreadDelims(md, tau)
+		var want uint64
+		for s := 0; s < c; s++ {
+			if md&(1<<uint(s*(tau+1)+tau)) != 0 {
+				want |= LowMask(tau) << uint(s*(tau+1))
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropFieldPutFieldInverse(t *testing.T) {
+	f := func(raw, v uint64, tauRaw, sRaw uint8) bool {
+		tau := int(tauRaw)%MaxTau + 1
+		c := FieldsPerWord(tau)
+		s := int(sRaw) % c
+		v &= LowMask(tau)
+		w := PutField(sanitize(raw, tau, c), tau, s, v)
+		return Field(w, tau, s) == v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,75 @@
+package word
+
+import "math/bits"
+
+// InWordSum returns the sum of the c tau-bit values packed in w (fields
+// LSB-first, delimiter and padding bits zero). It is the IN-WORD-SUM
+// procedure of Algorithm 4, derived from the Gilles–Miller method for
+// sideways addition: one shifted add folds adjacent fields into pair sums, a
+// mask keeps each pair sum once, and a single multiplication accumulates all
+// pair sums into the top 2*(tau+1) bits of the product.
+//
+// tau must be in [1, MaxTau] and c in [1, FieldsPerWord(tau)]. For tau == 1
+// the pair-sum accumulator (2*(tau+1) = 4 bits) cannot hold the worst-case
+// total of 32, so the routine degenerates to POPCNT — which is precisely
+// sideways addition at width one. For every tau >= 2 the worst-case total
+// c*(2^tau - 1) fits in 2*(tau+1) bits at word width 64, so the multiply
+// trick is exact.
+func InWordSum(w uint64, tau, c int) uint64 {
+	if tau == 1 {
+		return uint64(bits.OnesCount64(w))
+	}
+	f := tau + 1
+	end := c * f // bit just above the highest field
+
+	// An odd field count would leave one field unpaired, so peel off the
+	// bottom field and fold it back in at the end.
+	var extra uint64
+	if c&1 == 1 {
+		extra = w & LowMask(tau)
+		w &^= LowMask(f)
+		c--
+		if c == 0 {
+			return extra
+		}
+	}
+
+	// Flush the fields against the MSB so the accumulated total lands in a
+	// slot that lies fully inside the word: the highest field moves to
+	// [64-f, 64), and in MSB-indexed terms field m sits at [64-(m+1)f, 64-mf).
+	x := w << uint(W-end)
+
+	// Fold: field m becomes orig[m] + orig[m-1]; the delimiter bit gives the
+	// pair sum headroom, so no fold crosses a field boundary.
+	x += x >> uint(f)
+
+	// Keep every second field (m = 1, 3, 5, ... from the MSB): those hold the
+	// pair sums (0+1), (2+3), ...
+	p := c / 2
+	var keep uint64
+	for j := 0; j < p; j++ {
+		keep |= LowMask(f) << uint(W-2*f*(j+1))
+	}
+	x &= keep
+
+	// One multiplication accumulates all pair sums into the top 2f bits:
+	// pair j sits at offset 64-2f(j+1) and the multiplier's 2f*j term lifts
+	// it to 64-2f. All other partial products land at lower slots (or shift
+	// out entirely), and no slot overflows because every partial sum is
+	// bounded by the grand total, which fits in 2f bits.
+	var mul uint64
+	for i := 0; i < p; i++ {
+		mul |= 1 << uint(2*f*i)
+	}
+	return (x*mul)>>uint(W-2*f) + extra
+}
+
+// InWordSumRef is the scalar reference for InWordSum, used by tests and by
+// code paths where clarity matters more than speed.
+func InWordSumRef(w uint64, tau, c int) uint64 {
+	var sum uint64
+	for s := 0; s < c; s++ {
+		sum += Field(w, tau, s)
+	}
+	return sum
+}

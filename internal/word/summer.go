@@ -1,0 +1,98 @@
+package word
+
+import "math/bits"
+
+// Summer performs IN-WORD-SUM with the fold masks precomputed for a fixed
+// (tau, c) shape. The aggregation inner loops call Sum once per data word,
+// so the common path is kept small enough for the compiler to inline: four
+// ALU operations and one multiplication.
+type Summer struct {
+	tau     int
+	f       uint
+	c       int    // even field count after peeling
+	peelTau uint64 // LowMask(tau) when a bottom field must be peeled, else 0
+	peelF   uint64 // LowMask(f) for the peeled field
+	flush   uint   // left shift flushing fields against the MSB
+	keep    uint64 // mask of pair-sum fields (odd MSB-indexed fields)
+	mul     uint64 // multiplier accumulating pair sums into the top 2f bits
+	fin     uint   // final right shift, W - 2f
+	popcnt  bool   // tau == 1 degenerate mode
+}
+
+// NewSummer builds a Summer for c fields of tau value bits each.
+// tau must be in [1, MaxTau] and c in [1, FieldsPerWord(tau)].
+func NewSummer(tau, c int) Summer {
+	s := Summer{tau: tau, f: uint(tau + 1), c: c}
+	if tau == 1 {
+		s.popcnt = true
+		return s
+	}
+	f := tau + 1
+	end := c * f
+	if c&1 == 1 {
+		s.peelTau = LowMask(tau)
+		s.peelF = LowMask(f)
+		s.c--
+	}
+	s.flush = uint(W - end)
+	p := s.c / 2
+	for j := 0; j < p; j++ {
+		s.keep |= LowMask(f) << uint(W-2*f*(j+1))
+	}
+	for i := 0; i < p; i++ {
+		s.mul |= 1 << uint(2*f*i)
+	}
+	s.fin = uint(W - 2*f)
+	return s
+}
+
+// Sum returns the sum of the packed tau-bit fields of w. The contract on w
+// matches InWordSum: delimiter and padding bits zero. The even-field-count,
+// tau >= 2 fast path is branch-light and inlinable; degenerate shapes
+// divert to sumSlow.
+func (s Summer) Sum(w uint64) uint64 {
+	if s.popcnt || s.peelTau != 0 {
+		return s.sumSlow(w)
+	}
+	x := w << s.flush
+	x += x >> s.f
+	x &= s.keep
+	return (x * s.mul) >> s.fin
+}
+
+// Fast reports whether the shape takes the branch-free fold path (every
+// shape except the tau == 1 POPCNT degenerate). Hot loops may then hoist
+// Consts/PeelMasks and apply the operations inline.
+func (s Summer) Fast() bool { return !s.popcnt }
+
+// Consts returns the fold constants: for a Fast shape,
+// Sum(w) = fold(w &^ peelF) + (w & peelTau) where
+// fold(x) = ((((x<<flush)+((x<<flush)>>f))&keep)*mul)>>fin.
+// The peel masks (PeelMasks) are zero for even field counts, so callers
+// apply them unconditionally.
+func (s Summer) Consts() (flush, f, fin uint, keep, mul uint64) {
+	return s.flush, s.f, s.fin, s.keep, s.mul
+}
+
+// PeelMasks returns the odd-field-count peel masks — both zero for even
+// shapes.
+func (s Summer) PeelMasks() (peelValue, peelField uint64) {
+	return s.peelTau, s.peelF
+}
+
+// sumSlow handles tau == 1 (POPCNT degenerate) and odd field counts (peel
+// the bottom field, fold the rest).
+func (s Summer) sumSlow(w uint64) uint64 {
+	if s.popcnt {
+		return uint64(bits.OnesCount64(w))
+	}
+	extra := w & s.peelTau
+	w &^= s.peelF
+	if s.c == 0 {
+		return extra
+	}
+	x := w << s.flush
+	x += x >> s.f
+	x &= s.keep
+	return (x*s.mul)>>s.fin + extra
+}

@@ -1,0 +1,23 @@
+package word
+
+// Transpose64 transposes a 64x64 bit matrix in place: afterwards, bit j of
+// m[i] is the former bit i of m[j]. It is the recursive block-swap method
+// (Hacker's Delight §7-3): swap progressively smaller off-diagonal blocks,
+// six rounds of masked exchanges.
+//
+// Bulk VBP packing uses it to turn 64 row-ordered values into the 64
+// bit-position words of a segment in ~6*64 word operations instead of
+// 64*k single-bit deposits.
+func Transpose64(m *[64]uint64) {
+	j := 32
+	mask := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := ((m[k] >> uint(j)) ^ m[k+j]) & mask
+			m[k] ^= t << uint(j)
+			m[k+j] ^= t
+		}
+		j >>= 1
+		mask ^= mask << uint(j)
+	}
+}

@@ -1,0 +1,81 @@
+package word
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func transposeRef(m [64]uint64) [64]uint64 {
+	var out [64]uint64
+	for i := 0; i < 64; i++ {
+		for j := 0; j < 64; j++ {
+			if m[i]>>uint(j)&1 == 1 {
+				out[j] |= 1 << uint(i)
+			}
+		}
+	}
+	return out
+}
+
+func TestTranspose64AgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 200; trial++ {
+		var m [64]uint64
+		for i := range m {
+			m[i] = rng.Uint64()
+		}
+		want := transposeRef(m)
+		got := m
+		Transpose64(&got)
+		if got != want {
+			t.Fatalf("trial %d: transpose mismatch", trial)
+		}
+	}
+}
+
+func TestTranspose64Involution(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	var m [64]uint64
+	for i := range m {
+		m[i] = rng.Uint64()
+	}
+	twice := m
+	Transpose64(&twice)
+	Transpose64(&twice)
+	if twice != m {
+		t.Fatal("transpose twice is not the identity")
+	}
+}
+
+func TestTranspose64Identity(t *testing.T) {
+	// The identity matrix is its own transpose.
+	var m [64]uint64
+	for i := range m {
+		m[i] = 1 << uint(i)
+	}
+	got := m
+	Transpose64(&got)
+	if got != m {
+		t.Fatal("identity matrix changed under transpose")
+	}
+	// A single row becomes a single column.
+	var row [64]uint64
+	row[5] = ^uint64(0)
+	Transpose64(&row)
+	for i := range row {
+		if row[i] != 1<<5 {
+			t.Fatalf("row->column failed at %d: %#x", i, row[i])
+		}
+	}
+}
+
+func BenchmarkTranspose64(b *testing.B) {
+	rng := rand.New(rand.NewSource(73))
+	var m [64]uint64
+	for i := range m {
+		m[i] = rng.Uint64()
+	}
+	for i := 0; i < b.N; i++ {
+		Transpose64(&m)
+	}
+}

@@ -1,0 +1,143 @@
+// Package word provides 64-bit SWAR (SIMD Within A Register) primitives
+// shared by the bit-packed storage layouts, the bit-parallel scan operators,
+// and the bit-parallel aggregation algorithms.
+//
+// # Conventions
+//
+// The processor word width is fixed at W = 64 bits. Horizontally packed
+// words hold c fields of width f = tau+1 bits each, placed LSB-first:
+// field s occupies bits [s*f, (s+1)*f). The top bit of each field
+// (bit s*f+tau) is the delimiter; stored data always keeps delimiters zero
+// so that full-word addition and subtraction cannot carry or borrow across
+// field boundaries. Bits at and above c*f are padding and must be zero.
+//
+// This is the mirror image of the paper's MSB-first figures; every formula
+// flips its shift direction accordingly, and the property tests in this
+// package pin each primitive against a scalar reference so the convention
+// cannot drift.
+package word
+
+import "math/bits"
+
+// W is the processor word width in bits.
+const W = 64
+
+// MaxTau is the largest supported bit-group size for horizontal packing.
+// Field width is tau+1 and at least two fields must fit in a word.
+const MaxTau = 31
+
+// Popcount returns the number of set bits in w (the POPCNT procedure of the
+// paper).
+func Popcount(w uint64) int { return bits.OnesCount64(w) }
+
+// LowMask returns a word with the n lowest bits set. n must be in [0, 64].
+func LowMask(n int) uint64 {
+	if n <= 0 {
+		return 0
+	}
+	if n >= W {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// Repeat tiles the low patBits bits of pattern count times, LSB-first:
+// copy i occupies bits [i*patBits, (i+1)*patBits).
+func Repeat(pattern uint64, patBits, count int) uint64 {
+	pattern &= LowMask(patBits)
+	var out uint64
+	for i := 0; i < count; i++ {
+		out |= pattern << uint(i*patBits)
+	}
+	return out
+}
+
+// DelimMask returns the delimiter lane: bit s*(tau+1)+tau set for each of the
+// c fields, zeros elsewhere.
+func DelimMask(tau, c int) uint64 {
+	return Repeat(1<<uint(tau), tau+1, c)
+}
+
+// ValueMask returns the value lanes: the low tau bits of each of the c
+// fields set, delimiters and padding zero.
+func ValueMask(tau, c int) uint64 {
+	return Repeat(LowMask(tau), tau+1, c)
+}
+
+// FieldMask returns all tau+1 bits of each of the c fields set.
+func FieldMask(tau, c int) uint64 {
+	return Repeat(LowMask(tau+1), tau+1, c)
+}
+
+// FieldsPerWord returns how many (tau+1)-bit fields fit in a 64-bit word.
+func FieldsPerWord(tau int) int { return W / (tau + 1) }
+
+// Field extracts the value bits (low tau bits) of field s from w.
+func Field(w uint64, tau, s int) uint64 {
+	return (w >> uint(s*(tau+1))) & LowMask(tau)
+}
+
+// PutField deposits v into the value bits of field s of w. Any previous
+// contents of the field's value bits are cleared; v must fit in tau bits.
+func PutField(w uint64, tau, s int, v uint64) uint64 {
+	shift := uint(s * (tau + 1))
+	w &^= LowMask(tau) << shift
+	return w | v<<shift
+}
+
+// Blend selects, bit by bit, x where m is 1 and y where m is 0:
+// (m AND x) OR (NOT m AND y). It is the slot-selection step of SLOTMIN and
+// SUB-SLOTMIN.
+func Blend(m, x, y uint64) uint64 {
+	return (x & m) | (y &^ m)
+}
+
+// SpreadDelims expands a delimiter mask into a value-bit mask: each set
+// delimiter bit d becomes the tau bits below d. It implements the paper's
+// M := M_d - (M_d >> tau) step (GET-VALUE-FILTER step 2). Delimiter bits
+// themselves end up zero in the result, which is what both SUM (values carry
+// zero delimiters anyway) and SUB-SLOTMIN (delimiters stay zero in storage)
+// require.
+func SpreadDelims(md uint64, tau int) uint64 {
+	return md - (md >> uint(tau))
+}
+
+// GEDelims compares fields of x and y as unsigned tau-bit integers and
+// returns a word whose delimiter bit for field s is 1 iff x_s >= y_s.
+// Both x and y must have zero delimiter and padding bits. delim is
+// DelimMask(tau, c).
+//
+// It relies on Lamport's observation: (x_s + 2^tau) - y_s stays within the
+// field for 0 <= x_s, y_s < 2^tau, and the borrow consumes the injected
+// delimiter exactly when x_s < y_s.
+func GEDelims(x, y, delim uint64) uint64 {
+	return ((x | delim) - y) & delim
+}
+
+// LTDelims returns delimiter bits set where x_s < y_s.
+func LTDelims(x, y, delim uint64) uint64 {
+	return (GEDelims(x, y, delim) ^ delim) & delim
+}
+
+// GTDelims returns delimiter bits set where x_s > y_s.
+func GTDelims(x, y, delim uint64) uint64 {
+	return LTDelims(y, x, delim)
+}
+
+// LEDelims returns delimiter bits set where x_s <= y_s.
+func LEDelims(x, y, delim uint64) uint64 {
+	return (GEDelims(y, x, delim)) & delim
+}
+
+// EQDelims returns delimiter bits set where x_s == y_s. Both operands must
+// have zero delimiter and padding bits.
+//
+// 2^tau - (x_s XOR y_s) keeps the delimiter bit exactly when the XOR is zero.
+func EQDelims(x, y, delim uint64) uint64 {
+	return (delim - (x ^ y)) & delim
+}
+
+// NEDelims returns delimiter bits set where x_s != y_s.
+func NEDelims(x, y, delim uint64) uint64 {
+	return (EQDelims(x, y, delim) ^ delim) & delim
+}

@@ -1,0 +1,288 @@
+package word
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+func TestLowMask(t *testing.T) {
+	cases := []struct {
+		n    int
+		want uint64
+	}{
+		{-1, 0},
+		{0, 0},
+		{1, 1},
+		{4, 0xF},
+		{63, 0x7FFFFFFFFFFFFFFF},
+		{64, ^uint64(0)},
+		{99, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := LowMask(c.n); got != c.want {
+			t.Errorf("LowMask(%d) = %#x, want %#x", c.n, got, c.want)
+		}
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	cases := []struct {
+		pattern uint64
+		patBits int
+		count   int
+		want    uint64
+	}{
+		{0b1, 1, 64, ^uint64(0)},
+		{0b1000, 4, 2, 0x88},
+		{0b01, 2, 3, 0b010101},
+		{0xFF, 4, 2, 0xFF}, // pattern truncated to patBits
+		{0b1, 8, 0, 0},
+	}
+	for _, c := range cases {
+		if got := Repeat(c.pattern, c.patBits, c.count); got != c.want {
+			t.Errorf("Repeat(%#b,%d,%d) = %#x, want %#x", c.pattern, c.patBits, c.count, got, c.want)
+		}
+	}
+}
+
+func TestMasksStructure(t *testing.T) {
+	for tau := 1; tau <= MaxTau; tau++ {
+		c := FieldsPerWord(tau)
+		d, v, f := DelimMask(tau, c), ValueMask(tau, c), FieldMask(tau, c)
+		if d&v != 0 {
+			t.Fatalf("tau=%d: delimiter and value masks overlap", tau)
+		}
+		if d|v != f {
+			t.Fatalf("tau=%d: delim|value != field mask", tau)
+		}
+		if Popcount(d) != c {
+			t.Fatalf("tau=%d: delim mask has %d bits, want %d", tau, Popcount(d), c)
+		}
+		if Popcount(v) != c*tau {
+			t.Fatalf("tau=%d: value mask has %d bits, want %d", tau, Popcount(v), c*tau)
+		}
+		if Popcount(f) != c*(tau+1) {
+			t.Fatalf("tau=%d: field mask has %d bits, want %d", tau, Popcount(f), c*(tau+1))
+		}
+	}
+}
+
+func TestFieldRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for tau := 1; tau <= MaxTau; tau++ {
+		c := FieldsPerWord(tau)
+		vals := make([]uint64, c)
+		var w uint64
+		for s := range vals {
+			vals[s] = rng.Uint64() & LowMask(tau)
+			w = PutField(w, tau, s, vals[s])
+		}
+		for s, want := range vals {
+			if got := Field(w, tau, s); got != want {
+				t.Fatalf("tau=%d field %d: got %d want %d", tau, s, got, want)
+			}
+		}
+		if w&DelimMask(tau, c) != 0 {
+			t.Fatalf("tau=%d: PutField touched delimiter bits", tau)
+		}
+	}
+}
+
+func TestPutFieldOverwrites(t *testing.T) {
+	w := PutField(0, 3, 2, 0b101)
+	w = PutField(w, 3, 2, 0b010)
+	if got := Field(w, 3, 2); got != 0b010 {
+		t.Fatalf("overwrite failed: got %#b", got)
+	}
+	// Other fields untouched.
+	for s := 0; s < FieldsPerWord(3); s++ {
+		if s != 2 && Field(w, 3, s) != 0 {
+			t.Fatalf("field %d disturbed", s)
+		}
+	}
+}
+
+func TestBlend(t *testing.T) {
+	x, y := uint64(0xAAAA), uint64(0x5555)
+	if got := Blend(^uint64(0), x, y); got != x {
+		t.Errorf("full mask: got %#x want %#x", got, x)
+	}
+	if got := Blend(0, x, y); got != y {
+		t.Errorf("zero mask: got %#x want %#x", got, y)
+	}
+	if got := Blend(0xFF00, x, y); got != 0xAA55 {
+		t.Errorf("mixed mask: got %#x", got)
+	}
+}
+
+func TestSpreadDelims(t *testing.T) {
+	for tau := 1; tau <= MaxTau; tau++ {
+		c := FieldsPerWord(tau)
+		full := DelimMask(tau, c)
+		if got, want := SpreadDelims(full, tau), ValueMask(tau, c); got != want {
+			t.Fatalf("tau=%d full: got %#x want %#x", tau, got, want)
+		}
+		// A single delimiter spreads to exactly its own value bits.
+		for s := 0; s < c; s++ {
+			md := uint64(1) << uint(s*(tau+1)+tau)
+			want := LowMask(tau) << uint(s*(tau+1))
+			if got := SpreadDelims(md, tau); got != want {
+				t.Fatalf("tau=%d slot %d: got %#x want %#x", tau, s, got, want)
+			}
+		}
+	}
+}
+
+// randPacked builds a word of c random tau-bit fields with zero delimiters.
+func randPacked(rng *rand.Rand, tau, c int) uint64 {
+	var w uint64
+	for s := 0; s < c; s++ {
+		w = PutField(w, tau, s, rng.Uint64()&LowMask(tau))
+	}
+	return w
+}
+
+func TestComparisonDelims(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for tau := 1; tau <= MaxTau; tau++ {
+		c := FieldsPerWord(tau)
+		delim := DelimMask(tau, c)
+		for trial := 0; trial < 200; trial++ {
+			x := randPacked(rng, tau, c)
+			y := randPacked(rng, tau, c)
+			if trial%5 == 0 {
+				y = x // force equality slots
+			}
+			ge := GEDelims(x, y, delim)
+			lt := LTDelims(x, y, delim)
+			gt := GTDelims(x, y, delim)
+			le := LEDelims(x, y, delim)
+			eq := EQDelims(x, y, delim)
+			ne := NEDelims(x, y, delim)
+			for s := 0; s < c; s++ {
+				bit := uint64(1) << uint(s*(tau+1)+tau)
+				xv, yv := Field(x, tau, s), Field(y, tau, s)
+				check := func(name string, mask uint64, want bool) {
+					if (mask&bit != 0) != want {
+						t.Fatalf("tau=%d slot %d %s: x=%d y=%d got %v want %v",
+							tau, s, name, xv, yv, mask&bit != 0, want)
+					}
+				}
+				check("GE", ge, xv >= yv)
+				check("LT", lt, xv < yv)
+				check("GT", gt, xv > yv)
+				check("LE", le, xv <= yv)
+				check("EQ", eq, xv == yv)
+				check("NE", ne, xv != yv)
+			}
+		}
+	}
+}
+
+func TestComparisonDelimsExtremes(t *testing.T) {
+	for tau := 1; tau <= MaxTau; tau++ {
+		c := FieldsPerWord(tau)
+		delim := DelimMask(tau, c)
+		zero := uint64(0)
+		max := ValueMask(tau, c)
+		if got := GEDelims(max, zero, delim); got != delim {
+			t.Errorf("tau=%d: max >= 0 should hold everywhere", tau)
+		}
+		if got := LTDelims(zero, max, delim); got != delim {
+			t.Errorf("tau=%d: 0 < max should hold everywhere", tau)
+		}
+		if got := EQDelims(max, max, delim); got != delim {
+			t.Errorf("tau=%d: max == max should hold everywhere", tau)
+		}
+		if got := LTDelims(max, max, delim); got != 0 {
+			t.Errorf("tau=%d: max < max should hold nowhere", tau)
+		}
+	}
+}
+
+func TestInWordSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for tau := 1; tau <= MaxTau; tau++ {
+		maxC := FieldsPerWord(tau)
+		for c := 1; c <= maxC; c++ {
+			for trial := 0; trial < 64; trial++ {
+				w := randPacked(rng, tau, c)
+				want := InWordSumRef(w, tau, c)
+				if got := InWordSum(w, tau, c); got != want {
+					t.Fatalf("InWordSum tau=%d c=%d w=%#x: got %d want %d", tau, c, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestInWordSumWorstCase(t *testing.T) {
+	// All fields at their maximum value: the largest total the accumulator
+	// must hold.
+	for tau := 1; tau <= MaxTau; tau++ {
+		c := FieldsPerWord(tau)
+		w := ValueMask(tau, c)
+		want := uint64(c) * LowMask(tau)
+		if got := InWordSum(w, tau, c); got != want {
+			t.Fatalf("tau=%d c=%d all-max: got %d want %d", tau, c, got, want)
+		}
+	}
+}
+
+func TestInWordSumZero(t *testing.T) {
+	for tau := 1; tau <= MaxTau; tau++ {
+		for _, c := range []int{1, 2, FieldsPerWord(tau)} {
+			if got := InWordSum(0, tau, c); got != 0 {
+				t.Fatalf("tau=%d c=%d zero word: got %d", tau, c, got)
+			}
+		}
+	}
+}
+
+func TestSummerMatchesInWordSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for tau := 1; tau <= MaxTau; tau++ {
+		maxC := FieldsPerWord(tau)
+		for _, c := range []int{1, 2, 3, maxC - 1, maxC} {
+			if c < 1 || c > maxC {
+				continue
+			}
+			s := NewSummer(tau, c)
+			for trial := 0; trial < 64; trial++ {
+				w := randPacked(rng, tau, c)
+				want := InWordSumRef(w, tau, c)
+				if got := s.Sum(w); got != want {
+					t.Fatalf("Summer tau=%d c=%d w=%#x: got %d want %d", tau, c, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPopcount(t *testing.T) {
+	for _, w := range []uint64{0, 1, ^uint64(0), 0xF0F0F0F0F0F0F0F0} {
+		if got, want := Popcount(w), bits.OnesCount64(w); got != want {
+			t.Errorf("Popcount(%#x) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func BenchmarkInWordSum(b *testing.B) {
+	s := NewSummer(7, 8)
+	w := randPacked(rand.New(rand.NewSource(5)), 7, 8)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Sum(w)
+	}
+	_ = sink
+}
+
+func BenchmarkInWordSumRef(b *testing.B) {
+	w := randPacked(rand.New(rand.NewSource(5)), 7, 8)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += InWordSumRef(w, 7, 8)
+	}
+	_ = sink
+}

@@ -1,0 +1,79 @@
+package bpagg
+
+import (
+	"strconv"
+
+	"bpagg/internal/scan"
+)
+
+// Predicate is a simple comparison against constant codes, evaluated by a
+// bit-parallel scan. Complex conditions compose by combining the resulting
+// selection bitmaps with And/Or/AndNot/Not (paper §II-E).
+type Predicate struct {
+	p    scan.Predicate
+	list []uint64 // non-nil for In: evaluated as a union of equality scans
+}
+
+// Equal selects rows with value == v.
+func Equal(v uint64) Predicate { return Predicate{p: scan.Predicate{Op: scan.EQ, A: v}} }
+
+// NotEqual selects rows with value != v.
+func NotEqual(v uint64) Predicate { return Predicate{p: scan.Predicate{Op: scan.NE, A: v}} }
+
+// Less selects rows with value < v.
+func Less(v uint64) Predicate { return Predicate{p: scan.Predicate{Op: scan.LT, A: v}} }
+
+// LessEq selects rows with value <= v.
+func LessEq(v uint64) Predicate { return Predicate{p: scan.Predicate{Op: scan.LE, A: v}} }
+
+// Greater selects rows with value > v.
+func Greater(v uint64) Predicate { return Predicate{p: scan.Predicate{Op: scan.GT, A: v}} }
+
+// GreaterEq selects rows with value >= v.
+func GreaterEq(v uint64) Predicate { return Predicate{p: scan.Predicate{Op: scan.GE, A: v}} }
+
+// Between selects rows with lo <= value <= hi.
+func Between(lo, hi uint64) Predicate {
+	return Predicate{p: scan.Predicate{Op: scan.Between, A: lo, B: hi}}
+}
+
+// In selects rows whose value equals any of vs — an IN-list, evaluated as
+// the union of one BIT-PARALLEL-EQUAL scan per member. An empty list
+// selects nothing.
+func In(vs ...uint64) Predicate {
+	list := make([]uint64, len(vs))
+	copy(list, vs)
+	return Predicate{list: list}
+}
+
+// Matches reports whether a plain value satisfies the predicate — the
+// scalar semantics the bit-parallel scans implement.
+func (p Predicate) Matches(v uint64) bool {
+	if p.list != nil {
+		for _, x := range p.list {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	return p.p.Matches(v)
+}
+
+// String renders the predicate in SQL-ish form.
+func (p Predicate) String() string {
+	if p.list != nil {
+		s := "IN ("
+		for i, v := range p.list {
+			if i > 0 {
+				s += ", "
+			}
+			s += strconv.FormatUint(v, 10)
+		}
+		return s + ")"
+	}
+	if p.p.Op == scan.Between {
+		return "BETWEEN " + strconv.FormatUint(p.p.A, 10) + " AND " + strconv.FormatUint(p.p.B, 10)
+	}
+	return p.p.Op.String() + " " + strconv.FormatUint(p.p.A, 10)
+}

@@ -1,0 +1,207 @@
+package bpagg
+
+import (
+	"fmt"
+
+	"bpagg/internal/bitvec"
+)
+
+// Table is a collection of equal-length bit-packed columns — the
+// denormalized "wide table" the paper assumes (§III, following WideTable
+// [11]): joins and group-bys are materialized away up front, so queries are
+// conjunctive filter scans followed by aggregation over single columns.
+type Table struct {
+	names []string
+	cols  map[string]*Column
+	rows  int
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{cols: make(map[string]*Column)}
+}
+
+// NewTableFromColumns assembles a table from independently built columns
+// (the path loaders take when rows arrive column-wise with NULLs). All
+// columns must have equal length; names and cols are parallel.
+func NewTableFromColumns(names []string, cols []*Column) *Table {
+	if len(names) != len(cols) {
+		panic(fmt.Sprintf("bpagg: %d names for %d columns", len(names), len(cols)))
+	}
+	if len(cols) == 0 {
+		panic("bpagg: table needs at least one column")
+	}
+	t := NewTable()
+	n := cols[0].Len()
+	for i, name := range names {
+		if _, dup := t.cols[name]; dup {
+			panic(fmt.Sprintf("bpagg: duplicate column %q", name))
+		}
+		if cols[i].Len() != n {
+			panic(fmt.Sprintf("bpagg: column %q has %d rows, want %d", name, cols[i].Len(), n))
+		}
+		t.cols[name] = cols[i]
+		t.names = append(t.names, name)
+	}
+	t.rows = n
+	return t
+}
+
+// AddColumn registers an empty column. It panics if the name is taken or
+// rows have already been appended.
+func (t *Table) AddColumn(name string, layout Layout, bitWidth int, opts ...ColumnOption) *Column {
+	if _, dup := t.cols[name]; dup {
+		panic(fmt.Sprintf("bpagg: duplicate column %q", name))
+	}
+	if t.rows != 0 {
+		panic("bpagg: AddColumn after rows were appended")
+	}
+	c := NewColumn(layout, bitWidth, opts...)
+	t.cols[name] = c
+	t.names = append(t.names, name)
+	return c
+}
+
+// Column returns the named column, or nil if absent.
+func (t *Table) Column(name string) *Column { return t.cols[name] }
+
+// Columns returns the column names in registration order.
+func (t *Table) Columns() []string {
+	return append([]string(nil), t.names...)
+}
+
+// Rows returns the number of rows in the table.
+func (t *Table) Rows() int { return t.rows }
+
+// AppendRow appends one row; vals must provide a code for every column.
+func (t *Table) AppendRow(vals map[string]uint64) {
+	if len(vals) != len(t.names) {
+		panic(fmt.Sprintf("bpagg: row has %d values, table has %d columns", len(vals), len(t.names)))
+	}
+	for _, name := range t.names {
+		v, ok := vals[name]
+		if !ok {
+			panic(fmt.Sprintf("bpagg: row missing column %q", name))
+		}
+		t.cols[name].Append(v)
+	}
+	t.rows++
+}
+
+// AppendColumnar appends many rows given per-column value slices of equal
+// length — the natural bulk-load path for columnar data.
+func (t *Table) AppendColumnar(vals map[string][]uint64) {
+	if len(vals) != len(t.names) {
+		panic(fmt.Sprintf("bpagg: load has %d columns, table has %d", len(vals), len(t.names)))
+	}
+	n := -1
+	for _, name := range t.names {
+		col, ok := vals[name]
+		if !ok {
+			panic(fmt.Sprintf("bpagg: load missing column %q", name))
+		}
+		if n == -1 {
+			n = len(col)
+		} else if len(col) != n {
+			panic(fmt.Sprintf("bpagg: column %q has %d values, want %d", name, len(col), n))
+		}
+	}
+	for _, name := range t.names {
+		t.cols[name].Append(vals[name]...)
+	}
+	t.rows += n
+}
+
+// Query starts a query over the table.
+func (t *Table) Query() *Query {
+	return &Query{t: t}
+}
+
+// Query is a conjunctive filter over table columns followed by aggregation.
+// Each Where clause runs as an independent bit-parallel scan; the
+// selections intersect (paper §II-E), and the aggregate methods run on the
+// combined filter bit vector.
+type Query struct {
+	t     *Table
+	sel   *Bitmap
+	execs []ExecOption
+}
+
+// Where adds a conjunctive predicate on the named column and returns the
+// query for chaining.
+func (q *Query) Where(column string, p Predicate) *Query {
+	col := q.t.cols[column]
+	if col == nil {
+		panic(fmt.Sprintf("bpagg: unknown column %q", column))
+	}
+	m := col.Scan(p)
+	if q.sel == nil {
+		q.sel = m
+	} else {
+		q.sel.And(m)
+	}
+	return q
+}
+
+// With sets execution options (Parallel, WideWords) for the aggregates.
+func (q *Query) With(opts ...ExecOption) *Query {
+	q.execs = append(q.execs, opts...)
+	return q
+}
+
+// Selection returns the query's current filter bitmap (all rows if no Where
+// clause was added).
+func (q *Query) Selection() *Bitmap {
+	if q.sel == nil {
+		q.sel = &Bitmap{b: bitvec.NewFull(q.t.rows)}
+	}
+	return q.sel
+}
+
+// CountRows returns the number of rows passing the filter.
+func (q *Query) CountRows() uint64 {
+	return uint64(q.Selection().Count())
+}
+
+// Sum aggregates SUM over the named column.
+func (q *Query) Sum(column string) uint64 {
+	return q.col(column).Sum(q.Selection(), q.execs...)
+}
+
+// Min aggregates MIN over the named column.
+func (q *Query) Min(column string) (uint64, bool) {
+	return q.col(column).Min(q.Selection(), q.execs...)
+}
+
+// Max aggregates MAX over the named column.
+func (q *Query) Max(column string) (uint64, bool) {
+	return q.col(column).Max(q.Selection(), q.execs...)
+}
+
+// Avg aggregates AVG over the named column.
+func (q *Query) Avg(column string) (float64, bool) {
+	return q.col(column).Avg(q.Selection(), q.execs...)
+}
+
+// Median aggregates the lower MEDIAN over the named column.
+func (q *Query) Median(column string) (uint64, bool) {
+	return q.col(column).Median(q.Selection(), q.execs...)
+}
+
+// Rank returns the r-th smallest selected value of the named column.
+func (q *Query) Rank(column string, r uint64) (uint64, bool) {
+	return q.col(column).Rank(q.Selection(), r, q.execs...)
+}
+
+// Quantile returns the q-quantile (nearest rank) of the named column.
+func (q *Query) Quantile(column string, quantile float64) (uint64, bool) {
+	return q.col(column).Quantile(q.Selection(), quantile, q.execs...)
+}
+
+func (q *Query) col(name string) *Column {
+	c := q.t.cols[name]
+	if c == nil {
+		panic(fmt.Sprintf("bpagg: unknown column %q", name))
+	}
+	return c
+}

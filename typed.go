@@ -1,0 +1,277 @@
+package bpagg
+
+import "fmt"
+
+// Typed columns wrap Column with an order-preserving codec so applications
+// work in their own domain (decimals, signed integers, strings) while every
+// scan and aggregate still runs bit-parallel on packed codes. Raw exposes
+// the underlying Column for selection composition across columns.
+
+// DecimalColumn stores non-negative fixed-point decimals.
+type DecimalColumn struct {
+	col   *Column
+	codec Decimal
+}
+
+// NewDecimalColumn returns an empty decimal column; the codec fixes the
+// scale and maximum (and thereby the packed bit width).
+func NewDecimalColumn(layout Layout, codec Decimal, opts ...ColumnOption) *DecimalColumn {
+	return &DecimalColumn{col: NewColumn(layout, codec.Bits(), opts...), codec: codec}
+}
+
+// Raw returns the underlying packed column.
+func (d *DecimalColumn) Raw() *Column { return d.col }
+
+// Len returns the number of rows.
+func (d *DecimalColumn) Len() int { return d.col.Len() }
+
+// Append adds decimal values.
+func (d *DecimalColumn) Append(vals ...float64) {
+	for _, v := range vals {
+		d.col.Append(d.codec.Encode(v))
+	}
+}
+
+// AppendNull adds a NULL row.
+func (d *DecimalColumn) AppendNull() { d.col.AppendNull() }
+
+// Value reconstructs row i.
+func (d *DecimalColumn) Value(i int) float64 { return d.codec.Decode(d.col.Value(i)) }
+
+// ScanLess selects rows with value < v.
+func (d *DecimalColumn) ScanLess(v float64) *Bitmap { return d.col.Scan(Less(d.codec.Encode(v))) }
+
+// ScanLessEq selects rows with value <= v.
+func (d *DecimalColumn) ScanLessEq(v float64) *Bitmap { return d.col.Scan(LessEq(d.codec.Encode(v))) }
+
+// ScanGreater selects rows with value > v.
+func (d *DecimalColumn) ScanGreater(v float64) *Bitmap { return d.col.Scan(Greater(d.codec.Encode(v))) }
+
+// ScanGreaterEq selects rows with value >= v.
+func (d *DecimalColumn) ScanGreaterEq(v float64) *Bitmap {
+	return d.col.Scan(GreaterEq(d.codec.Encode(v)))
+}
+
+// ScanBetween selects rows with lo <= value <= hi.
+func (d *DecimalColumn) ScanBetween(lo, hi float64) *Bitmap {
+	return d.col.Scan(Between(d.codec.Encode(lo), d.codec.Encode(hi)))
+}
+
+// All selects every row.
+func (d *DecimalColumn) All() *Bitmap { return d.col.All() }
+
+// Sum returns the decimal sum of the selected rows.
+func (d *DecimalColumn) Sum(sel *Bitmap, opts ...ExecOption) float64 {
+	return d.codec.DecodeSum(d.col.Sum(sel, opts...))
+}
+
+// Avg returns the decimal mean of the selected rows.
+func (d *DecimalColumn) Avg(sel *Bitmap, opts ...ExecOption) (float64, bool) {
+	cnt := d.col.Count(sel)
+	if cnt == 0 {
+		return 0, false
+	}
+	return d.Sum(sel, opts...) / float64(cnt), true
+}
+
+// Min returns the smallest selected decimal.
+func (d *DecimalColumn) Min(sel *Bitmap, opts ...ExecOption) (float64, bool) {
+	c, ok := d.col.Min(sel, opts...)
+	return d.codec.Decode(c), ok
+}
+
+// Max returns the largest selected decimal.
+func (d *DecimalColumn) Max(sel *Bitmap, opts ...ExecOption) (float64, bool) {
+	c, ok := d.col.Max(sel, opts...)
+	return d.codec.Decode(c), ok
+}
+
+// Median returns the lower median of the selected decimals.
+func (d *DecimalColumn) Median(sel *Bitmap, opts ...ExecOption) (float64, bool) {
+	c, ok := d.col.Median(sel, opts...)
+	return d.codec.Decode(c), ok
+}
+
+// Quantile returns the q-quantile (nearest rank) of the selected decimals.
+func (d *DecimalColumn) Quantile(sel *Bitmap, q float64, opts ...ExecOption) (float64, bool) {
+	c, ok := d.col.Quantile(sel, q, opts...)
+	return d.codec.Decode(c), ok
+}
+
+// SignedColumn stores signed integers in a fixed range.
+type SignedColumn struct {
+	col   *Column
+	codec Signed
+}
+
+// NewSignedColumn returns an empty signed-integer column.
+func NewSignedColumn(layout Layout, codec Signed, opts ...ColumnOption) *SignedColumn {
+	return &SignedColumn{col: NewColumn(layout, codec.Bits(), opts...), codec: codec}
+}
+
+// Raw returns the underlying packed column.
+func (s *SignedColumn) Raw() *Column { return s.col }
+
+// Len returns the number of rows.
+func (s *SignedColumn) Len() int { return s.col.Len() }
+
+// Append adds signed values.
+func (s *SignedColumn) Append(vals ...int64) {
+	for _, v := range vals {
+		s.col.Append(s.codec.Encode(v))
+	}
+}
+
+// AppendNull adds a NULL row.
+func (s *SignedColumn) AppendNull() { s.col.AppendNull() }
+
+// Value reconstructs row i.
+func (s *SignedColumn) Value(i int) int64 { return s.codec.Decode(s.col.Value(i)) }
+
+// ScanLess selects rows with value < v.
+func (s *SignedColumn) ScanLess(v int64) *Bitmap { return s.col.Scan(Less(s.codec.Encode(v))) }
+
+// ScanGreater selects rows with value > v.
+func (s *SignedColumn) ScanGreater(v int64) *Bitmap { return s.col.Scan(Greater(s.codec.Encode(v))) }
+
+// ScanBetween selects rows with lo <= value <= hi.
+func (s *SignedColumn) ScanBetween(lo, hi int64) *Bitmap {
+	return s.col.Scan(Between(s.codec.Encode(lo), s.codec.Encode(hi)))
+}
+
+// ScanEqual selects rows with value == v.
+func (s *SignedColumn) ScanEqual(v int64) *Bitmap { return s.col.Scan(Equal(s.codec.Encode(v))) }
+
+// All selects every row.
+func (s *SignedColumn) All() *Bitmap { return s.col.All() }
+
+// Sum returns the signed sum of the selected rows.
+func (s *SignedColumn) Sum(sel *Bitmap, opts ...ExecOption) int64 {
+	cnt := s.col.Count(sel)
+	return s.codec.DecodeSum(s.col.Sum(sel, opts...), cnt)
+}
+
+// Avg returns the signed mean of the selected rows.
+func (s *SignedColumn) Avg(sel *Bitmap, opts ...ExecOption) (float64, bool) {
+	cnt := s.col.Count(sel)
+	if cnt == 0 {
+		return 0, false
+	}
+	return float64(s.Sum(sel, opts...)) / float64(cnt), true
+}
+
+// Min returns the smallest selected value.
+func (s *SignedColumn) Min(sel *Bitmap, opts ...ExecOption) (int64, bool) {
+	c, ok := s.col.Min(sel, opts...)
+	return s.codec.Decode(c), ok
+}
+
+// Max returns the largest selected value.
+func (s *SignedColumn) Max(sel *Bitmap, opts ...ExecOption) (int64, bool) {
+	c, ok := s.col.Max(sel, opts...)
+	return s.codec.Decode(c), ok
+}
+
+// Median returns the lower median of the selected values.
+func (s *SignedColumn) Median(sel *Bitmap, opts ...ExecOption) (int64, bool) {
+	c, ok := s.col.Median(sel, opts...)
+	return s.codec.Decode(c), ok
+}
+
+// StringColumn stores low-cardinality strings through an order-preserving
+// dictionary. The key set is fixed at construction (dictionary codes must
+// be dense and sorted for range scans to stay exact).
+type StringColumn struct {
+	col  *Column
+	dict *Dict
+}
+
+// NewStringColumn returns an empty string column over the given key set.
+func NewStringColumn(layout Layout, keys []string, opts ...ColumnOption) *StringColumn {
+	d := NewDict()
+	for _, k := range keys {
+		d.Add(k)
+	}
+	d.Freeze()
+	return &StringColumn{col: NewColumn(layout, d.Bits(), opts...), dict: d}
+}
+
+// Raw returns the underlying packed column.
+func (s *StringColumn) Raw() *Column { return s.col }
+
+// Dict returns the column's dictionary.
+func (s *StringColumn) Dict() *Dict { return s.dict }
+
+// Len returns the number of rows.
+func (s *StringColumn) Len() int { return s.col.Len() }
+
+// Append adds string values; unknown keys panic (the dictionary is fixed).
+func (s *StringColumn) Append(vals ...string) {
+	for _, v := range vals {
+		c, ok := s.dict.Encode(v)
+		if !ok {
+			panic(fmt.Sprintf("bpagg: string %q not in dictionary", v))
+		}
+		s.col.Append(c)
+	}
+}
+
+// AppendNull adds a NULL row.
+func (s *StringColumn) AppendNull() { s.col.AppendNull() }
+
+// Value reconstructs row i.
+func (s *StringColumn) Value(i int) string { return s.dict.Decode(s.col.Value(i)) }
+
+// ScanEqual selects rows equal to key; unknown keys select nothing.
+func (s *StringColumn) ScanEqual(key string) *Bitmap {
+	c, ok := s.dict.Encode(key)
+	if !ok {
+		return s.col.None()
+	}
+	return s.col.Scan(Equal(c))
+}
+
+// ScanRange selects rows with lo <= value <= hi lexicographically; both
+// keys must exist in the dictionary.
+func (s *StringColumn) ScanRange(lo, hi string) *Bitmap {
+	cl, okL := s.dict.Encode(lo)
+	ch, okH := s.dict.Encode(hi)
+	if !okL || !okH {
+		panic(fmt.Sprintf("bpagg: range bound not in dictionary (%q, %q)", lo, hi))
+	}
+	return s.col.Scan(Between(cl, ch))
+}
+
+// All selects every row.
+func (s *StringColumn) All() *Bitmap { return s.col.All() }
+
+// Min returns the lexicographically smallest selected string.
+func (s *StringColumn) Min(sel *Bitmap, opts ...ExecOption) (string, bool) {
+	c, ok := s.col.Min(sel, opts...)
+	if !ok {
+		return "", false
+	}
+	return s.dict.Decode(c), true
+}
+
+// Max returns the lexicographically largest selected string.
+func (s *StringColumn) Max(sel *Bitmap, opts ...ExecOption) (string, bool) {
+	c, ok := s.col.Max(sel, opts...)
+	if !ok {
+		return "", false
+	}
+	return s.dict.Decode(c), true
+}
+
+// Median returns the lower median of the selected strings in dictionary
+// order.
+func (s *StringColumn) Median(sel *Bitmap, opts ...ExecOption) (string, bool) {
+	c, ok := s.col.Median(sel, opts...)
+	if !ok {
+		return "", false
+	}
+	return s.dict.Decode(c), true
+}
+
+// Count returns the number of selected non-NULL rows.
+func (s *StringColumn) Count(sel *Bitmap) uint64 { return s.col.Count(sel) }

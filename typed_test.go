@@ -1,0 +1,200 @@
+package bpagg
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestDecimalColumn(t *testing.T) {
+	codec := Decimal{Scale: 2, Max: 10000}
+	for _, layout := range []Layout{VBP, HBP} {
+		col := NewDecimalColumn(layout, codec)
+		vals := []float64{12.34, 0, 9999.99, 500.5, 12.33}
+		col.Append(vals...)
+		if col.Len() != 5 {
+			t.Fatalf("%v: Len = %d", layout, col.Len())
+		}
+		for i, want := range vals {
+			if got := col.Value(i); got != want {
+				t.Fatalf("%v: Value(%d) = %v, want %v", layout, i, got, want)
+			}
+		}
+		sel := col.ScanLess(500.5)
+		if sel.Count() != 3 { // 12.34, 0, 12.33
+			t.Fatalf("%v: ScanLess(500.5) = %d rows", layout, sel.Count())
+		}
+		if got := col.Sum(sel); math.Abs(got-24.67) > 1e-9 {
+			t.Fatalf("%v: Sum = %v", layout, got)
+		}
+		if got, ok := col.Min(col.All()); !ok || got != 0 {
+			t.Fatalf("%v: Min = %v", layout, got)
+		}
+		if got, ok := col.Max(col.All()); !ok || got != 9999.99 {
+			t.Fatalf("%v: Max = %v", layout, got)
+		}
+		if got, ok := col.Median(col.All()); !ok || got != 12.34 {
+			t.Fatalf("%v: Median = %v", layout, got)
+		}
+		if got, ok := col.Avg(sel); !ok || math.Abs(got-24.67/3) > 1e-9 {
+			t.Fatalf("%v: Avg = %v", layout, got)
+		}
+		if got, ok := col.Quantile(col.All(), 1); !ok || got != 9999.99 {
+			t.Fatalf("%v: Quantile(1) = %v", layout, got)
+		}
+		between := col.ScanBetween(12.34, 500.5)
+		if between.Count() != 2 {
+			t.Fatalf("%v: ScanBetween = %d rows", layout, between.Count())
+		}
+		if col.ScanGreaterEq(9999.99).Count() != 1 || col.ScanGreater(9999.99).Count() != 0 ||
+			col.ScanLessEq(0).Count() != 1 {
+			t.Fatalf("%v: boundary scans wrong", layout)
+		}
+	}
+}
+
+func TestDecimalColumnNulls(t *testing.T) {
+	col := NewDecimalColumn(VBP, Decimal{Scale: 1, Max: 100})
+	col.Append(10.5)
+	col.AppendNull()
+	col.Append(20.5)
+	if got := col.Sum(col.All()); got != 31 {
+		t.Fatalf("Sum = %v", got)
+	}
+	if got, ok := col.Avg(col.All()); !ok || got != 15.5 {
+		t.Fatalf("Avg = %v", got)
+	}
+}
+
+func TestSignedColumn(t *testing.T) {
+	codec := Signed{Min: -500, Max: 500}
+	col := NewSignedColumn(HBP, codec)
+	vals := []int64{-500, -1, 0, 250, 500}
+	col.Append(vals...)
+	for i, want := range vals {
+		if got := col.Value(i); got != want {
+			t.Fatalf("Value(%d) = %d, want %d", i, got, want)
+		}
+	}
+	if got := col.Sum(col.All()); got != 249 {
+		t.Fatalf("Sum = %d", got)
+	}
+	neg := col.ScanLess(0)
+	if neg.Count() != 2 {
+		t.Fatalf("ScanLess(0) = %d rows", neg.Count())
+	}
+	if got := col.Sum(neg); got != -501 {
+		t.Fatalf("Sum(neg) = %d", got)
+	}
+	if got, ok := col.Min(col.All()); !ok || got != -500 {
+		t.Fatalf("Min = %d", got)
+	}
+	if got, ok := col.Max(col.All()); !ok || got != 500 {
+		t.Fatalf("Max = %d", got)
+	}
+	if got, ok := col.Median(col.All()); !ok || got != 0 {
+		t.Fatalf("Median = %d", got)
+	}
+	if got, ok := col.Avg(col.All()); !ok || got != 249.0/5 {
+		t.Fatalf("Avg = %v", got)
+	}
+	if col.ScanEqual(250).Count() != 1 || col.ScanGreater(250).Count() != 1 ||
+		col.ScanBetween(-1, 250).Count() != 3 {
+		t.Fatal("signed scans wrong")
+	}
+}
+
+func TestSignedColumnRandomizedSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	codec := Signed{Min: -10000, Max: 10000}
+	col := NewSignedColumn(VBP, codec)
+	var want int64
+	for i := 0; i < 3000; i++ {
+		v := int64(rng.Intn(20001)) - 10000
+		col.Append(v)
+		want += v
+	}
+	if got := col.Sum(col.All()); got != want {
+		t.Fatalf("Sum = %d, want %d", got, want)
+	}
+}
+
+func TestStringColumn(t *testing.T) {
+	keys := []string{"URGENT", "HIGH", "MEDIUM", "LOW", "NONE"}
+	col := NewStringColumn(VBP, keys)
+	rows := []string{"HIGH", "LOW", "NONE", "HIGH", "URGENT", "MEDIUM"}
+	col.Append(rows...)
+	for i, want := range rows {
+		if got := col.Value(i); got != want {
+			t.Fatalf("Value(%d) = %q, want %q", i, got, want)
+		}
+	}
+	if got := col.ScanEqual("HIGH").Count(); got != 2 {
+		t.Fatalf("ScanEqual(HIGH) = %d", got)
+	}
+	if got := col.ScanEqual("MISSING").Count(); got != 0 {
+		t.Fatalf("ScanEqual(MISSING) = %d", got)
+	}
+	// Lexicographic range HIGH..MEDIUM covers HIGH, LOW, MEDIUM.
+	if got := col.ScanRange("HIGH", "MEDIUM").Count(); got != 4 {
+		t.Fatalf("ScanRange = %d", got)
+	}
+	if got, ok := col.Min(col.All()); !ok || got != "HIGH" {
+		t.Fatalf("Min = %q", got)
+	}
+	if got, ok := col.Max(col.All()); !ok || got != "URGENT" {
+		t.Fatalf("Max = %q", got)
+	}
+	// Dictionary-order median of sorted {HIGH,HIGH,LOW,MEDIUM,NONE,URGENT}
+	// is LOW (3rd of 6).
+	sorted := append([]string(nil), rows...)
+	sort.Strings(sorted)
+	if got, ok := col.Median(col.All()); !ok || got != sorted[(len(sorted)+1)/2-1] {
+		t.Fatalf("Median = %q, want %q", got, sorted[(len(sorted)+1)/2-1])
+	}
+	if got := col.Count(col.All()); got != 6 {
+		t.Fatalf("Count = %d", got)
+	}
+}
+
+func TestStringColumnUnknownAppendPanics(t *testing.T) {
+	col := NewStringColumn(HBP, []string{"a", "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Append of unknown key did not panic")
+		}
+	}()
+	col.Append("zzz")
+}
+
+func TestStringColumnNulls(t *testing.T) {
+	col := NewStringColumn(HBP, []string{"x", "y"})
+	col.Append("y")
+	col.AppendNull()
+	col.Append("x")
+	if got := col.Count(col.All()); got != 2 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got, ok := col.Min(col.All()); !ok || got != "x" {
+		t.Fatalf("Min = %q", got)
+	}
+	if got := col.ScanEqual("x").Count(); got != 1 {
+		t.Fatalf("ScanEqual(x) = %d", got)
+	}
+}
+
+func TestTypedRawComposition(t *testing.T) {
+	// Selections from typed columns compose across columns.
+	price := NewDecimalColumn(VBP, Decimal{Scale: 2, Max: 1000})
+	status := NewStringColumn(VBP, []string{"ok", "err"})
+	price.Append(10, 20, 30, 40)
+	status.Append("ok", "err", "ok", "err")
+	sel := price.ScanGreater(15).And(status.ScanEqual("ok"))
+	if sel.Count() != 1 || !sel.Get(2) {
+		t.Fatalf("composed selection wrong: %d rows", sel.Count())
+	}
+	if got := price.Sum(sel); got != 30 {
+		t.Fatalf("Sum = %v", got)
+	}
+}
