@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test vet race ci bench clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race target is the tier the hardened execution layer is held to:
+# every parallel driver, the fault-injection hooks, and the cancellation
+# paths run under the race detector.
+race:
+	$(GO) test -race ./...
+
+ci: vet build test race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+clean:
+	$(GO) clean ./...

@@ -15,10 +15,14 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"bpagg/internal/catalog"
@@ -46,6 +50,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "bpagg: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "bpagg:", err)
 		os.Exit(1)
 	}
@@ -54,13 +62,17 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   bpagg load  -csv FILE -schema SPEC -out FILE   pack CSV into a .bpag table
-  bpagg query -table FILE [-threads N] [-wide] [SQL]
+  bpagg query -table FILE [-threads N] [-wide] [-timeout D] [SQL]
               (omit SQL for an interactive session reading stdin)
   bpagg info  -table FILE
 
 schema SPEC is comma-separated name:type[:layout] with types
   uint(bits) | decimal(scale,max) | int(min,max) | string
-and layouts vbp (default) | hbp.`)
+and layouts vbp (default) | hbp.
+
+-timeout bounds each query (e.g. -timeout 2s); ctrl-C cancels the
+query in flight (and, in the interactive session, returns to the
+prompt instead of killing the process).`)
 }
 
 func cmdLoad(args []string) error {
@@ -120,6 +132,7 @@ func cmdQuery(args []string) error {
 	threads := fs.Int("threads", 1, "worker goroutines for aggregation")
 	wide := fs.Bool("wide", false, "use 256-bit wide-word kernels")
 	auto := fs.Bool("auto", true, "pick bit-parallel vs reconstruction per query selectivity")
+	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
 	fs.Parse(args)
 	if *table == "" || fs.NArg() > 1 {
 		return fmt.Errorf("query needs -table and at most one SQL argument (none starts a REPL)")
@@ -130,9 +143,16 @@ func cmdQuery(args []string) error {
 	}
 	opts := sqlmini.ExecOptions{Threads: *threads, Wide: *wide, Auto: *auto}
 	if fs.NArg() == 1 {
-		return runQuery(cat, fs.Arg(0), opts)
+		// One-shot query: ctrl-C cancels the in-flight aggregation and
+		// the process exits cleanly (status 130) once workers join.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		return runQuery(ctx, cat, fs.Arg(0), opts, *timeout)
 	}
 	// REPL: one query per line from stdin; errors don't end the session.
+	// Each query gets its own signal-aware context, so ctrl-C cancels
+	// the running query and falls back to the prompt; at an idle prompt
+	// the default SIGINT disposition (terminate) applies.
 	fmt.Printf("bpagg> connected to %s (%d rows); one query per line, ctrl-D to exit\n",
 		*table, cat.Table.Rows())
 	sc := bufio.NewScanner(os.Stdin)
@@ -150,20 +170,36 @@ func cmdQuery(args []string) error {
 		if line == "quit" || line == "exit" {
 			return nil
 		}
-		if err := runQuery(cat, line, opts); err != nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		err := runQuery(ctx, cat, line, opts, *timeout)
+		stop()
+		switch {
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "bpagg: query canceled")
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "bpagg: query timed out after %v\n", *timeout)
+		case err != nil:
 			fmt.Fprintln(os.Stderr, "bpagg:", err)
 		}
 	}
 }
 
-func runQuery(cat *catalog.Catalog, sql string, opts sqlmini.ExecOptions) error {
+func runQuery(ctx context.Context, cat *catalog.Catalog, sql string, opts sqlmini.ExecOptions, timeout time.Duration) error {
 	q, err := sqlmini.Parse(sql)
 	if err != nil {
 		return err
 	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
 	start := time.Now()
-	res, err := sqlmini.Execute(cat, q, opts)
+	res, err := sqlmini.ExecuteContext(ctx, cat, q, opts)
 	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) && timeout > 0 {
+			return fmt.Errorf("%w (budget %v)", err, timeout)
+		}
 		return err
 	}
 	printResult(res)

@@ -1,0 +1,274 @@
+package bpagg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"bpagg/internal/nbp"
+	"bpagg/internal/parallel"
+)
+
+// Error handling and cancellation contract
+//
+// The ...Context methods below are the hardened twins of the plain
+// aggregate methods: they accept a context.Context, validate their
+// arguments instead of panicking, and return errors for everything that
+// can go wrong at runtime — cancellation (context.Canceled), deadlines
+// (context.DeadlineExceeded), mismatched selections, out-of-range
+// quantiles, and recovered worker panics (*PanicError).
+//
+// Workers check the context between segment blocks and at every radix
+// rendezvous of MEDIAN/rank, so cancellation of a long aggregation over
+// a large column takes effect within a fraction of a millisecond of
+// work per worker rather than after a full scan. On any error all
+// worker goroutines are joined before the call returns; no goroutine
+// outlives its aggregate.
+//
+// The plain methods (Sum, Median, ...) keep their original contract:
+// panics are reserved for programmer errors (mismatched selection
+// lengths, out-of-range quantile constants), and a worker panic
+// propagates. Code operating on untrusted input should use the
+// ...Context variants.
+
+// PanicError reports a worker panic recovered during a parallel
+// aggregate: one corrupt segment or faulty kernel surfaces as an error
+// on the caller instead of crashing the process. Value and Stack carry
+// the original panic for diagnosis.
+type PanicError struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("bpagg: aggregation worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// wrapExecErr rewraps internal execution errors into their public form.
+func wrapExecErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	var pe *parallel.PanicError
+	if errors.As(err, &pe) {
+		return &PanicError{Worker: pe.Worker, Value: pe.Value, Stack: pe.Stack}
+	}
+	return err
+}
+
+// orBackground tolerates a nil ctx (treated as context.Background()) so
+// the Context API is safe to call from code that may not have one.
+func orBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// checkSelErr is the error-returning twin of checkSel.
+func (c *Column) checkSelErr(sel *Bitmap) error {
+	if sel == nil {
+		return fmt.Errorf("bpagg: nil selection")
+	}
+	if sel.b.Len() != c.Len() {
+		return fmt.Errorf("bpagg: selection length %d does not match column length %d",
+			sel.b.Len(), c.Len())
+	}
+	return nil
+}
+
+// CountContext returns the number of selected non-NULL rows. It exists
+// for symmetry with the other Context aggregates: COUNT is one popcount
+// pass and is not worth cancelling mid-flight, so only the entry check
+// observes ctx.
+func (c *Column) CountContext(ctx context.Context, sel *Bitmap) (uint64, error) {
+	if err := c.checkSelErr(sel); err != nil {
+		return 0, err
+	}
+	if err := orBackground(ctx).Err(); err != nil {
+		return 0, err
+	}
+	return c.Count(sel), nil
+}
+
+// SumContext is Sum with cancellation, deadline, and panic-recovery
+// support.
+func (c *Column) SumContext(ctx context.Context, sel *Bitmap, opts ...ExecOption) (uint64, error) {
+	ctx = orBackground(ctx)
+	if err := c.checkSelErr(sel); err != nil {
+		return 0, err
+	}
+	o := execOptions(opts)
+	eff := c.effective(sel)
+	if c.useReconstruct(eff, o) {
+		// The reconstruction baseline only wins on sparse selections, so
+		// the whole call is short; ctx is observed at entry only.
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
+		return nbp.SumOpt(c.nbpSource(), eff, nbpOptions(o)), nil
+	}
+	var (
+		v   uint64
+		err error
+	)
+	if c.layout == VBP {
+		v, err = parallel.VBPSumCtx(ctx, c.v, eff, o.par)
+	} else {
+		v, err = parallel.HBPSumCtx(ctx, c.h, eff, o.par)
+	}
+	return v, wrapExecErr(err)
+}
+
+// MinContext is Min with cancellation, deadline, and panic-recovery
+// support.
+func (c *Column) MinContext(ctx context.Context, sel *Bitmap, opts ...ExecOption) (uint64, bool, error) {
+	return c.extremeContext(ctx, sel, opts, true)
+}
+
+// MaxContext is Max with cancellation, deadline, and panic-recovery
+// support.
+func (c *Column) MaxContext(ctx context.Context, sel *Bitmap, opts ...ExecOption) (uint64, bool, error) {
+	return c.extremeContext(ctx, sel, opts, false)
+}
+
+func (c *Column) extremeContext(ctx context.Context, sel *Bitmap, opts []ExecOption, wantMin bool) (uint64, bool, error) {
+	ctx = orBackground(ctx)
+	if err := c.checkSelErr(sel); err != nil {
+		return 0, false, err
+	}
+	o := execOptions(opts)
+	eff := c.effective(sel)
+	if c.useReconstruct(eff, o) {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		if wantMin {
+			v, ok := nbp.MinOpt(c.nbpSource(), eff, nbpOptions(o))
+			return v, ok, nil
+		}
+		v, ok := nbp.MaxOpt(c.nbpSource(), eff, nbpOptions(o))
+		return v, ok, nil
+	}
+	var (
+		v   uint64
+		ok  bool
+		err error
+	)
+	switch {
+	case c.layout == VBP && wantMin:
+		v, ok, err = parallel.VBPMinCtx(ctx, c.v, eff, o.par)
+	case c.layout == VBP:
+		v, ok, err = parallel.VBPMaxCtx(ctx, c.v, eff, o.par)
+	case wantMin:
+		v, ok, err = parallel.HBPMinCtx(ctx, c.h, eff, o.par)
+	default:
+		v, ok, err = parallel.HBPMaxCtx(ctx, c.h, eff, o.par)
+	}
+	return v, ok, wrapExecErr(err)
+}
+
+// AvgContext is Avg with cancellation, deadline, and panic-recovery
+// support.
+func (c *Column) AvgContext(ctx context.Context, sel *Bitmap, opts ...ExecOption) (float64, bool, error) {
+	ctx = orBackground(ctx)
+	if err := c.checkSelErr(sel); err != nil {
+		return 0, false, err
+	}
+	o := execOptions(opts)
+	eff := c.effective(sel)
+	if c.useReconstruct(eff, o) {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		v, ok := nbp.AvgOpt(c.nbpSource(), eff, nbpOptions(o))
+		return v, ok, nil
+	}
+	var (
+		v   float64
+		ok  bool
+		err error
+	)
+	if c.layout == VBP {
+		v, ok, err = parallel.VBPAvgCtx(ctx, c.v, eff, o.par)
+	} else {
+		v, ok, err = parallel.HBPAvgCtx(ctx, c.h, eff, o.par)
+	}
+	return v, ok, wrapExecErr(err)
+}
+
+// MedianContext is Median with cancellation, deadline, and
+// panic-recovery support. The multi-step radix refinement checks ctx at
+// every per-bit (VBP) or per-chunk (HBP) rendezvous, so even medians
+// over very large columns cancel promptly.
+func (c *Column) MedianContext(ctx context.Context, sel *Bitmap, opts ...ExecOption) (uint64, bool, error) {
+	ctx = orBackground(ctx)
+	if err := c.checkSelErr(sel); err != nil {
+		return 0, false, err
+	}
+	cnt := c.Count(sel)
+	if cnt == 0 {
+		return 0, false, nil
+	}
+	return c.rankContext(ctx, sel, (cnt+1)/2, opts)
+}
+
+// RankContext is Rank with cancellation, deadline, and panic-recovery
+// support. ok is false when fewer than r rows are selected or r is 0.
+func (c *Column) RankContext(ctx context.Context, sel *Bitmap, r uint64, opts ...ExecOption) (uint64, bool, error) {
+	ctx = orBackground(ctx)
+	if err := c.checkSelErr(sel); err != nil {
+		return 0, false, err
+	}
+	return c.rankContext(ctx, sel, r, opts)
+}
+
+func (c *Column) rankContext(ctx context.Context, sel *Bitmap, r uint64, opts []ExecOption) (uint64, bool, error) {
+	o := execOptions(opts)
+	eff := c.effective(sel)
+	if c.useReconstruct(eff, o) {
+		if err := ctx.Err(); err != nil {
+			return 0, false, err
+		}
+		v, ok := nbp.RankOpt(c.nbpSource(), eff, r, nbpOptions(o))
+		return v, ok, nil
+	}
+	var (
+		v   uint64
+		ok  bool
+		err error
+	)
+	if c.layout == VBP {
+		v, ok, err = parallel.VBPRankCtx(ctx, c.v, eff, r, o.par)
+	} else {
+		v, ok, err = parallel.HBPRankCtx(ctx, c.h, eff, r, o.par)
+	}
+	return v, ok, wrapExecErr(err)
+}
+
+// QuantileContext is Quantile with cancellation, deadline, and
+// panic-recovery support. Unlike Quantile, an out-of-range q returns an
+// error instead of panicking, so q may come from untrusted input.
+func (c *Column) QuantileContext(ctx context.Context, sel *Bitmap, q float64, opts ...ExecOption) (uint64, bool, error) {
+	ctx = orBackground(ctx)
+	if err := c.checkSelErr(sel); err != nil {
+		return 0, false, err
+	}
+	if q < 0 || q > 1 || q != q { // q != q rejects NaN
+		return 0, false, fmt.Errorf("bpagg: quantile %v outside [0,1]", q)
+	}
+	cnt := c.Count(sel)
+	if cnt == 0 {
+		return 0, false, nil
+	}
+	r := uint64(float64(cnt)*q + 0.999999999)
+	if r == 0 {
+		r = 1
+	}
+	if r > cnt {
+		r = cnt
+	}
+	return c.rankContext(ctx, sel, r, opts)
+}

@@ -1,0 +1,86 @@
+// Package faultinject provides named fault-injection hooks for tests.
+//
+// Production code calls Fire at interesting sites (worker start, stream
+// reads); tests register hooks that panic, sleep, or return errors to
+// prove the surrounding machinery recovers, cancels, and propagates
+// failures instead of crashing or deadlocking. With no hooks registered
+// the cost of a site is one atomic load, so the hooks stay compiled into
+// release builds without measurable overhead.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Hook sites used across the repository. Sites are plain strings so new
+// ones need no central registration, but the shared ones live here to
+// keep callers and tests in sync.
+const (
+	// SiteWorkerStart fires once at the start of every parallel worker
+	// goroutine; args[0] is the worker index (int).
+	SiteWorkerStart = "parallel.worker.start"
+	// SiteWorkerRange fires before each block of segments a worker
+	// processes; args[0] is the worker index (int).
+	SiteWorkerRange = "parallel.worker.range"
+	// SiteIOReadWords fires on every readWords call during column
+	// deserialization; a non-nil return simulates a short/failed read.
+	SiteIOReadWords = "bpagg.io.readWords"
+)
+
+// Func is an injected fault. Returning a non-nil error makes the site
+// fail as if the underlying operation had; panicking exercises the
+// caller's recovery path; sleeping simulates a slow segment.
+type Func func(args ...any) error
+
+var (
+	active atomic.Int32 // number of registered hooks (fast-path gate)
+	mu     sync.Mutex
+	hooks  = map[string]Func{}
+)
+
+// Fire invokes the hook registered for site, if any. The zero-hook fast
+// path is a single atomic load.
+func Fire(site string, args ...any) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := hooks[site]
+	mu.Unlock()
+	if fn == nil {
+		return nil
+	}
+	return fn(args...)
+}
+
+// Set registers fn for site, replacing any previous hook. A nil fn
+// clears the site.
+func Set(site string, fn Func) {
+	mu.Lock()
+	defer mu.Unlock()
+	_, had := hooks[site]
+	if fn == nil {
+		if had {
+			delete(hooks, site)
+			active.Add(-1)
+		}
+		return
+	}
+	if !had {
+		active.Add(1)
+	}
+	hooks[site] = fn
+}
+
+// Clear removes the hook for site.
+func Clear(site string) { Set(site, nil) }
+
+// Reset removes every hook. Tests that register hooks should
+// defer Reset() (or Clear their sites) so later tests run clean.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	hooks = map[string]Func{}
+	active.Store(0)
+}

@@ -1,0 +1,74 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestFireWithoutHooksIsNil(t *testing.T) {
+	Reset()
+	if err := Fire("nothing.registered"); err != nil {
+		t.Fatalf("Fire with no hooks = %v, want nil", err)
+	}
+}
+
+func TestSetFireClear(t *testing.T) {
+	defer Reset()
+	want := errors.New("injected")
+	Set("site.a", func(args ...any) error { return want })
+	if err := Fire("site.a"); err != want {
+		t.Fatalf("Fire = %v, want %v", err, want)
+	}
+	if err := Fire("site.b"); err != nil {
+		t.Fatalf("Fire on other site = %v, want nil", err)
+	}
+	Clear("site.a")
+	if err := Fire("site.a"); err != nil {
+		t.Fatalf("Fire after Clear = %v, want nil", err)
+	}
+}
+
+func TestSetReplacesAndNilClears(t *testing.T) {
+	defer Reset()
+	e1, e2 := errors.New("one"), errors.New("two")
+	Set("site", func(args ...any) error { return e1 })
+	Set("site", func(args ...any) error { return e2 })
+	if err := Fire("site"); err != e2 {
+		t.Fatalf("Fire = %v, want replacement %v", err, e2)
+	}
+	Set("site", nil)
+	if err := Fire("site"); err != nil {
+		t.Fatalf("Fire after nil Set = %v, want nil", err)
+	}
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after clearing the only hook, want 0", active.Load())
+	}
+}
+
+func TestArgsReachHook(t *testing.T) {
+	defer Reset()
+	var got []any
+	Set("site", func(args ...any) error { got = append(got, args...); return nil })
+	Fire("site", 3, "x")
+	if len(got) != 2 || got[0] != 3 || got[1] != "x" {
+		t.Fatalf("hook args = %v, want [3 x]", got)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	defer Reset()
+	Set("site", func(args ...any) error { return nil })
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Fire("site")
+				Fire("other")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,89 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime/debug"
+	"sync"
+
+	"bpagg/internal/faultinject"
+)
+
+// PanicError is a worker panic recovered by the error-returning drivers.
+// One bad segment (or an injected fault) surfaces as an error on the
+// calling goroutine instead of crashing the process; the original panic
+// value and stack are preserved for diagnosis.
+type PanicError struct {
+	Worker int
+	Value  any
+	Stack  []byte
+}
+
+// Error implements the error interface.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker %d panicked: %v", e.Worker, e.Value)
+}
+
+// workerBlock is the number of segments a worker processes between
+// cancellation checks. A segment is 64 tuples, so 4096 segments ≈ 256K
+// tuples per check: coarse enough that the ctx.Err atomic load is free
+// relative to kernel work, fine enough that cancellation lands in well
+// under a millisecond of residual work per worker.
+const workerBlock = 4096
+
+// forEachRangeErr is the hardened twin of forEachRange: it runs fn over
+// each partition range on its own goroutine, slicing every range into
+// workerBlock-segment blocks with a ctx check before each block, and
+// recovers worker panics into *PanicError. All workers are always joined
+// — an error or panic in one worker never strands the others — and the
+// first error (by worker index) is returned after the join.
+//
+// Because a worker may call fn several times with sub-ranges of its
+// partition, fn must accumulate into per-worker state rather than
+// overwrite it.
+func forEachRangeErr(ctx context.Context, nseg, threads int, fn func(worker, segLo, segHi int) error) (int, error) {
+	parts := partition(nseg, threads)
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for w, p := range parts {
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[w] = &PanicError{Worker: w, Value: r, Stack: debug.Stack()}
+				}
+			}()
+			if err := faultinject.Fire(faultinject.SiteWorkerStart, w); err != nil {
+				errs[w] = err
+				return
+			}
+			for lo < hi {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					return
+				}
+				if err := faultinject.Fire(faultinject.SiteWorkerRange, w); err != nil {
+					errs[w] = err
+					return
+				}
+				end := lo + workerBlock
+				if end > hi {
+					end = hi
+				}
+				if err := fn(w, lo, end); err != nil {
+					errs[w] = err
+					return
+				}
+				lo = end
+			}
+		}(w, p[0], p[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return len(parts), err
+		}
+	}
+	return len(parts), nil
+}

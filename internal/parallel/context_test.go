@@ -1,0 +1,277 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpagg/internal/core"
+	"bpagg/internal/faultinject"
+	"bpagg/internal/hbp"
+	"bpagg/internal/vbp"
+)
+
+// TestCtxVariantsMatchCore pins every Ctx driver against the serial core
+// reference across layouts, thread counts, and kernels.
+func TestCtxVariantsMatchCore(t *testing.T) {
+	ctx := context.Background()
+	rng := rand.New(rand.NewSource(91))
+	for _, sh := range []struct {
+		n   int
+		k   int
+		sel float64
+	}{
+		{1, 8, 1}, {64 * 11, 25, 0.3}, {64*6 + 7, 12, 0.01}, {500, 8, 0}, {64 * 16, 7, 0.9},
+	} {
+		vals, f := fixture(rng, sh.n, sh.k, sh.sel)
+		vcol := vbp.Pack(vals, sh.k, 4)
+		hcol := hbp.Pack(vals, sh.k, hbp.DefaultTau(sh.k))
+		u := core.Count(f)
+		for _, o := range optsMatrix {
+			if got, err := VBPSumCtx(ctx, vcol, f, o); err != nil || got != core.VBPSum(vcol, f) {
+				t.Fatalf("VBPSumCtx %+v: got (%d,%v) want (%d,nil)", o, got, err, core.VBPSum(vcol, f))
+			}
+			wantMin, wantMinOK := core.VBPMin(vcol, f)
+			if got, ok, err := VBPMinCtx(ctx, vcol, f, o); err != nil || got != wantMin || ok != wantMinOK {
+				t.Fatalf("VBPMinCtx %+v: got (%d,%v,%v) want (%d,%v,nil)", o, got, ok, err, wantMin, wantMinOK)
+			}
+			wantMax, wantMaxOK := core.VBPMax(vcol, f)
+			if got, ok, err := VBPMaxCtx(ctx, vcol, f, o); err != nil || got != wantMax || ok != wantMaxOK {
+				t.Fatalf("VBPMaxCtx %+v: got (%d,%v,%v) want (%d,%v,nil)", o, got, ok, err, wantMax, wantMaxOK)
+			}
+			wantMed, wantMedOK := core.VBPMedian(vcol, f)
+			if got, ok, err := VBPMedianCtx(ctx, vcol, f, o); err != nil || got != wantMed || ok != wantMedOK {
+				t.Fatalf("VBPMedianCtx %+v: got (%d,%v,%v) want (%d,%v,nil)", o, got, ok, err, wantMed, wantMedOK)
+			}
+			wantAvg, wantAvgOK := core.VBPAvg(vcol, f)
+			if got, ok, err := VBPAvgCtx(ctx, vcol, f, o); err != nil || got != wantAvg || ok != wantAvgOK {
+				t.Fatalf("VBPAvgCtx %+v: got (%v,%v,%v) want (%v,%v,nil)", o, got, ok, err, wantAvg, wantAvgOK)
+			}
+			for _, r := range []uint64{0, 1, u, u + 1} {
+				wr, wok := core.VBPRank(vcol, f, r)
+				if got, ok, err := VBPRankCtx(ctx, vcol, f, r, o); err != nil || got != wr || ok != wok {
+					t.Fatalf("VBPRankCtx(%d) %+v: got (%d,%v,%v) want (%d,%v,nil)", r, o, got, ok, err, wr, wok)
+				}
+			}
+
+			if got, err := HBPSumCtx(ctx, hcol, f, o); err != nil || got != core.HBPSum(hcol, f) {
+				t.Fatalf("HBPSumCtx %+v: got (%d,%v) want (%d,nil)", o, got, err, core.HBPSum(hcol, f))
+			}
+			wantMin, wantMinOK = core.HBPMin(hcol, f)
+			if got, ok, err := HBPMinCtx(ctx, hcol, f, o); err != nil || got != wantMin || ok != wantMinOK {
+				t.Fatalf("HBPMinCtx %+v: got (%d,%v,%v) want (%d,%v,nil)", o, got, ok, err, wantMin, wantMinOK)
+			}
+			wantMax, wantMaxOK = core.HBPMax(hcol, f)
+			if got, ok, err := HBPMaxCtx(ctx, hcol, f, o); err != nil || got != wantMax || ok != wantMaxOK {
+				t.Fatalf("HBPMaxCtx %+v: got (%d,%v,%v) want (%d,%v,nil)", o, got, ok, err, wantMax, wantMaxOK)
+			}
+			wantMed, wantMedOK = core.HBPMedian(hcol, f)
+			if got, ok, err := HBPMedianCtx(ctx, hcol, f, o); err != nil || got != wantMed || ok != wantMedOK {
+				t.Fatalf("HBPMedianCtx %+v: got (%d,%v,%v) want (%d,%v,nil)", o, got, ok, err, wantMed, wantMedOK)
+			}
+			wantAvg, wantAvgOK = core.HBPAvg(hcol, f)
+			if got, ok, err := HBPAvgCtx(ctx, hcol, f, o); err != nil || got != wantAvg || ok != wantAvgOK {
+				t.Fatalf("HBPAvgCtx %+v: got (%v,%v,%v) want (%v,%v,nil)", o, got, ok, err, wantAvg, wantAvgOK)
+			}
+			for _, r := range []uint64{0, 1, u, u + 1} {
+				wr, wok := core.HBPRank(hcol, f, r)
+				if got, ok, err := HBPRankCtx(ctx, hcol, f, r, o); err != nil || got != wr || ok != wok {
+					t.Fatalf("HBPRankCtx(%d) %+v: got (%d,%v,%v) want (%d,%v,nil)", r, o, got, ok, err, wr, wok)
+				}
+			}
+		}
+	}
+}
+
+// TestCtxExpiredDeadline proves an already-expired deadline fails every
+// driver with context.DeadlineExceeded before any segment is processed.
+func TestCtxExpiredDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	vals, f := fixture(rng, 64*128, 16, 0.5)
+	vcol := vbp.Pack(vals, 16, 4)
+	hcol := hbp.Pack(vals, 16, hbp.DefaultTau(16))
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	o := Options{Threads: 4}
+	if _, err := VBPSumCtx(ctx, vcol, f, o); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("VBPSumCtx = %v, want DeadlineExceeded", err)
+	}
+	if _, _, err := VBPMedianCtx(ctx, vcol, f, o); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("VBPMedianCtx = %v, want DeadlineExceeded", err)
+	}
+	if _, err := HBPSumCtx(ctx, hcol, f, o); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("HBPSumCtx = %v, want DeadlineExceeded", err)
+	}
+	if _, _, err := HBPMedianCtx(ctx, hcol, f, o); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("HBPMedianCtx = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestCtxCancelMidRank cancels from inside a worker (via the block-level
+// fault hook) and requires the rank loop to abort and propagate the
+// cancellation instead of finishing the radix descent.
+func TestCtxCancelMidRank(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(93))
+	vals, f := fixture(rng, 64*64, 20, 0.8)
+	vcol := vbp.Pack(vals, 20, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var fires atomic.Int32
+	faultinject.Set(faultinject.SiteWorkerRange, func(args ...any) error {
+		if fires.Add(1) == 3 {
+			cancel() // takes effect at the next block's ctx check
+		}
+		return nil
+	})
+	_, _, err := VBPRankCtx(ctx, vcol, f, 1000, Options{Threads: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("VBPRankCtx after mid-run cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestWorkerPanicRecovered injects a panic into one worker and checks it
+// surfaces as *PanicError while every other worker still joins.
+func TestWorkerPanicRecovered(t *testing.T) {
+	defer faultinject.Reset()
+	rng := rand.New(rand.NewSource(94))
+	vals, f := fixture(rng, 64*64, 16, 0.5)
+	vcol := vbp.Pack(vals, 16, 4)
+	var started, finished atomic.Int32
+	faultinject.Set(faultinject.SiteWorkerStart, func(args ...any) error {
+		started.Add(1)
+		if args[0].(int) == 1 {
+			panic("injected segment fault")
+		}
+		return nil
+	})
+	faultinject.Set(faultinject.SiteWorkerRange, func(args ...any) error {
+		finished.Add(1)
+		return nil
+	})
+	_, err := VBPSumCtx(context.Background(), vcol, f, Options{Threads: 4})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("VBPSumCtx with injected panic = %v, want *PanicError", err)
+	}
+	if pe.Worker != 1 || pe.Value != "injected segment fault" {
+		t.Fatalf("PanicError = worker %d value %v, want worker 1 value %q", pe.Worker, pe.Value, "injected segment fault")
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("PanicError carries no stack")
+	}
+	if started.Load() != 4 {
+		t.Fatalf("started %d workers, want 4 (panicking worker must not strand the others)", started.Load())
+	}
+	// All non-panicking workers ran to completion before the error returned.
+	if finished.Load() == 0 {
+		t.Fatal("no healthy worker processed a block")
+	}
+}
+
+// TestForEachRangeErrFirstErrorWins checks that the error of the lowest
+// worker index is reported when several workers fail.
+func TestForEachRangeErrFirstErrorWins(t *testing.T) {
+	errA, errB := errors.New("a"), errors.New("b")
+	_, err := forEachRangeErr(context.Background(), 8, 4, func(w, lo, hi int) error {
+		switch w {
+		case 1:
+			return errA
+		case 3:
+			return errB
+		}
+		return nil
+	})
+	if err != errA {
+		t.Fatalf("forEachRangeErr = %v, want first-by-index error %v", err, errA)
+	}
+}
+
+// TestForEachRangeErrBlocksAccumulate verifies a worker's fn sees its
+// partition as contiguous, gap-free blocks covering every segment once.
+func TestForEachRangeErrBlocksAccumulate(t *testing.T) {
+	const nseg = workerBlock*2 + 17
+	var covered atomic.Int64
+	_, err := forEachRangeErr(context.Background(), nseg, 3, func(w, lo, hi int) error {
+		if hi-lo > workerBlock || lo >= hi {
+			t.Errorf("bad block [%d,%d)", lo, hi)
+		}
+		covered.Add(int64(hi - lo))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("forEachRangeErr = %v", err)
+	}
+	if covered.Load() != nseg {
+		t.Fatalf("blocks covered %d segments, want %d", covered.Load(), nseg)
+	}
+}
+
+// TestPartitionDegenerateInputs covers nseg=0, threads <= 0, and
+// threads > nseg: the partition must always cover [0, nseg) exactly with
+// at least one range and no empty tail ranges beyond nseg=0.
+func TestPartitionDegenerateInputs(t *testing.T) {
+	for _, c := range []struct{ nseg, n int }{
+		{0, 0}, {0, 4}, {0, -2}, {5, 0}, {5, -1}, {3, 100}, {1, 1},
+	} {
+		parts := partition(c.nseg, c.n)
+		if len(parts) < 1 {
+			t.Fatalf("partition(%d,%d) returned no ranges", c.nseg, c.n)
+		}
+		if c.nseg > 0 && len(parts) > c.nseg {
+			t.Fatalf("partition(%d,%d) made %d ranges, more than segments", c.nseg, c.n, len(parts))
+		}
+		last, covered := 0, 0
+		for _, p := range parts {
+			if p[0] != last || p[1] < p[0] {
+				t.Fatalf("partition(%d,%d) = %v: gap or inverted range", c.nseg, c.n, parts)
+			}
+			covered += p[1] - p[0]
+			last = p[1]
+		}
+		if covered != c.nseg || last != c.nseg {
+			t.Fatalf("partition(%d,%d) = %v covers %d, want %d", c.nseg, c.n, parts, covered, c.nseg)
+		}
+	}
+}
+
+// TestThreadCountDeterminism requires Threads=1 and Threads=8 (and the
+// wide kernels) to produce bit-identical SUM/MIN/MAX/MEDIAN results.
+func TestThreadCountDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	vals, f := fixture(rng, 64*300+13, 21, 0.6)
+	serial := Options{Threads: 1}
+	for _, o := range []Options{{Threads: 8}, {Threads: 8, Wide: true}} {
+		vcol := vbp.Pack(vals, 21, 4)
+		if a, b := VBPSum(vcol, f, serial), VBPSum(vcol, f, o); a != b {
+			t.Fatalf("VBPSum differs: serial %d, %+v %d", a, o, b)
+		}
+		a1, aok := VBPMin(vcol, f, serial)
+		b1, bok := VBPMin(vcol, f, o)
+		if a1 != b1 || aok != bok {
+			t.Fatalf("VBPMin differs: serial (%d,%v), %+v (%d,%v)", a1, aok, o, b1, bok)
+		}
+		a1, aok = VBPMax(vcol, f, serial)
+		b1, bok = VBPMax(vcol, f, o)
+		if a1 != b1 || aok != bok {
+			t.Fatalf("VBPMax differs: serial (%d,%v), %+v (%d,%v)", a1, aok, o, b1, bok)
+		}
+		a1, aok = VBPMedian(vcol, f, serial)
+		b1, bok = VBPMedian(vcol, f, o)
+		if a1 != b1 || aok != bok {
+			t.Fatalf("VBPMedian differs: serial (%d,%v), %+v (%d,%v)", a1, aok, o, b1, bok)
+		}
+
+		hcol := hbp.Pack(vals, 21, hbp.DefaultTau(21))
+		if a, b := HBPSum(hcol, f, serial), HBPSum(hcol, f, o); a != b {
+			t.Fatalf("HBPSum differs: serial %d, %+v %d", a, o, b)
+		}
+		a1, aok = HBPMedian(hcol, f, serial)
+		b1, bok = HBPMedian(hcol, f, o)
+		if a1 != b1 || aok != bok {
+			t.Fatalf("HBPMedian differs: serial (%d,%v), %+v (%d,%v)", a1, aok, o, b1, bok)
+		}
+	}
+}

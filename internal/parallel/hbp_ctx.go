@@ -1,0 +1,181 @@
+package parallel
+
+import (
+	"context"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/hbp"
+	"bpagg/internal/wide"
+)
+
+// HBPSumCtx computes SUM over an HBP column, honoring ctx.
+func HBPSumCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, error) {
+	nseg := col.NumSegments()
+	partials := make([]uint64, o.threads())
+	_, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+		if o.Wide {
+			partials[w] += wide.HBPSumRange(col, f, lo, hi)
+		} else {
+			partials[w] += core.HBPSumRange(col, f, lo, hi)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum, nil
+}
+
+// HBPMinCtx computes MIN over an HBP column, honoring ctx; ok is false
+// when no tuple passes the filter.
+func HBPMinCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool, error) {
+	return hbpExtremeCtx(ctx, col, f, o, true)
+}
+
+// HBPMaxCtx computes MAX over an HBP column, honoring ctx.
+func HBPMaxCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool, error) {
+	return hbpExtremeCtx(ctx, col, f, o, false)
+}
+
+func hbpExtremeCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uint64, bool, error) {
+	if !f.Any() {
+		return 0, false, nil
+	}
+	nseg := col.NumSegments()
+	var temps [][]uint64
+	if o.Wide {
+		workerTemps := make([]wide.HBPExtremeTemps, o.threads())
+		for w := range workerTemps {
+			workerTemps[w] = wide.NewHBPExtremeTemps(col, wantMin)
+		}
+		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			wide.HBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		for w := 0; w < used; w++ {
+			temps = append(temps, workerTemps[w][:]...)
+		}
+	} else {
+		workerTemps := make([][]uint64, o.threads())
+		for w := range workerTemps {
+			workerTemps[w] = core.NewHBPExtremeTemp(col, wantMin)
+		}
+		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			core.HBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		temps = workerTemps[:used]
+	}
+	return core.HBPFinishExtreme(col, temps, wantMin), true, nil
+}
+
+// HBPMedianCtx computes the lower MEDIAN, honoring ctx.
+func HBPMedianCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool, error) {
+	u := core.Count(f)
+	if u == 0 {
+		return 0, false, nil
+	}
+	return HBPRankCtx(ctx, col, f, (u+1)/2, o)
+}
+
+// HBPRankCtx computes the r-th smallest filtered value, honoring ctx.
+// Cancellation is checked at every histogram rendezvous (per bit-group
+// chunk) in addition to the per-block checks inside each scan.
+func HBPRankCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bool, error) {
+	u := core.Count(f)
+	if r == 0 || r > u {
+		return 0, false, nil
+	}
+	nseg := col.NumSegments()
+	v := core.NewHBPCandidates(col, f, nseg)
+	b := col.NumGroups()
+	tau := col.Tau()
+	chunks := core.HBPChunks(tau)
+	histBits := tau
+	if histBits > core.MaxHistBits {
+		histBits = core.MaxHistBits
+	}
+
+	workerHists := make([][]uint64, o.threads())
+	for w := range workerHists {
+		workerHists[w] = make([]uint64, 1<<uint(histBits))
+	}
+	var m uint64
+	for g := 0; g < b; g++ {
+		for ci, ch := range chunks {
+			shift, width := ch[0], ch[1]
+			bins := 1 << uint(width)
+			// Histograms are zeroed here, not inside the worker body: a
+			// worker sees its range in workerBlock slices and must
+			// accumulate across them.
+			for w := range workerHists {
+				h := workerHists[w][:bins]
+				for i := range h {
+					h[i] = 0
+				}
+			}
+			used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+				core.HBPHistogramChunk(col, v, g, shift, width, lo, hi, workerHists[w][:bins])
+				return nil
+			})
+			if err != nil {
+				return 0, false, err
+			}
+			// Merge worker histograms and locate the bin containing rank r.
+			var cum uint64
+			bin := bins - 1
+			for i := 0; i < bins; i++ {
+				var h uint64
+				for w := 0; w < used; w++ {
+					h += workerHists[w][i]
+				}
+				if cum+h >= r {
+					bin = i
+					break
+				}
+				cum += h
+			}
+			r -= cum
+			m = m<<uint(width) | uint64(bin)
+			if g == b-1 && ci == len(chunks)-1 {
+				break
+			}
+			_, err = forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+				if o.Wide {
+					wide.HBPRankRefineChunkRange(col, v, g, shift, width, uint64(bin), lo, hi)
+				} else {
+					core.HBPRankRefineChunk(col, v, g, shift, width, uint64(bin), lo, hi)
+				}
+				return nil
+			})
+			if err != nil {
+				return 0, false, err
+			}
+		}
+	}
+	return m, true, nil
+}
+
+// HBPAvgCtx computes AVG = SUM / COUNT, honoring ctx.
+func HBPAvgCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) (float64, bool, error) {
+	cnt := core.Count(f)
+	if cnt == 0 {
+		return 0, false, nil
+	}
+	sum, err := HBPSumCtx(ctx, col, f, o)
+	if err != nil {
+		return 0, false, err
+	}
+	return float64(sum) / float64(cnt), true, nil
+}

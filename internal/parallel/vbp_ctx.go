@@ -1,0 +1,167 @@
+package parallel
+
+import (
+	"context"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/vbp"
+	"bpagg/internal/wide"
+)
+
+// The Ctx variants are the hardened twins of the drivers in vbp.go: the
+// same kernels and partitioning, but run through forEachRangeErr so
+// cancellation is observed between segment blocks (and at each radix
+// rendezvous for rank) and worker panics come back as *PanicError. They
+// run the partitioned path even at Threads=1, trading a goroutine spawn
+// for a uniform cancellation guarantee.
+
+// VBPSumCtx computes SUM over a VBP column, honoring ctx.
+func VBPSumCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, error) {
+	nseg := col.NumSegments()
+	partials := make([]uint64, o.threads())
+	_, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+		if o.Wide {
+			partials[w] += wide.VBPSumRange(col, f, lo, hi)
+		} else {
+			partials[w] += core.VBPSumRange(col, f, lo, hi)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var sum uint64
+	for _, p := range partials {
+		sum += p
+	}
+	return sum, nil
+}
+
+// VBPMinCtx computes MIN over a VBP column, honoring ctx; ok is false
+// when no tuple passes the filter.
+func VBPMinCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool, error) {
+	return vbpExtremeCtx(ctx, col, f, o, true)
+}
+
+// VBPMaxCtx computes MAX over a VBP column, honoring ctx.
+func VBPMaxCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool, error) {
+	return vbpExtremeCtx(ctx, col, f, o, false)
+}
+
+func vbpExtremeCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uint64, bool, error) {
+	if !f.Any() {
+		return 0, false, nil
+	}
+	k := col.K()
+	nseg := col.NumSegments()
+	var temps [][]uint64
+	if o.Wide {
+		workerTemps := make([]wide.VBPExtremeTemps, o.threads())
+		for w := range workerTemps {
+			workerTemps[w] = wide.NewVBPExtremeTemps(k, wantMin)
+		}
+		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			wide.VBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		for w := 0; w < used; w++ {
+			temps = append(temps, workerTemps[w][:]...)
+		}
+	} else {
+		workerTemps := make([][]uint64, o.threads())
+		for w := range workerTemps {
+			workerTemps[w] = core.NewVBPExtremeTemp(k, wantMin)
+		}
+		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			core.VBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		temps = workerTemps[:used]
+	}
+	return core.VBPFinishExtreme(temps, k, wantMin), true, nil
+}
+
+// VBPMedianCtx computes the lower MEDIAN, honoring ctx.
+func VBPMedianCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool, error) {
+	u := core.Count(f)
+	if u == 0 {
+		return 0, false, nil
+	}
+	return VBPRankCtx(ctx, col, f, (u+1)/2, o)
+}
+
+// VBPRankCtx computes the r-th smallest filtered value, honoring ctx.
+// Cancellation is checked at every per-bit rendezvous in addition to the
+// per-block checks inside each scan, so even a mid-refinement deadline
+// is honored within one radix step.
+func VBPRankCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bool, error) {
+	u := core.Count(f)
+	if r == 0 || r > u {
+		return 0, false, nil
+	}
+	nseg := col.NumSegments()
+	v := core.NewVBPCandidates(f, nseg)
+	k := col.K()
+	partials := make([]uint64, o.threads())
+	var m uint64
+	for p := 0; p < k; p++ {
+		for i := range partials {
+			partials[i] = 0
+		}
+		_, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			if o.Wide {
+				partials[w] += wide.VBPRankCountRange(col, v, p, lo, hi)
+			} else {
+				partials[w] += core.VBPRankCount(col, v, p, lo, hi)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		var c uint64
+		for _, pc := range partials {
+			c += pc
+		}
+		keepOnes := u-c < r
+		if keepOnes {
+			m |= 1 << uint(k-1-p)
+			r -= u - c
+			u = c
+		} else {
+			u -= c
+		}
+		_, err = forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			if o.Wide {
+				wide.VBPRankRefineRange(col, v, p, keepOnes, lo, hi)
+			} else {
+				core.VBPRankRefine(col, v, p, keepOnes, lo, hi)
+			}
+			return nil
+		})
+		if err != nil {
+			return 0, false, err
+		}
+	}
+	return m, true, nil
+}
+
+// VBPAvgCtx computes AVG = SUM / COUNT, honoring ctx.
+func VBPAvgCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) (float64, bool, error) {
+	cnt := core.Count(f)
+	if cnt == 0 {
+		return 0, false, nil
+	}
+	sum, err := VBPSumCtx(ctx, col, f, o)
+	if err != nil {
+		return 0, false, err
+	}
+	return float64(sum) / float64(cnt), true, nil
+}

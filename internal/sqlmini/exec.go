@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"fmt"
 
 	"bpagg"
@@ -41,7 +42,30 @@ func (o ExecOptions) opts() []bpagg.ExecOption {
 
 // Execute runs a parsed query against a catalog.
 func Execute(cat *catalog.Catalog, q *Query, o ExecOptions) (*Result, error) {
-	// Validate select list against the schema.
+	return ExecuteContext(context.Background(), cat, q, o)
+}
+
+// ExecuteContext runs a parsed query against a catalog, honoring ctx:
+// cancellation and deadlines propagate into the aggregation workers
+// (checked between segment blocks and at every MEDIAN radix
+// rendezvous), and the first context error aborts the query.
+//
+// This is a trust boundary for query text and programmatically built
+// ASTs: malformed input — unknown columns, out-of-range quantiles —
+// returns an error, never panics. As defense in depth, any panic that
+// does escape the engine is recovered into an error here so one bad
+// query cannot take down a serving process.
+func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecOptions) (res *Result, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("sql: internal error executing query: %v", r)
+		}
+	}()
+	// Validate select list against the schema. Quantile arguments are
+	// re-checked here because a Query need not come from Parse.
 	for _, sel := range q.Selects {
 		if sel.Func == CountStar {
 			continue
@@ -52,6 +76,9 @@ func Execute(cat *catalog.Catalog, q *Query, o ExecOptions) (*Result, error) {
 		if (sel.Func == Sum || sel.Func == Avg) && !cat.Summable(sel.Column) {
 			return nil, fmt.Errorf("sql: %s over string column %q", sel.Func, sel.Column)
 		}
+		if sel.Func == Quantile && (sel.Arg < 0 || sel.Arg > 1 || sel.Arg != sel.Arg) {
+			return nil, fmt.Errorf("sql: quantile %g outside [0,1]", sel.Arg)
+		}
 	}
 
 	sel, err := bindWhere(cat, q.Where)
@@ -60,7 +87,7 @@ func Execute(cat *catalog.Catalog, q *Query, o ExecOptions) (*Result, error) {
 	}
 
 	if q.GroupBy == "" {
-		row, err := aggregateRow(cat, q.Selects, sel, o)
+		row, err := aggregateRow(ctx, cat, q.Selects, sel, o)
 		if err != nil {
 			return nil, err
 		}
@@ -72,10 +99,13 @@ func Execute(cat *catalog.Catalog, q *Query, o ExecOptions) (*Result, error) {
 		return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
 	}
 	gcol := cat.Table.Column(q.GroupBy)
-	grouped := groupSelections(gcol, sel)
-	res := &Result{Headers: headers(q, true)}
+	grouped, err := groupSelections(ctx, gcol, sel)
+	if err != nil {
+		return nil, err
+	}
+	res = &Result{Headers: headers(q, true)}
 	for _, g := range grouped {
-		row, err := aggregateRow(cat, q.Selects, g.sel, o)
+		row, err := aggregateRow(ctx, cat, q.Selects, g.sel, o)
 		if err != nil {
 			return nil, err
 		}
@@ -102,47 +132,78 @@ type group struct {
 
 // groupSelections walks the distinct keys bit-parallel (repeated MIN plus
 // strictly-greater scans) and intersects per-key equality with the filter.
-func groupSelections(gcol *bpagg.Column, sel *bpagg.Bitmap) []group {
+// A canceled ctx stops the walk after the current key.
+func groupSelections(ctx context.Context, gcol *bpagg.Column, sel *bpagg.Bitmap) ([]group, error) {
 	var out []group
 	rest := sel.Clone()
 	for {
-		v, ok := gcol.Min(rest)
+		v, ok, err := gcol.MinContext(ctx, rest)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			break
 		}
 		out = append(out, group{key: v, sel: sel.Clone().And(gcol.Scan(bpagg.Equal(v)))})
 		rest.And(gcol.Scan(bpagg.Greater(v)))
 	}
-	return out
+	return out, nil
 }
 
-func aggregateRow(cat *catalog.Catalog, sels []SelectExpr, sel *bpagg.Bitmap, o ExecOptions) ([]string, error) {
+func aggregateRow(ctx context.Context, cat *catalog.Catalog, sels []SelectExpr, sel *bpagg.Bitmap, o ExecOptions) ([]string, error) {
 	opts := o.opts()
 	row := make([]string, len(sels))
 	for i, s := range sels {
 		if s.Func == CountStar {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			row[i] = fmt.Sprintf("%d", sel.Count())
 			continue
 		}
 		col := cat.Table.Column(s.Column)
 		switch s.Func {
 		case Count:
-			row[i] = fmt.Sprintf("%d", col.Count(sel))
+			cnt, err := col.CountContext(ctx, sel)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = fmt.Sprintf("%d", cnt)
 		case Sum:
-			row[i] = cat.FormatSum(s.Column, col.Sum(sel, opts...), col.Count(sel))
+			sum, err := col.SumContext(ctx, sel, opts...)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = cat.FormatSum(s.Column, sum, col.Count(sel))
 		case Avg:
-			row[i] = cat.FormatAvg(s.Column, col.Sum(sel, opts...), col.Count(sel))
+			sum, err := col.SumContext(ctx, sel, opts...)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = cat.FormatAvg(s.Column, sum, col.Count(sel))
 		case Min:
-			v, ok := col.Min(sel, opts...)
+			v, ok, err := col.MinContext(ctx, sel, opts...)
+			if err != nil {
+				return nil, err
+			}
 			row[i] = formatOpt(cat, s.Column, v, ok)
 		case Max:
-			v, ok := col.Max(sel, opts...)
+			v, ok, err := col.MaxContext(ctx, sel, opts...)
+			if err != nil {
+				return nil, err
+			}
 			row[i] = formatOpt(cat, s.Column, v, ok)
 		case Median:
-			v, ok := col.Median(sel, opts...)
+			v, ok, err := col.MedianContext(ctx, sel, opts...)
+			if err != nil {
+				return nil, err
+			}
 			row[i] = formatOpt(cat, s.Column, v, ok)
 		case Quantile:
-			v, ok := col.Quantile(sel, s.Arg, opts...)
+			v, ok, err := col.QuantileContext(ctx, sel, s.Arg, opts...)
+			if err != nil {
+				return nil, err
+			}
 			row[i] = formatOpt(cat, s.Column, v, ok)
 		default:
 			return nil, fmt.Errorf("sql: unsupported aggregate %v", s.Func)

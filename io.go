@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"bpagg/internal/bitvec"
+	"bpagg/internal/faultinject"
 	"bpagg/internal/hbp"
 	"bpagg/internal/vbp"
 )
@@ -330,6 +331,9 @@ func writeWords(w io.Writer, words []uint64) error {
 // bytes actually read, never with the claimed count, so a corrupt header
 // that lies about sizes fails at EOF instead of exhausting memory.
 func readWords(r io.Reader, count int) ([]uint64, error) {
+	if err := faultinject.Fire(faultinject.SiteIOReadWords); err != nil {
+		return nil, err
+	}
 	initial := count
 	if initial > 64*1024 {
 		initial = 64 * 1024

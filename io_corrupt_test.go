@@ -1,0 +1,212 @@
+package bpagg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"bpagg/internal/faultinject"
+)
+
+// Corruption-hardening tests: truncated, bit-flipped, and
+// length-inflated serialized columns/tables must come back as errors —
+// never a panic, never an allocation driven by a lying header.
+
+func serializeColumn(t *testing.T, layout Layout, withNulls bool) []byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(571))
+	col := NewColumn(layout, 11)
+	for i := 0; i < 700; i++ {
+		if withNulls && i%17 == 0 {
+			col.AppendNull()
+		} else {
+			col.Append(rng.Uint64() & 0x7ff)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := col.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func serializeTable(t *testing.T) []byte {
+	t.Helper()
+	tbl := NewTable()
+	tbl.AddColumn("a", VBP, 9)
+	tbl.AddColumn("b", HBP, 5)
+	vals := map[string][]uint64{"a": {}, "b": {}}
+	rng := rand.New(rand.NewSource(572))
+	for i := 0; i < 300; i++ {
+		vals["a"] = append(vals["a"], rng.Uint64()&0x1ff)
+		vals["b"] = append(vals["b"], rng.Uint64()&0x1f)
+	}
+	tbl.AppendColumnar(vals)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// mustNotPanic runs fn and converts any panic into a test failure with
+// the corrupting mutation identified.
+func mustNotPanic(t *testing.T, desc string, fn func() error) (err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: panicked: %v", desc, r)
+		}
+	}()
+	return fn()
+}
+
+func TestReadColumnTruncation(t *testing.T) {
+	for _, layout := range []Layout{VBP, HBP} {
+		for _, withNulls := range []bool{false, true} {
+			data := serializeColumn(t, layout, withNulls)
+			for cut := 0; cut < len(data); cut++ {
+				err := mustNotPanic(t, "truncated column", func() error {
+					_, err := ReadColumn(bytes.NewReader(data[:cut]))
+					return err
+				})
+				if err == nil {
+					t.Fatalf("%v nulls=%v: ReadColumn of %d/%d bytes succeeded", layout, withNulls, cut, len(data))
+				}
+			}
+			// The intact stream still round-trips.
+			if _, err := ReadColumn(bytes.NewReader(data)); err != nil {
+				t.Fatalf("%v nulls=%v: ReadColumn intact: %v", layout, withNulls, err)
+			}
+		}
+	}
+}
+
+func TestReadColumnBitFlips(t *testing.T) {
+	data := serializeColumn(t, VBP, true)
+	for off := 0; off < len(data); off++ {
+		for bit := 0; bit < 8; bit++ {
+			corrupt := append([]byte(nil), data...)
+			corrupt[off] ^= 1 << uint(bit)
+			// A flipped data bit may still deserialize (to different
+			// values); a flipped structural field must error. Either way:
+			// no panic.
+			mustNotPanic(t, "bit-flipped column", func() error {
+				_, err := ReadColumn(bytes.NewReader(corrupt))
+				return err
+			})
+		}
+	}
+}
+
+// TestReadColumnInflatedLengths hand-crafts headers whose length fields
+// promise absurd amounts of data and asserts both the error and that
+// decoding does not allocate anywhere near the claimed sizes.
+func TestReadColumnInflatedLengths(t *testing.T) {
+	data := serializeColumn(t, VBP, false)
+
+	mutate := func(desc string, off int, v uint64, width int) {
+		corrupt := append([]byte(nil), data...)
+		switch width {
+		case 2:
+			binary.LittleEndian.PutUint16(corrupt[off:], uint16(v))
+		case 8:
+			binary.LittleEndian.PutUint64(corrupt[off:], v)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		err := mustNotPanic(t, desc, func() error {
+			_, err := ReadColumn(bytes.NewReader(corrupt))
+			return err
+		})
+		runtime.ReadMemStats(&after)
+		if err == nil {
+			t.Fatalf("%s: ReadColumn succeeded", desc)
+		}
+		if grew := after.TotalAlloc - before.TotalAlloc; grew > 64<<20 {
+			t.Fatalf("%s: decoding allocated %d bytes for a %d-byte input", desc, grew, len(corrupt))
+		}
+	}
+
+	// Offsets per the header layout: magic(4) version(2) layout(1) k(2)
+	// tau(2) n(8) nullFlag(1), then per-group wordCount(8).
+	mutate("row count n = 2^55", 11, 1<<55, 8)
+	mutate("k = 65", 7, 65, 2)
+	mutate("tau = 0", 9, 0, 2)
+	mutate("group word count = 2^50", 20, 1<<50, 8)
+}
+
+func TestReadTableTruncationAndInflation(t *testing.T) {
+	data := serializeTable(t)
+	for cut := 0; cut < len(data); cut++ {
+		err := mustNotPanic(t, "truncated table", func() error {
+			_, err := ReadTable(bytes.NewReader(data[:cut]))
+			return err
+		})
+		if err == nil {
+			t.Fatalf("ReadTable of %d/%d bytes succeeded", cut, len(data))
+		}
+	}
+	if _, err := ReadTable(bytes.NewReader(data)); err != nil {
+		t.Fatalf("ReadTable intact: %v", err)
+	}
+
+	// Inflate the column count (offset 6, after magic+version).
+	corrupt := append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(corrupt[6:], 1<<30)
+	if err := mustNotPanic(t, "inflated column count", func() error {
+		_, err := ReadTable(bytes.NewReader(corrupt))
+		return err
+	}); err == nil {
+		t.Fatal("ReadTable with 2^30 columns succeeded")
+	}
+
+	// Inflate the first column-name length (offset 10).
+	corrupt = append([]byte(nil), data...)
+	binary.LittleEndian.PutUint32(corrupt[10:], 1<<31)
+	if err := mustNotPanic(t, "inflated name length", func() error {
+		_, err := ReadTable(bytes.NewReader(corrupt))
+		return err
+	}); err == nil {
+		t.Fatal("ReadTable with 2GB column name succeeded")
+	}
+}
+
+func TestReadColumnRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(573))
+	for i := 0; i < 200; i++ {
+		garbage := make([]byte, rng.Intn(4096))
+		rng.Read(garbage)
+		mustNotPanic(t, "random garbage", func() error {
+			_, err := ReadColumn(bytes.NewReader(garbage))
+			return err
+		})
+		mustNotPanic(t, "random garbage table", func() error {
+			_, err := ReadTable(bytes.NewReader(garbage))
+			return err
+		})
+	}
+}
+
+// TestShortReadInjection simulates a stream that fails mid-read via the
+// fault-injection hook in readWords.
+func TestShortReadInjection(t *testing.T) {
+	defer faultinject.Reset()
+	data := serializeColumn(t, VBP, true)
+	faultinject.Set(faultinject.SiteIOReadWords, func(args ...any) error {
+		return io.ErrUnexpectedEOF
+	})
+	_, err := ReadColumn(bytes.NewReader(data))
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("ReadColumn with injected short read = %v, want ErrUnexpectedEOF", err)
+	}
+	faultinject.Reset()
+	if _, err := ReadColumn(bytes.NewReader(data)); err != nil {
+		t.Fatalf("ReadColumn after clearing injection: %v", err)
+	}
+}

@@ -1,0 +1,234 @@
+package bpagg
+
+import (
+	"context"
+	"fmt"
+)
+
+// Error-returning and context-aware query layer: the hardened twins of
+// the chaining Query/Grouped API. Unknown column names — the one
+// untrusted input this layer sees — come back as errors instead of
+// panics, and every aggregate accepts a context.
+
+// ColumnErr returns the named column or an error when absent — the
+// error-returning twin of Column for callers resolving untrusted names.
+func (t *Table) ColumnErr(name string) (*Column, error) {
+	c := t.cols[name]
+	if c == nil {
+		return nil, fmt.Errorf("bpagg: unknown column %q", name)
+	}
+	return c, nil
+}
+
+// WhereErr is the error-returning twin of Where: an unknown column name
+// returns an error instead of panicking. On success it returns the
+// query for chaining.
+func (q *Query) WhereErr(column string, p Predicate) (*Query, error) {
+	col, err := q.t.ColumnErr(column)
+	if err != nil {
+		return nil, err
+	}
+	m := col.Scan(p)
+	if q.sel == nil {
+		q.sel = m
+	} else {
+		q.sel.And(m)
+	}
+	return q, nil
+}
+
+// colErr resolves an aggregate target column to an error, not a panic.
+func (q *Query) colErr(name string) (*Column, error) {
+	return q.t.ColumnErr(name)
+}
+
+// CountContext counts selected non-NULL rows of the named column.
+func (q *Query) CountContext(ctx context.Context, column string) (uint64, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, err
+	}
+	return col.CountContext(ctx, q.Selection())
+}
+
+// SumContext aggregates SUM over the named column, honoring ctx.
+func (q *Query) SumContext(ctx context.Context, column string) (uint64, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, err
+	}
+	return col.SumContext(ctx, q.Selection(), q.execs...)
+}
+
+// MinContext aggregates MIN over the named column, honoring ctx.
+func (q *Query) MinContext(ctx context.Context, column string) (uint64, bool, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, false, err
+	}
+	return col.MinContext(ctx, q.Selection(), q.execs...)
+}
+
+// MaxContext aggregates MAX over the named column, honoring ctx.
+func (q *Query) MaxContext(ctx context.Context, column string) (uint64, bool, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, false, err
+	}
+	return col.MaxContext(ctx, q.Selection(), q.execs...)
+}
+
+// AvgContext aggregates AVG over the named column, honoring ctx.
+func (q *Query) AvgContext(ctx context.Context, column string) (float64, bool, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, false, err
+	}
+	return col.AvgContext(ctx, q.Selection(), q.execs...)
+}
+
+// MedianContext aggregates the lower MEDIAN over the named column,
+// honoring ctx.
+func (q *Query) MedianContext(ctx context.Context, column string) (uint64, bool, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, false, err
+	}
+	return col.MedianContext(ctx, q.Selection(), q.execs...)
+}
+
+// RankContext returns the r-th smallest selected value of the named
+// column, honoring ctx.
+func (q *Query) RankContext(ctx context.Context, column string, r uint64) (uint64, bool, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, false, err
+	}
+	return col.RankContext(ctx, q.Selection(), r, q.execs...)
+}
+
+// QuantileContext returns the quantile-q value of the named column,
+// honoring ctx; out-of-range q is an error, not a panic.
+func (q *Query) QuantileContext(ctx context.Context, column string, quantile float64) (uint64, bool, error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, false, err
+	}
+	return col.QuantileContext(ctx, q.Selection(), quantile, q.execs...)
+}
+
+// GroupByContext partitions the query's selection by the named column's
+// distinct values, honoring ctx between group-discovery steps. Each
+// step is one MIN plus two scans, so a canceled context stops the walk
+// after the current group.
+func (q *Query) GroupByContext(ctx context.Context, column string) (*Grouped, error) {
+	ctx = orBackground(ctx)
+	col, err := q.t.ColumnErr(column)
+	if err != nil {
+		return nil, err
+	}
+	g := &Grouped{q: q}
+	base := q.Selection()
+	rest := base.Clone()
+	for {
+		v, ok, err := col.MinContext(ctx, rest, q.execs...)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		g.keys = append(g.keys, v)
+		g.sels = append(g.sels, base.Clone().And(col.Scan(Equal(v))))
+		rest.And(col.Scan(Greater(v)))
+	}
+	return g, nil
+}
+
+// CountContext returns each group's row count, honoring ctx between
+// groups.
+func (g *Grouped) CountContext(ctx context.Context) ([]uint64, error) {
+	ctx = orBackground(ctx)
+	out := make([]uint64, len(g.keys))
+	for i, sel := range g.sels {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = uint64(sel.Count())
+	}
+	return out, nil
+}
+
+// SumContext aggregates SUM of the named column per group, honoring
+// ctx.
+func (g *Grouped) SumContext(ctx context.Context, column string) ([]uint64, error) {
+	col, err := g.q.colErr(column)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(g.keys))
+	for i, sel := range g.sels {
+		v, err := col.SumContext(ctx, sel, g.q.execs...)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// MinContext aggregates MIN of the named column per group, honoring
+// ctx. Groups are non-empty by construction, so no ok flags are needed.
+func (g *Grouped) MinContext(ctx context.Context, column string) ([]uint64, error) {
+	return g.eachContext(ctx, column, (*Column).MinContext)
+}
+
+// MaxContext aggregates MAX of the named column per group, honoring
+// ctx.
+func (g *Grouped) MaxContext(ctx context.Context, column string) ([]uint64, error) {
+	return g.eachContext(ctx, column, (*Column).MaxContext)
+}
+
+// MedianContext aggregates the lower MEDIAN of the named column per
+// group, honoring ctx.
+func (g *Grouped) MedianContext(ctx context.Context, column string) ([]uint64, error) {
+	return g.eachContext(ctx, column, (*Column).MedianContext)
+}
+
+// AvgContext aggregates AVG of the named column per group, honoring
+// ctx.
+func (g *Grouped) AvgContext(ctx context.Context, column string) ([]float64, error) {
+	col, err := g.q.colErr(column)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(g.keys))
+	for i, sel := range g.sels {
+		v, _, err := col.AvgContext(ctx, sel, g.q.execs...)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (g *Grouped) eachContext(ctx context.Context, column string,
+	agg func(*Column, context.Context, *Bitmap, ...ExecOption) (uint64, bool, error)) ([]uint64, error) {
+	col, err := g.q.colErr(column)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, len(g.keys))
+	for i, sel := range g.sels {
+		v, ok, err := agg(col, ctx, sel, g.q.execs...)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("bpagg: empty group selection — grouping invariant violated")
+		}
+		out[i] = v
+	}
+	return out, nil
+}
