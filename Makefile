@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci bench clean
+.PHONY: build test vet race ci bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ ci: vet build test race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+# bench-json runs the paper's experiment suite at a CI-friendly size and
+# writes machine-readable results to BENCH_results.json (schema
+# bpagg-bench/v1) — the perf trajectory artifact.
+bench-json:
+	$(GO) run ./cmd/bpagg-bench -n 1048576 -mintime 25ms -json
 
 clean:
 	$(GO) clean ./...

@@ -31,6 +31,7 @@ package bpagg
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"bpagg/internal/bitvec"
 	"bpagg/internal/core"
@@ -325,6 +326,7 @@ func (c *Column) Sum(sel *Bitmap, opts ...ExecOption) uint64 {
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		return nbp.SumOpt(c.nbpSource(), eff, nbpOptions(o))
 	}
 	if c.layout == VBP {
@@ -340,6 +342,7 @@ func (c *Column) Min(sel *Bitmap, opts ...ExecOption) (uint64, bool) {
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		return nbp.MinOpt(c.nbpSource(), eff, nbpOptions(o))
 	}
 	if c.layout == VBP {
@@ -355,6 +358,7 @@ func (c *Column) Max(sel *Bitmap, opts ...ExecOption) (uint64, bool) {
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		return nbp.MaxOpt(c.nbpSource(), eff, nbpOptions(o))
 	}
 	if c.layout == VBP {
@@ -370,6 +374,7 @@ func (c *Column) Avg(sel *Bitmap, opts ...ExecOption) (float64, bool) {
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		return nbp.AvgOpt(c.nbpSource(), eff, nbpOptions(o))
 	}
 	if c.layout == VBP {
@@ -385,6 +390,7 @@ func (c *Column) Median(sel *Bitmap, opts ...ExecOption) (uint64, bool) {
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		return nbp.MedianOpt(c.nbpSource(), eff, nbpOptions(o))
 	}
 	if c.layout == VBP {
@@ -401,6 +407,7 @@ func (c *Column) Rank(sel *Bitmap, r uint64, opts ...ExecOption) (uint64, bool) 
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		return nbp.RankOpt(c.nbpSource(), eff, r, nbpOptions(o))
 	}
 	if c.layout == VBP {

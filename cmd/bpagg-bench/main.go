@@ -8,9 +8,12 @@
 //	bpagg-bench -experiment all
 //	bpagg-bench -experiment fig5 -n 16777216
 //	bpagg-bench -experiment table2 -threads 8
+//	bpagg-bench -json                       # also write BENCH_results.json
 //
 // Results print as aligned text tables matching the paper's layout; see
-// EXPERIMENTS.md for the paper-vs-measured record.
+// EXPERIMENTS.md for the paper-vs-measured record. With -json, the same
+// numbers are additionally written as machine-readable JSON (schema
+// bpagg-bench/v1) so CI can archive the perf trajectory.
 package main
 
 import (
@@ -34,6 +37,8 @@ func main() {
 		seed       = flag.Int64("seed", 1, "data generation seed")
 		minTime    = flag.Duration("mintime", 150*time.Millisecond, "minimum measurement time per data point")
 		skipSanity = flag.Bool("skip-sanity", false, "skip the BP-vs-NBP agreement pre-check")
+		jsonOut    = flag.Bool("json", false, "also write machine-readable results (see -json-out)")
+		jsonPath   = flag.String("json-out", "BENCH_results.json", "output file for -json")
 	)
 	flag.Parse()
 
@@ -52,21 +57,38 @@ func main() {
 		fmt.Println()
 	}
 
+	var report *bench.Report
+	if *jsonOut {
+		report = bench.NewReport(cfg)
+	}
+
 	run := func(name string) {
 		start := time.Now()
 		switch name {
 		case "fig5":
-			bench.PrintFig5(os.Stdout, bench.Fig5(cfg))
+			rows := bench.Fig5(cfg)
+			bench.PrintFig5(os.Stdout, rows)
+			report.AddFig5(rows)
 		case "fig6":
-			bench.PrintFig6(os.Stdout, bench.Fig6(cfg))
+			rows := bench.Fig6(cfg)
+			bench.PrintFig6(os.Stdout, rows)
+			report.AddFig6(rows)
 		case "fig7":
-			bench.PrintFig7(os.Stdout, bench.Fig7(cfg))
+			rows := bench.Fig7(cfg)
+			bench.PrintFig7(os.Stdout, rows)
+			report.AddFig7(rows)
 		case "fig8":
-			bench.PrintFig8(os.Stdout, bench.Fig8(cfg), cfg.Threads)
+			rows := bench.Fig8(cfg)
+			bench.PrintFig8(os.Stdout, rows, cfg.Threads)
+			report.AddFig8(rows)
 		case "table2":
-			bench.PrintTable2(os.Stdout, tpch.VBP, bench.Table2(cfg, tpch.VBP))
+			vrows := bench.Table2(cfg, tpch.VBP)
+			bench.PrintTable2(os.Stdout, tpch.VBP, vrows)
 			fmt.Println()
-			bench.PrintTable2(os.Stdout, tpch.HBP, bench.Table2(cfg, tpch.HBP))
+			hrows := bench.Table2(cfg, tpch.HBP)
+			bench.PrintTable2(os.Stdout, tpch.HBP, hrows)
+			report.AddTable2(tpch.VBP, vrows)
+			report.AddTable2(tpch.HBP, hrows)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -78,7 +100,25 @@ func main() {
 		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2"} {
 			run(name)
 		}
-		return
+	} else {
+		run(*experiment)
 	}
-	run(*experiment)
+
+	if report != nil {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpagg-bench:", err)
+			os.Exit(1)
+		}
+		if err := report.WriteJSON(f); err == nil {
+			err = f.Close()
+		} else {
+			f.Close()
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bpagg-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 }

@@ -19,12 +19,15 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux for -http
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"bpagg"
 	"bpagg/internal/catalog"
 	"bpagg/internal/sqlmini"
 )
@@ -62,7 +65,7 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   bpagg load  -csv FILE -schema SPEC -out FILE   pack CSV into a .bpag table
-  bpagg query -table FILE [-threads N] [-wide] [-timeout D] [SQL]
+  bpagg query -table FILE [-threads N] [-wide] [-timeout D] [-stats] [-http ADDR] [SQL]
               (omit SQL for an interactive session reading stdin)
   bpagg info  -table FILE
 
@@ -133,6 +136,8 @@ func cmdQuery(args []string) error {
 	wide := fs.Bool("wide", false, "use 256-bit wide-word kernels")
 	auto := fs.Bool("auto", true, "pick bit-parallel vs reconstruction per query selectivity")
 	timeout := fs.Duration("timeout", 0, "per-query deadline (0 = none)")
+	stats := fs.Bool("stats", false, "print per-query execution statistics after each result")
+	httpAddr := fs.String("http", "", "serve /debug/pprof (profiles and execution traces) on this address, e.g. localhost:6060")
 	fs.Parse(args)
 	if *table == "" || fs.NArg() > 1 {
 		return fmt.Errorf("query needs -table and at most one SQL argument (none starts a REPL)")
@@ -141,7 +146,20 @@ func cmdQuery(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *httpAddr != "" {
+		// Diagnostics only: pprof profiles and runtime/trace capture for
+		// long sessions. Queries never block on this server.
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "bpagg: -http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "bpagg: pprof at http://%s/debug/pprof/\n", *httpAddr)
+	}
 	opts := sqlmini.ExecOptions{Threads: *threads, Wide: *wide, Auto: *auto}
+	if *stats {
+		opts.Stats = bpagg.NewStatsCollector()
+	}
 	if fs.NArg() == 1 {
 		// One-shot query: ctrl-C cancels the in-flight aggregation and
 		// the process exits cleanly (status 130) once workers join.
@@ -205,7 +223,24 @@ func runQuery(ctx context.Context, cat *catalog.Catalog, sql string, opts sqlmin
 	printResult(res)
 	fmt.Printf("(%d row(s) over %d tuples in %v)\n",
 		len(res.Rows), cat.Table.Rows(), time.Since(start).Round(time.Microsecond))
+	if opts.Stats != nil {
+		// Snapshot-and-reset so each REPL query reports its own numbers.
+		printStats(opts.Stats.Snapshot())
+		opts.Stats.Reset()
+	}
 	return nil
+}
+
+// printStats renders one query's execution statistics. EXPLAIN ANALYZE
+// shows the same counters per stage; this is the one-line-per-area
+// summary for ordinary queries.
+func printStats(es bpagg.ExecStats) {
+	fmt.Printf("stats: scans=%d segments=%d pruned_all=%d pruned_none=%d (pruned %.1f%%) words_compared=%d scan_time=%v\n",
+		es.Scans, es.SegmentsScanned, es.SegmentsPrunedAll, es.SegmentsPrunedNone,
+		100*es.PruneRatio(), es.WordsCompared, es.ScanTime().Round(time.Microsecond))
+	fmt.Printf("stats: aggregates=%d segments=%d words_touched=%d radix_rounds=%d reconstructed=%d busy=%v agg_time=%v\n",
+		es.Aggregates, es.SegmentsAggregated, es.WordsTouched, es.RadixRounds,
+		es.ReconstructedRows, es.WorkerBusy().Round(time.Microsecond), es.AggTime().Round(time.Microsecond))
 }
 
 func cmdInfo(args []string) error {

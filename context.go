@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"bpagg/internal/nbp"
 	"bpagg/internal/parallel"
@@ -108,6 +109,7 @@ func (c *Column) SumContext(ctx context.Context, sel *Bitmap, opts ...ExecOption
 		if err := ctx.Err(); err != nil {
 			return 0, err
 		}
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		return nbp.SumOpt(c.nbpSource(), eff, nbpOptions(o)), nil
 	}
 	var (
@@ -145,6 +147,7 @@ func (c *Column) extremeContext(ctx context.Context, sel *Bitmap, opts []ExecOpt
 		if err := ctx.Err(); err != nil {
 			return 0, false, err
 		}
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		if wantMin {
 			v, ok := nbp.MinOpt(c.nbpSource(), eff, nbpOptions(o))
 			return v, ok, nil
@@ -183,6 +186,7 @@ func (c *Column) AvgContext(ctx context.Context, sel *Bitmap, opts ...ExecOption
 		if err := ctx.Err(); err != nil {
 			return 0, false, err
 		}
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		v, ok := nbp.AvgOpt(c.nbpSource(), eff, nbpOptions(o))
 		return v, ok, nil
 	}
@@ -232,6 +236,7 @@ func (c *Column) rankContext(ctx context.Context, sel *Bitmap, r uint64, opts []
 		if err := ctx.Err(); err != nil {
 			return 0, false, err
 		}
+		defer recordReconstruct(o.par.Stats, eff, time.Now())
 		v, ok := nbp.RankOpt(c.nbpSource(), eff, r, nbpOptions(o))
 		return v, ok, nil
 	}

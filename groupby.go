@@ -36,8 +36,8 @@ func (q *Query) GroupBy(column string) *Grouped {
 			break
 		}
 		g.keys = append(g.keys, v)
-		g.sels = append(g.sels, base.Clone().And(col.Scan(Equal(v))))
-		rest.And(col.Scan(Greater(v)))
+		g.sels = append(g.sels, base.Clone().And(col.ScanStats(Equal(v), q.stats)))
+		rest.And(col.ScanStats(Greater(v), q.stats))
 	}
 	return g
 }

@@ -4,30 +4,37 @@ import (
 	"bpagg/internal/bitvec"
 	"bpagg/internal/core"
 	"bpagg/internal/hbp"
+	"bpagg/internal/metrics"
 	"bpagg/internal/wide"
 )
 
 // HBPSum computes SUM over an HBP column with the selected strategy.
 func HBPSum(col *hbp.Column, f *bitvec.Bitmap, o Options) uint64 {
-	if o.threads() == 1 {
+	if o.threads() == 1 && o.Stats == nil {
 		if o.Wide {
 			return wide.HBPSum(col, f)
 		}
 		return core.HBPSum(col, f)
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	partials := make([]uint64, o.threads())
 	forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+		t0 := statsNow(ws)
 		if o.Wide {
 			partials[w] = wide.HBPSumRange(col, f, lo, hi)
 		} else {
 			partials[w] = core.HBPSumRange(col, f, lo, hi)
+		}
+		if ws != nil {
+			hbpCollectDense(ws, w, col, f, lo, hi, t0)
 		}
 	})
 	var sum uint64
 	for _, p := range partials {
 		sum += p
 	}
+	o.statsEnd(ws, start, metrics.ExecStats{})
 	return sum
 }
 
@@ -43,7 +50,7 @@ func HBPMax(col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
 }
 
 func hbpExtreme(col *hbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uint64, bool) {
-	if o.threads() == 1 {
+	if o.threads() == 1 && o.Stats == nil {
 		if o.Wide {
 			if wantMin {
 				return wide.HBPMin(col, f)
@@ -58,13 +65,18 @@ func hbpExtreme(col *hbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uin
 	if !f.Any() {
 		return 0, false
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	var temps [][]uint64
 	if o.Wide {
 		workerTemps := make([]wide.HBPExtremeTemps, o.threads())
 		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			t0 := statsNow(ws)
 			workerTemps[w] = wide.NewHBPExtremeTemps(col, wantMin)
 			wide.HBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				hbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 		})
 		for w := 0; w < used; w++ {
 			temps = append(temps, workerTemps[w][:]...)
@@ -72,12 +84,18 @@ func hbpExtreme(col *hbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uin
 	} else {
 		workerTemps := make([][]uint64, o.threads())
 		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			t0 := statsNow(ws)
 			workerTemps[w] = core.NewHBPExtremeTemp(col, wantMin)
 			core.HBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				hbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 		})
 		temps = workerTemps[:used]
 	}
-	return core.HBPFinishExtreme(col, temps, wantMin), true
+	v := core.HBPFinishExtreme(col, temps, wantMin)
+	o.statsEnd(ws, start, metrics.ExecStats{})
+	return v, true
 }
 
 // HBPMedian computes the lower MEDIAN with the selected strategy.
@@ -93,7 +111,7 @@ func HBPMedian(col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
 // strategy. Workers build private histograms per bit-group and merge at the
 // rendezvous, then refine their candidate partitions.
 func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bool) {
-	if o.threads() == 1 {
+	if o.threads() == 1 && o.Stats == nil {
 		if o.Wide {
 			return wide.HBPRank(col, f, r)
 		}
@@ -103,8 +121,14 @@ func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bo
 	if r == 0 || r > u {
 		return 0, false
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	v := core.NewHBPCandidates(col, f, nseg)
+	var extra metrics.ExecStats
+	if ws != nil {
+		segs, _ := core.HBPLiveWindows(col, f, 0, nseg)
+		extra.SegmentsAggregated = segs
+	}
 	b := col.NumGroups()
 	tau := col.Tau()
 	chunks := core.HBPChunks(tau)
@@ -122,12 +146,24 @@ func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bo
 		for ci, ch := range chunks {
 			shift, width := ch[0], ch[1]
 			bins := 1 << uint(width)
+			last := g == b-1 && ci == len(chunks)-1
 			used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+				t0 := statsNow(ws)
 				h := workerHists[w][:bins]
 				for i := range h {
 					h[i] = 0
 				}
 				core.HBPHistogramChunk(col, v, g, shift, width, lo, hi, h)
+				if ws != nil {
+					// Charge the whole round here (histogram plus, unless
+					// this is the final round, the refine pass over the
+					// same live sub-segments).
+					factor := uint64(2)
+					if last {
+						factor = 1
+					}
+					hbpCollectRank(ws, w, col, v, factor, lo, hi, t0)
+				}
 			})
 			// Merge worker histograms and locate the bin containing rank r.
 			var cum uint64
@@ -145,18 +181,24 @@ func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bo
 			}
 			r -= cum
 			m = m<<uint(width) | uint64(bin)
-			if g == b-1 && ci == len(chunks)-1 {
+			extra.RadixRounds++
+			if last {
 				break
 			}
 			forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+				t0 := statsNow(ws)
 				if o.Wide {
 					wide.HBPRankRefineChunkRange(col, v, g, shift, width, uint64(bin), lo, hi)
 				} else {
 					core.HBPRankRefineChunk(col, v, g, shift, width, uint64(bin), lo, hi)
 				}
+				if ws != nil {
+					busyOnly(ws, w, t0)
+				}
 			})
 		}
 	}
+	o.statsEnd(ws, start, extra)
 	return m, true
 }
 

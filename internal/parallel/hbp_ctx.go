@@ -6,18 +6,24 @@ import (
 	"bpagg/internal/bitvec"
 	"bpagg/internal/core"
 	"bpagg/internal/hbp"
+	"bpagg/internal/metrics"
 	"bpagg/internal/wide"
 )
 
 // HBPSumCtx computes SUM over an HBP column, honoring ctx.
 func HBPSumCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, error) {
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	partials := make([]uint64, o.threads())
 	_, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+		t0 := statsNow(ws)
 		if o.Wide {
 			partials[w] += wide.HBPSumRange(col, f, lo, hi)
 		} else {
 			partials[w] += core.HBPSumRange(col, f, lo, hi)
+		}
+		if ws != nil {
+			hbpCollectDense(ws, w, col, f, lo, hi, t0)
 		}
 		return nil
 	})
@@ -28,6 +34,7 @@ func HBPSumCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options
 	for _, p := range partials {
 		sum += p
 	}
+	o.statsEnd(ws, start, metrics.ExecStats{})
 	return sum, nil
 }
 
@@ -46,6 +53,7 @@ func hbpExtremeCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Opt
 	if !f.Any() {
 		return 0, false, nil
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	var temps [][]uint64
 	if o.Wide {
@@ -54,7 +62,11 @@ func hbpExtremeCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Opt
 			workerTemps[w] = wide.NewHBPExtremeTemps(col, wantMin)
 		}
 		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			t0 := statsNow(ws)
 			wide.HBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				hbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 			return nil
 		})
 		if err != nil {
@@ -69,7 +81,11 @@ func hbpExtremeCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Opt
 			workerTemps[w] = core.NewHBPExtremeTemp(col, wantMin)
 		}
 		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			t0 := statsNow(ws)
 			core.HBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				hbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 			return nil
 		})
 		if err != nil {
@@ -77,7 +93,9 @@ func hbpExtremeCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Opt
 		}
 		temps = workerTemps[:used]
 	}
-	return core.HBPFinishExtreme(col, temps, wantMin), true, nil
+	v := core.HBPFinishExtreme(col, temps, wantMin)
+	o.statsEnd(ws, start, metrics.ExecStats{})
+	return v, true, nil
 }
 
 // HBPMedianCtx computes the lower MEDIAN, honoring ctx.
@@ -97,8 +115,14 @@ func HBPRankCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, r uint64
 	if r == 0 || r > u {
 		return 0, false, nil
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	v := core.NewHBPCandidates(col, f, nseg)
+	var extra metrics.ExecStats
+	if ws != nil {
+		segs, _ := core.HBPLiveWindows(col, f, 0, nseg)
+		extra.SegmentsAggregated = segs
+	}
 	b := col.NumGroups()
 	tau := col.Tau()
 	chunks := core.HBPChunks(tau)
@@ -116,6 +140,7 @@ func HBPRankCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, r uint64
 		for ci, ch := range chunks {
 			shift, width := ch[0], ch[1]
 			bins := 1 << uint(width)
+			last := g == b-1 && ci == len(chunks)-1
 			// Histograms are zeroed here, not inside the worker body: a
 			// worker sees its range in workerBlock slices and must
 			// accumulate across them.
@@ -126,7 +151,18 @@ func HBPRankCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, r uint64
 				}
 			}
 			used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+				t0 := statsNow(ws)
 				core.HBPHistogramChunk(col, v, g, shift, width, lo, hi, workerHists[w][:bins])
+				if ws != nil {
+					// Charge the whole round here (histogram plus, unless
+					// this is the final round, the refine pass over the
+					// same live sub-segments).
+					factor := uint64(2)
+					if last {
+						factor = 1
+					}
+					hbpCollectRank(ws, w, col, v, factor, lo, hi, t0)
+				}
 				return nil
 			})
 			if err != nil {
@@ -148,14 +184,19 @@ func HBPRankCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, r uint64
 			}
 			r -= cum
 			m = m<<uint(width) | uint64(bin)
-			if g == b-1 && ci == len(chunks)-1 {
+			extra.RadixRounds++
+			if last {
 				break
 			}
 			_, err = forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+				t0 := statsNow(ws)
 				if o.Wide {
 					wide.HBPRankRefineChunkRange(col, v, g, shift, width, uint64(bin), lo, hi)
 				} else {
 					core.HBPRankRefineChunk(col, v, g, shift, width, uint64(bin), lo, hi)
+				}
+				if ws != nil {
+					busyOnly(ws, w, t0)
 				}
 				return nil
 			})
@@ -164,6 +205,7 @@ func HBPRankCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, r uint64
 			}
 		}
 	}
+	o.statsEnd(ws, start, extra)
 	return m, true, nil
 }
 

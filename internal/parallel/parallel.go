@@ -10,7 +10,11 @@
 // worker may refine its candidates, so workers rendezvous once per step.
 package parallel
 
-import "sync"
+import (
+	"sync"
+
+	"bpagg/internal/metrics"
+)
 
 // Options selects the execution strategy.
 type Options struct {
@@ -18,6 +22,12 @@ type Options struct {
 	Threads int
 	// Wide selects the 256-bit wide-word kernels of package wide.
 	Wide bool
+	// Stats, when non-nil, receives one ExecStats batch per driver call
+	// (segments aggregated, words touched, radix rounds, busy/wall
+	// time). Enabling collection routes even Threads=1 calls through the
+	// partitioned path so the counters are computed uniformly; nil (the
+	// default) leaves every code path exactly as without collection.
+	Stats *metrics.Collector
 }
 
 func (o Options) threads() int {

@@ -3,31 +3,38 @@ package parallel
 import (
 	"bpagg/internal/bitvec"
 	"bpagg/internal/core"
+	"bpagg/internal/metrics"
 	"bpagg/internal/vbp"
 	"bpagg/internal/wide"
 )
 
 // VBPSum computes SUM over a VBP column with the selected strategy.
 func VBPSum(col *vbp.Column, f *bitvec.Bitmap, o Options) uint64 {
-	if o.threads() == 1 {
+	if o.threads() == 1 && o.Stats == nil {
 		if o.Wide {
 			return wide.VBPSum(col, f)
 		}
 		return core.VBPSum(col, f)
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	partials := make([]uint64, o.threads())
 	forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+		t0 := statsNow(ws)
 		if o.Wide {
 			partials[w] = wide.VBPSumRange(col, f, lo, hi)
 		} else {
 			partials[w] = core.VBPSumRange(col, f, lo, hi)
+		}
+		if ws != nil {
+			vbpCollectDense(ws, w, col, f, lo, hi, t0)
 		}
 	})
 	var sum uint64
 	for _, p := range partials {
 		sum += p
 	}
+	o.statsEnd(ws, start, metrics.ExecStats{})
 	return sum
 }
 
@@ -43,7 +50,7 @@ func VBPMax(col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
 }
 
 func vbpExtreme(col *vbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uint64, bool) {
-	if o.threads() == 1 {
+	if o.threads() == 1 && o.Stats == nil {
 		if o.Wide {
 			if wantMin {
 				return wide.VBPMin(col, f)
@@ -58,14 +65,19 @@ func vbpExtreme(col *vbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uin
 	if !f.Any() {
 		return 0, false
 	}
+	ws, start := o.statsBegin()
 	k := col.K()
 	nseg := col.NumSegments()
 	var temps [][]uint64
 	if o.Wide {
 		workerTemps := make([]wide.VBPExtremeTemps, o.threads())
 		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			t0 := statsNow(ws)
 			workerTemps[w] = wide.NewVBPExtremeTemps(k, wantMin)
 			wide.VBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				vbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 		})
 		for w := 0; w < used; w++ {
 			temps = append(temps, workerTemps[w][:]...)
@@ -73,12 +85,18 @@ func vbpExtreme(col *vbp.Column, f *bitvec.Bitmap, o Options, wantMin bool) (uin
 	} else {
 		workerTemps := make([][]uint64, o.threads())
 		used := forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			t0 := statsNow(ws)
 			workerTemps[w] = core.NewVBPExtremeTemp(k, wantMin)
 			core.VBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				vbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 		})
 		temps = workerTemps[:used]
 	}
-	return core.VBPFinishExtreme(temps, k, wantMin), true
+	v := core.VBPFinishExtreme(temps, k, wantMin)
+	o.statsEnd(ws, start, metrics.ExecStats{})
+	return v, true
 }
 
 // VBPMedian computes the lower MEDIAN with the selected strategy.
@@ -95,7 +113,7 @@ func VBPMedian(col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, bool) {
 // candidate counter, exactly the overhead the paper attributes to
 // multi-threaded VBP-MEDIAN.
 func VBPRank(col *vbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bool) {
-	if o.threads() == 1 {
+	if o.threads() == 1 && o.Stats == nil {
 		if o.Wide {
 			return wide.VBPRank(col, f, r)
 		}
@@ -105,17 +123,28 @@ func VBPRank(col *vbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bo
 	if r == 0 || r > u {
 		return 0, false
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
+	var extra metrics.ExecStats
+	if ws != nil {
+		extra.SegmentsAggregated = core.VBPLiveSegments(f, 0, nseg)
+	}
 	v := core.NewVBPCandidates(f, nseg)
 	k := col.K()
 	partials := make([]uint64, o.threads())
 	var m uint64
 	for p := 0; p < k; p++ {
 		forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			t0 := statsNow(ws)
 			if o.Wide {
 				partials[w] = wide.VBPRankCountRange(col, v, p, lo, hi)
 			} else {
 				partials[w] = core.VBPRankCount(col, v, p, lo, hi)
+			}
+			if ws != nil {
+				// Charge the whole round here: refine reads the same
+				// bit-position word for the same live segments.
+				vbpCollectRank(ws, w, v, lo, hi, t0)
 			}
 		})
 		var c uint64
@@ -130,14 +159,20 @@ func VBPRank(col *vbp.Column, f *bitvec.Bitmap, r uint64, o Options) (uint64, bo
 		} else {
 			u -= c
 		}
+		extra.RadixRounds++
 		forEachRange(nseg, o.threads(), func(w, lo, hi int) {
+			t0 := statsNow(ws)
 			if o.Wide {
 				wide.VBPRankRefineRange(col, v, p, keepOnes, lo, hi)
 			} else {
 				core.VBPRankRefine(col, v, p, keepOnes, lo, hi)
 			}
+			if ws != nil {
+				busyOnly(ws, w, t0)
+			}
 		})
 	}
+	o.statsEnd(ws, start, extra)
 	return m, true
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"bpagg/internal/bitvec"
 	"bpagg/internal/core"
+	"bpagg/internal/metrics"
 	"bpagg/internal/vbp"
 	"bpagg/internal/wide"
 )
@@ -15,16 +16,25 @@ import (
 // rendezvous for rank) and worker panics come back as *PanicError. They
 // run the partitioned path even at Threads=1, trading a goroutine spawn
 // for a uniform cancellation guarantee.
+//
+// Stats collection follows the same contract as the plain drivers; a
+// worker body may run several times with sub-ranges, so every stats
+// update accumulates (the collect helpers use +=).
 
 // VBPSumCtx computes SUM over a VBP column, honoring ctx.
 func VBPSumCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, error) {
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	partials := make([]uint64, o.threads())
 	_, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+		t0 := statsNow(ws)
 		if o.Wide {
 			partials[w] += wide.VBPSumRange(col, f, lo, hi)
 		} else {
 			partials[w] += core.VBPSumRange(col, f, lo, hi)
+		}
+		if ws != nil {
+			vbpCollectDense(ws, w, col, f, lo, hi, t0)
 		}
 		return nil
 	})
@@ -35,6 +45,7 @@ func VBPSumCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options
 	for _, p := range partials {
 		sum += p
 	}
+	o.statsEnd(ws, start, metrics.ExecStats{})
 	return sum, nil
 }
 
@@ -53,6 +64,7 @@ func vbpExtremeCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Opt
 	if !f.Any() {
 		return 0, false, nil
 	}
+	ws, start := o.statsBegin()
 	k := col.K()
 	nseg := col.NumSegments()
 	var temps [][]uint64
@@ -62,7 +74,11 @@ func vbpExtremeCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Opt
 			workerTemps[w] = wide.NewVBPExtremeTemps(k, wantMin)
 		}
 		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			t0 := statsNow(ws)
 			wide.VBPFoldExtremeRange(col, f, &workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				vbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 			return nil
 		})
 		if err != nil {
@@ -77,7 +93,11 @@ func vbpExtremeCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Opt
 			workerTemps[w] = core.NewVBPExtremeTemp(k, wantMin)
 		}
 		used, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			t0 := statsNow(ws)
 			core.VBPFoldExtreme(col, f, workerTemps[w], wantMin, lo, hi)
+			if ws != nil {
+				vbpCollectDense(ws, w, col, f, lo, hi, t0)
+			}
 			return nil
 		})
 		if err != nil {
@@ -85,7 +105,9 @@ func vbpExtremeCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Opt
 		}
 		temps = workerTemps[:used]
 	}
-	return core.VBPFinishExtreme(temps, k, wantMin), true, nil
+	v := core.VBPFinishExtreme(temps, k, wantMin)
+	o.statsEnd(ws, start, metrics.ExecStats{})
+	return v, true, nil
 }
 
 // VBPMedianCtx computes the lower MEDIAN, honoring ctx.
@@ -106,7 +128,12 @@ func VBPRankCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, r uint64
 	if r == 0 || r > u {
 		return 0, false, nil
 	}
+	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
+	var extra metrics.ExecStats
+	if ws != nil {
+		extra.SegmentsAggregated = core.VBPLiveSegments(f, 0, nseg)
+	}
 	v := core.NewVBPCandidates(f, nseg)
 	k := col.K()
 	partials := make([]uint64, o.threads())
@@ -116,10 +143,16 @@ func VBPRankCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, r uint64
 			partials[i] = 0
 		}
 		_, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			t0 := statsNow(ws)
 			if o.Wide {
 				partials[w] += wide.VBPRankCountRange(col, v, p, lo, hi)
 			} else {
 				partials[w] += core.VBPRankCount(col, v, p, lo, hi)
+			}
+			if ws != nil {
+				// Charge the whole round here: refine reads the same
+				// bit-position word for the same live segments.
+				vbpCollectRank(ws, w, v, lo, hi, t0)
 			}
 			return nil
 		})
@@ -138,11 +171,16 @@ func VBPRankCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, r uint64
 		} else {
 			u -= c
 		}
+		extra.RadixRounds++
 		_, err = forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+			t0 := statsNow(ws)
 			if o.Wide {
 				wide.VBPRankRefineRange(col, v, p, keepOnes, lo, hi)
 			} else {
 				core.VBPRankRefine(col, v, p, keepOnes, lo, hi)
+			}
+			if ws != nil {
+				busyOnly(ws, w, t0)
 			}
 			return nil
 		})
@@ -150,6 +188,7 @@ func VBPRankCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, r uint64
 			return 0, false, err
 		}
 	}
+	o.statsEnd(ws, start, extra)
 	return m, true, nil
 }
 

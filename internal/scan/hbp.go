@@ -3,6 +3,7 @@ package scan
 import (
 	"bpagg/internal/bitvec"
 	"bpagg/internal/hbp"
+	"bpagg/internal/metrics"
 	"bpagg/internal/word"
 )
 
@@ -14,6 +15,10 @@ import (
 // c independent tau-bit comparisons. Groups are staged most significant
 // first with running eq/lt/gt delimiter lanes, stopping early once every
 // lane is decided.
+//
+// HBPStats is the observable twin; the loops stay separate for the same
+// disabled-path reason as VBP/VBPStats. TestHBPStatsMatchesHBP pins them
+// to identical outputs.
 func HBP(col *hbp.Column, p Predicate) *bitvec.Bitmap {
 	p.check(col.K())
 	if p.Op == Between {
@@ -58,7 +63,68 @@ func HBP(col *hbp.Column, p Predicate) *bitvec.Bitmap {
 	return out
 }
 
+// HBPStats is HBP with observability: the scan reports segments scanned
+// vs zone-pruned and the packed words actually compared (net of the
+// per-sub-segment early stop). A nil es falls back to the uninstrumented
+// HBP loop, so collection that is off costs nothing.
+func HBPStats(col *hbp.Column, p Predicate, es *metrics.ExecStats) *bitvec.Bitmap {
+	if es == nil {
+		return HBP(col, p)
+	}
+	p.check(col.K())
+	if p.Op == Between {
+		return hbpBetweenStats(col, p.A, p.B, es)
+	}
+	cw := constWordsHBP(col, p.A)
+	delim := col.DelimMask()
+	bGroups := col.NumGroups()
+	subs := col.SubSegments()
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	var scanned, prunedNone, prunedAll, words uint64
+	for seg := 0; seg < nseg; seg++ {
+		if lo, hi, ok := col.ZoneRange(seg); ok {
+			if none, all := p.zoneDecision(lo, hi); none {
+				prunedNone++
+				continue // bitmap already zero
+			} else if all {
+				prunedAll++
+				depositSegment(out, col, seg, word.LowMask(col.SegmentValues(seg)))
+				continue
+			}
+		}
+		scanned++
+		var fw uint64
+		base := seg * subs
+		for t := 0; t < subs; t++ {
+			st := state{eq: delim}
+			for g := 0; g < bGroups; g++ {
+				x := col.GroupWords(g)[base+t]
+				y := cw[g]
+				words++
+				st.step(
+					word.LTDelims(x, y, delim),
+					word.GTDelims(x, y, delim),
+					word.EQDelims(x, y, delim),
+				)
+				if st.eq == 0 {
+					break
+				}
+			}
+			fw |= col.ScatterDelims(st.result(p.Op, delim), t)
+		}
+		depositSegment(out, col, seg, fw&word.LowMask(col.SegmentValues(seg)))
+	}
+	es.SegmentsScanned += scanned
+	es.SegmentsPrunedNone += prunedNone
+	es.SegmentsPrunedAll += prunedAll
+	es.WordsCompared += words
+	return out
+}
+
 // hbpBetween evaluates A <= v <= B in a single pass per sub-segment.
+// hbpBetweenStats is its counting twin.
 func hbpBetween(col *hbp.Column, lo, hi uint64) *bitvec.Bitmap {
 	cLo := constWordsHBP(col, lo)
 	cHi := constWordsHBP(col, hi)
@@ -104,6 +170,63 @@ func hbpBetween(col *hbp.Column, lo, hi uint64) *bitvec.Bitmap {
 		}
 		depositSegment(out, col, seg, fw&word.LowMask(col.SegmentValues(seg)))
 	}
+	return out
+}
+
+func hbpBetweenStats(col *hbp.Column, lo, hi uint64, es *metrics.ExecStats) *bitvec.Bitmap {
+	cLo := constWordsHBP(col, lo)
+	cHi := constWordsHBP(col, hi)
+	delim := col.DelimMask()
+	bGroups := col.NumGroups()
+	subs := col.SubSegments()
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	var scanned, prunedNone, prunedAll, words uint64
+	for seg := 0; seg < nseg; seg++ {
+		if zlo, zhi, ok := col.ZoneRange(seg); ok {
+			p := Predicate{Op: Between, A: lo, B: hi}
+			if none, all := p.zoneDecision(zlo, zhi); none {
+				prunedNone++
+				continue
+			} else if all {
+				prunedAll++
+				depositSegment(out, col, seg, word.LowMask(col.SegmentValues(seg)))
+				continue
+			}
+		}
+		scanned++
+		var fw uint64
+		base := seg * subs
+		for t := 0; t < subs; t++ {
+			sLo := state{eq: delim}
+			sHi := state{eq: delim}
+			for g := 0; g < bGroups; g++ {
+				x := col.GroupWords(g)[base+t]
+				words++
+				sLo.step(
+					word.LTDelims(x, cLo[g], delim),
+					word.GTDelims(x, cLo[g], delim),
+					word.EQDelims(x, cLo[g], delim),
+				)
+				sHi.step(
+					word.LTDelims(x, cHi[g], delim),
+					word.GTDelims(x, cHi[g], delim),
+					word.EQDelims(x, cHi[g], delim),
+				)
+				if sLo.eq == 0 && sHi.eq == 0 {
+					break
+				}
+			}
+			sel := sLo.result(GE, delim) & sHi.result(LE, delim)
+			fw |= col.ScatterDelims(sel, t)
+		}
+		depositSegment(out, col, seg, fw&word.LowMask(col.SegmentValues(seg)))
+	}
+	es.SegmentsScanned += scanned
+	es.SegmentsPrunedNone += prunedNone
+	es.SegmentsPrunedAll += prunedAll
+	es.WordsCompared += words
 	return out
 }
 

@@ -2,6 +2,7 @@ package scan
 
 import (
 	"bpagg/internal/bitvec"
+	"bpagg/internal/metrics"
 	"bpagg/internal/vbp"
 )
 
@@ -12,6 +13,12 @@ import (
 // far are decided by the first differing bit, and the segment is abandoned
 // early once every lane is decided (eq == 0) — the paper's §II-A early
 // stop, which the word-group layout turns into skipped cache lines.
+//
+// VBPStats is the observable twin. The two keep separate loops on purpose:
+// the counter accumulation measurably slows this hot loop, and the
+// disabled-path guarantee (DESIGN.md §8) promises scans without collection
+// cost exactly what they did before observability existed.
+// TestVBPStatsMatchesVBP pins the twins to identical outputs.
 func VBP(col *vbp.Column, p Predicate) *bitvec.Bitmap {
 	p.check(col.K())
 	if p.Op == Between {
@@ -52,8 +59,64 @@ func VBP(col *vbp.Column, p Predicate) *bitvec.Bitmap {
 	return out
 }
 
+// VBPStats is VBP with observability: the scan reports segments scanned
+// vs zone-pruned and the packed words actually compared (net of early
+// stops). Counting runs on local integers merged into es at the end. A
+// nil es falls back to the uninstrumented VBP loop, so collection that
+// is off costs nothing.
+func VBPStats(col *vbp.Column, p Predicate, es *metrics.ExecStats) *bitvec.Bitmap {
+	if es == nil {
+		return VBP(col, p)
+	}
+	p.check(col.K())
+	if p.Op == Between {
+		return vbpBetweenStats(col, p.A, p.B, es)
+	}
+	k := col.K()
+	groups := col.Groups()
+	cbits := constLanesVBP(p.A, k)
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	var scanned, prunedNone, prunedAll, words uint64
+	for seg := 0; seg < nseg; seg++ {
+		if lo, hi, ok := col.ZoneRange(seg); ok {
+			if none, all := p.zoneDecision(lo, hi); none {
+				prunedNone++
+				continue // word already zero
+			} else if all {
+				prunedAll++
+				out.SetWord(seg, ^uint64(0))
+				continue
+			}
+		}
+		scanned++
+		st := state{eq: ^uint64(0)}
+		for g := range groups {
+			gr := &groups[g]
+			base := seg * gr.Bits
+			for b := 0; b < gr.Bits; b++ {
+				w := gr.Words[base+b]
+				c := cbits[gr.StartBit+b]
+				st.step(^w&c, w&^c, ^(w ^ c))
+			}
+			words += uint64(gr.Bits)
+			if st.eq == 0 {
+				break
+			}
+		}
+		out.SetWord(seg, st.result(p.Op, ^uint64(0)))
+	}
+	es.SegmentsScanned += scanned
+	es.SegmentsPrunedNone += prunedNone
+	es.SegmentsPrunedAll += prunedAll
+	es.WordsCompared += words
+	return out
+}
+
 // vbpBetween evaluates A <= v <= B in a single pass, maintaining two staged
-// comparisons (against A and against B) per segment.
+// comparisons (against A and against B) per segment. vbpBetweenStats is
+// its counting twin.
 func vbpBetween(col *vbp.Column, lo, hi uint64) *bitvec.Bitmap {
 	k := col.K()
 	groups := col.Groups()
@@ -91,6 +154,55 @@ func vbpBetween(col *vbp.Column, lo, hi uint64) *bitvec.Bitmap {
 		le := sHi.result(LE, ^uint64(0))
 		out.SetWord(seg, ge&le)
 	}
+	return out
+}
+
+func vbpBetweenStats(col *vbp.Column, lo, hi uint64, es *metrics.ExecStats) *bitvec.Bitmap {
+	k := col.K()
+	groups := col.Groups()
+	cLo := constLanesVBP(lo, k)
+	cHi := constLanesVBP(hi, k)
+
+	out := bitvec.New(col.Len())
+	nseg := col.NumSegments()
+	var scanned, prunedNone, prunedAll, words uint64
+	for seg := 0; seg < nseg; seg++ {
+		if zlo, zhi, ok := col.ZoneRange(seg); ok {
+			p := Predicate{Op: Between, A: lo, B: hi}
+			if none, all := p.zoneDecision(zlo, zhi); none {
+				prunedNone++
+				continue
+			} else if all {
+				prunedAll++
+				out.SetWord(seg, ^uint64(0))
+				continue
+			}
+		}
+		scanned++
+		sLo := state{eq: ^uint64(0)}
+		sHi := state{eq: ^uint64(0)}
+		for g := range groups {
+			gr := &groups[g]
+			base := seg * gr.Bits
+			for b := 0; b < gr.Bits; b++ {
+				w := gr.Words[base+b]
+				l, h := cLo[gr.StartBit+b], cHi[gr.StartBit+b]
+				sLo.step(^w&l, w&^l, ^(w ^ l))
+				sHi.step(^w&h, w&^h, ^(w ^ h))
+			}
+			words += uint64(gr.Bits)
+			if sLo.eq == 0 && sHi.eq == 0 {
+				break
+			}
+		}
+		ge := sLo.result(GE, ^uint64(0))
+		le := sHi.result(LE, ^uint64(0))
+		out.SetWord(seg, ge&le)
+	}
+	es.SegmentsScanned += scanned
+	es.SegmentsPrunedNone += prunedNone
+	es.SegmentsPrunedAll += prunedAll
+	es.WordsCompared += words
 	return out
 }
 

@@ -78,12 +78,45 @@ const (
 	OpIn
 )
 
+// String returns the SQL spelling of the operator (BETWEEN and IN render
+// through Condition.String, which owns their literal layout).
+func (op CmpOp) String() string {
+	switch op {
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	case OpBetween:
+		return "BETWEEN"
+	case OpIn:
+		return "IN"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", int(op))
+	}
+}
+
 // Literal is a constant of a predicate: either numeric or string.
 type Literal struct {
 	IsString bool
 	Str      string
 	Num      float64 // numeric literals parse as float64; binders narrow
 	Neg      bool    // the literal carried a leading minus
+}
+
+// String renders the literal in SQL form.
+func (l Literal) String() string {
+	if l.IsString {
+		return "'" + l.Str + "'"
+	}
+	return fmt.Sprintf("%g", l.Num)
 }
 
 // Condition is one conjunctive predicate: Column Op Lits.
@@ -94,10 +127,34 @@ type Condition struct {
 	Lits   []Literal
 }
 
+// String renders the condition in SQL form (used by EXPLAIN plans).
+func (c Condition) String() string {
+	switch c.Op {
+	case OpBetween:
+		if len(c.Lits) >= 2 {
+			return fmt.Sprintf("%s BETWEEN %s AND %s", c.Column, c.Lits[0], c.Lits[1])
+		}
+	case OpIn:
+		parts := make([]string, len(c.Lits))
+		for i, l := range c.Lits {
+			parts[i] = l.String()
+		}
+		return fmt.Sprintf("%s IN (%s)", c.Column, strings.Join(parts, ", "))
+	default:
+		if len(c.Lits) >= 1 {
+			return fmt.Sprintf("%s %s %s", c.Column, c.Op, c.Lits[0])
+		}
+	}
+	return fmt.Sprintf("%s %s ?", c.Column, c.Op)
+}
+
 // Query is a parsed aggregate query.
 type Query struct {
 	Selects []SelectExpr
 	From    string // optional, informational only
 	Where   []Condition
 	GroupBy string // empty when ungrouped
+	// Explain marks an EXPLAIN ANALYZE query: execute fully, but return
+	// the per-stage plan with execution statistics instead of the rows.
+	Explain bool
 }

@@ -24,6 +24,9 @@ type ExecOptions struct {
 	// the reconstruction baseline from the realized selectivity (the
 	// paper's optimizer policy).
 	Auto bool
+	// Stats, when non-nil, receives execution statistics from every scan
+	// and aggregate the query runs.
+	Stats *bpagg.StatsCollector
 }
 
 func (o ExecOptions) opts() []bpagg.ExecOption {
@@ -36,6 +39,9 @@ func (o ExecOptions) opts() []bpagg.ExecOption {
 	}
 	if o.Auto {
 		out = append(out, bpagg.Access(bpagg.Auto))
+	}
+	if o.Stats != nil {
+		out = append(out, bpagg.CollectStats(o.Stats))
 	}
 	return out
 }
@@ -64,24 +70,25 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 			res, err = nil, fmt.Errorf("sql: internal error executing query: %v", r)
 		}
 	}()
-	// Validate select list against the schema. Quantile arguments are
-	// re-checked here because a Query need not come from Parse.
-	for _, sel := range q.Selects {
-		if sel.Func == CountStar {
-			continue
+	if q.Explain {
+		// EXPLAIN ANALYZE executes fully but returns the plan tree,
+		// rendered one stage per row so the CLI and REPL print it with
+		// the machinery they already have.
+		ex, err := ExplainAnalyzeContext(ctx, cat, q, o)
+		if err != nil {
+			return nil, err
 		}
-		if cat.Spec(sel.Column) == nil {
-			return nil, fmt.Errorf("sql: unknown column %q", sel.Column)
+		out := &Result{Headers: []string{"QUERY PLAN"}}
+		for _, line := range ex.Lines(false) {
+			out.Rows = append(out.Rows, []string{line})
 		}
-		if (sel.Func == Sum || sel.Func == Avg) && !cat.Summable(sel.Column) {
-			return nil, fmt.Errorf("sql: %s over string column %q", sel.Func, sel.Column)
-		}
-		if sel.Func == Quantile && (sel.Arg < 0 || sel.Arg > 1 || sel.Arg != sel.Arg) {
-			return nil, fmt.Errorf("sql: quantile %g outside [0,1]", sel.Arg)
-		}
+		return out, nil
+	}
+	if err := validateSelects(cat, q); err != nil {
+		return nil, err
 	}
 
-	sel, err := bindWhere(cat, q.Where)
+	sel, err := bindWhere(cat, q.Where, o.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +106,7 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
 	}
 	gcol := cat.Table.Column(q.GroupBy)
-	grouped, err := groupSelections(ctx, gcol, sel)
+	grouped, err := groupSelections(ctx, gcol, sel, o.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +119,26 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		res.Rows = append(res.Rows, append([]string{cat.FormatValue(q.GroupBy, g.key)}, row...))
 	}
 	return res, nil
+}
+
+// validateSelects checks the select list against the schema. Quantile
+// arguments are re-checked because a Query need not come from Parse.
+func validateSelects(cat *catalog.Catalog, q *Query) error {
+	for _, sel := range q.Selects {
+		if sel.Func == CountStar {
+			continue
+		}
+		if cat.Spec(sel.Column) == nil {
+			return fmt.Errorf("sql: unknown column %q", sel.Column)
+		}
+		if (sel.Func == Sum || sel.Func == Avg) && !cat.Summable(sel.Column) {
+			return fmt.Errorf("sql: %s over string column %q", sel.Func, sel.Column)
+		}
+		if sel.Func == Quantile && (sel.Arg < 0 || sel.Arg > 1 || sel.Arg != sel.Arg) {
+			return fmt.Errorf("sql: quantile %g outside [0,1]", sel.Arg)
+		}
+	}
+	return nil
 }
 
 func headers(q *Query, grouped bool) []string {
@@ -132,20 +159,25 @@ type group struct {
 
 // groupSelections walks the distinct keys bit-parallel (repeated MIN plus
 // strictly-greater scans) and intersects per-key equality with the filter.
-// A canceled ctx stops the walk after the current key.
-func groupSelections(ctx context.Context, gcol *bpagg.Column, sel *bpagg.Bitmap) ([]group, error) {
+// A canceled ctx stops the walk after the current key. A non-nil rec
+// collects the walk's scan and MIN statistics.
+func groupSelections(ctx context.Context, gcol *bpagg.Column, sel *bpagg.Bitmap, rec *bpagg.StatsCollector) ([]group, error) {
+	var gopts []bpagg.ExecOption
+	if rec != nil {
+		gopts = append(gopts, bpagg.CollectStats(rec))
+	}
 	var out []group
 	rest := sel.Clone()
 	for {
-		v, ok, err := gcol.MinContext(ctx, rest)
+		v, ok, err := gcol.MinContext(ctx, rest, gopts...)
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
 			break
 		}
-		out = append(out, group{key: v, sel: sel.Clone().And(gcol.Scan(bpagg.Equal(v)))})
-		rest.And(gcol.Scan(bpagg.Greater(v)))
+		out = append(out, group{key: v, sel: sel.Clone().And(gcol.ScanStats(bpagg.Equal(v), rec))})
+		rest.And(gcol.ScanStats(bpagg.Greater(v), rec))
 	}
 	return out, nil
 }
@@ -223,7 +255,7 @@ func formatOpt(cat *catalog.Catalog, col string, code uint64, ok bool) string {
 // translating literals into code space with floor/ceil semantics so
 // unrepresentable constants (10.005 on a cent-scaled column, out-of-range
 // values) select exactly the right rows.
-func bindWhere(cat *catalog.Catalog, conds []Condition) (*bpagg.Bitmap, error) {
+func bindWhere(cat *catalog.Catalog, conds []Condition, rec *bpagg.StatsCollector) (*bpagg.Bitmap, error) {
 	tbl := cat.Table
 	if len(conds) == 0 {
 		first := tbl.Column(tbl.Columns()[0])
@@ -231,7 +263,7 @@ func bindWhere(cat *catalog.Catalog, conds []Condition) (*bpagg.Bitmap, error) {
 	}
 	var sel *bpagg.Bitmap
 	for _, cond := range conds {
-		m, err := bindCondition(cat, cond)
+		m, err := bindCondition(cat, cond, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -244,18 +276,18 @@ func bindWhere(cat *catalog.Catalog, conds []Condition) (*bpagg.Bitmap, error) {
 	return sel, nil
 }
 
-func bindCondition(cat *catalog.Catalog, cond Condition) (*bpagg.Bitmap, error) {
+func bindCondition(cat *catalog.Catalog, cond Condition, rec *bpagg.StatsCollector) (*bpagg.Bitmap, error) {
 	col := cat.Table.Column(cond.Column)
 	if col == nil {
 		return nil, fmt.Errorf("sql: unknown column %q", cond.Column)
 	}
 	switch cond.Op {
 	case OpBetween:
-		lo, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpGe, Lits: cond.Lits[:1]})
+		lo, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpGe, Lits: cond.Lits[:1]}, rec)
 		if err != nil {
 			return nil, err
 		}
-		hi, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpLe, Lits: cond.Lits[1:2]})
+		hi, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpLe, Lits: cond.Lits[1:2]}, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -263,7 +295,7 @@ func bindCondition(cat *catalog.Catalog, cond Condition) (*bpagg.Bitmap, error) 
 	case OpIn:
 		out := col.None()
 		for _, lit := range cond.Lits {
-			m, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpEq, Lits: []Literal{lit}})
+			m, err := bindOne(cat, col, Condition{Column: cond.Column, Op: OpEq, Lits: []Literal{lit}}, rec)
 			if err != nil {
 				return nil, err
 			}
@@ -271,12 +303,12 @@ func bindCondition(cat *catalog.Catalog, cond Condition) (*bpagg.Bitmap, error) 
 		}
 		return out, nil
 	default:
-		return bindOne(cat, col, cond)
+		return bindOne(cat, col, cond, rec)
 	}
 }
 
 // bindOne binds a single-literal comparison.
-func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bitmap, error) {
+func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition, rec *bpagg.StatsCollector) (*bpagg.Bitmap, error) {
 	lit := cond.Lits[0]
 	if lit.IsString {
 		code, ok, err := cat.StrToCode(cond.Column, lit.Str)
@@ -288,12 +320,12 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bi
 			if !ok {
 				return col.None(), nil
 			}
-			return col.Scan(bpagg.Equal(code)), nil
+			return col.ScanStats(bpagg.Equal(code), rec), nil
 		case OpNe:
 			if !ok {
-				return allNonNull(cat, col, cond.Column)
+				return allNonNull(cat, col, cond.Column, rec)
 			}
-			return col.Scan(bpagg.NotEqual(code)), nil
+			return col.ScanStats(bpagg.NotEqual(code), rec), nil
 		default:
 			return nil, fmt.Errorf("sql: only = and != apply to string column %q", cond.Column)
 		}
@@ -303,19 +335,19 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bi
 	if err != nil {
 		return nil, err
 	}
-	all := func() (*bpagg.Bitmap, error) { return allNonNull(cat, col, cond.Column) }
+	all := func() (*bpagg.Bitmap, error) { return allNonNull(cat, col, cond.Column, rec) }
 	none := func() (*bpagg.Bitmap, error) { return col.None(), nil }
 	switch cond.Op {
 	case OpEq:
 		if cr.Below || cr.Above || !cr.Exact {
 			return none()
 		}
-		return col.Scan(bpagg.Equal(cr.Floor)), nil
+		return col.ScanStats(bpagg.Equal(cr.Floor), rec), nil
 	case OpNe:
 		if cr.Below || cr.Above || !cr.Exact {
 			return all()
 		}
-		return col.Scan(bpagg.NotEqual(cr.Floor)), nil
+		return col.ScanStats(bpagg.NotEqual(cr.Floor), rec), nil
 	case OpLt:
 		if cr.Below {
 			return none()
@@ -324,7 +356,7 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bi
 			return all()
 		}
 		// v < L <=> code < ceil(L) when L is not a code, code < L otherwise.
-		return col.Scan(bpagg.Less(cr.Ceil)), nil
+		return col.ScanStats(bpagg.Less(cr.Ceil), rec), nil
 	case OpLe:
 		if cr.Below {
 			return none()
@@ -332,7 +364,7 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bi
 		if cr.Above {
 			return all()
 		}
-		return col.Scan(bpagg.LessEq(cr.Floor)), nil
+		return col.ScanStats(bpagg.LessEq(cr.Floor), rec), nil
 	case OpGt:
 		if cr.Above {
 			return none()
@@ -340,7 +372,7 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bi
 		if cr.Below {
 			return all()
 		}
-		return col.Scan(bpagg.Greater(cr.Floor)), nil
+		return col.ScanStats(bpagg.Greater(cr.Floor), rec), nil
 	case OpGe:
 		if cr.Above {
 			return none()
@@ -348,16 +380,16 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition) (*bpagg.Bi
 		if cr.Below {
 			return all()
 		}
-		return col.Scan(bpagg.GreaterEq(cr.Ceil)), nil
+		return col.ScanStats(bpagg.GreaterEq(cr.Ceil), rec), nil
 	}
 	return nil, fmt.Errorf("sql: unsupported operator %d", int(cond.Op))
 }
 
 // allNonNull selects every non-NULL row of the column.
-func allNonNull(cat *catalog.Catalog, col *bpagg.Column, name string) (*bpagg.Bitmap, error) {
+func allNonNull(cat *catalog.Catalog, col *bpagg.Column, name string, rec *bpagg.StatsCollector) (*bpagg.Bitmap, error) {
 	max, err := cat.MaxCode(name)
 	if err != nil {
 		return nil, err
 	}
-	return col.Scan(bpagg.LessEq(max)), nil
+	return col.ScanStats(bpagg.LessEq(max), rec), nil
 }

@@ -1,0 +1,284 @@
+package sqlmini
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"bpagg"
+	"bpagg/internal/catalog"
+)
+
+// EXPLAIN ANALYZE: the query executes normally, but every stage runs
+// with its own stats collector and the result is the plan tree instead
+// of the rows. The tree mirrors the engine's actual dataflow —
+// aggregates consume the combined filter, which intersects one
+// bit-parallel scan per WHERE predicate:
+//
+//	query
+//	└─ aggregate ...
+//	   └─ [group by ...]
+//	      └─ combine ...
+//	         ├─ scan pred1 ...
+//	         └─ scan pred2 ...
+//
+// Every counter on a node comes from the ExecStats machinery (DESIGN.md
+// §8), so the plan's numbers are the same ones a caller would get from
+// bpagg.CollectStats — a property the explain tests cross-check.
+
+// PlanNode is one stage of an executed EXPLAIN ANALYZE plan.
+type PlanNode struct {
+	// Op identifies the stage: "query", "aggregate", "group", "combine"
+	// or "scan".
+	Op string
+	// Detail is the stage's SQL-ish description (predicate, aggregate
+	// list, grouping column).
+	Detail string
+	// Rows is the stage's output cardinality: matching rows for scans
+	// and combine, groups for group, result rows for aggregate/query.
+	Rows uint64
+	// Stats holds the counters recorded while this stage ran.
+	Stats bpagg.ExecStats
+	// Wall is the stage's wall-clock time.
+	Wall     time.Duration
+	Children []*PlanNode
+}
+
+// ExplainResult is an executed EXPLAIN ANALYZE query.
+type ExplainResult struct {
+	Root *PlanNode
+}
+
+// ExplainAnalyze runs q and returns its plan tree. The query must have
+// Explain semantics in mind but the flag itself is not consulted, so
+// programmatically built queries can be explained too.
+func ExplainAnalyze(cat *catalog.Catalog, q *Query, o ExecOptions) (*ExplainResult, error) {
+	return ExplainAnalyzeContext(context.Background(), cat, q, o)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze honoring ctx, with the same
+// cancellation and panic-recovery contract as ExecuteContext.
+func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecOptions) (res *ExplainResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("sql: internal error explaining query: %v", r)
+		}
+	}()
+	if err := validateSelects(cat, q); err != nil {
+		return nil, err
+	}
+	queryStart := time.Now()
+
+	// Scan stage: one bit-parallel scan per WHERE predicate, each with
+	// its own collector so per-predicate pruning is visible.
+	var scans []*PlanNode
+	var masks []*bpagg.Bitmap
+	for _, cond := range q.Where {
+		rec := bpagg.NewStatsCollector()
+		t0 := time.Now()
+		m, err := bindCondition(cat, cond, rec)
+		if err != nil {
+			return nil, err
+		}
+		scans = append(scans, &PlanNode{
+			Op:     "scan",
+			Detail: cond.String(),
+			Rows:   uint64(m.Count()),
+			Stats:  rec.Snapshot(),
+			Wall:   time.Since(t0),
+		})
+		masks = append(masks, m)
+	}
+
+	// Combine stage: intersect the per-predicate selections (§II-E).
+	t0 := time.Now()
+	var sel *bpagg.Bitmap
+	for _, m := range masks {
+		if sel == nil {
+			sel = m
+		} else {
+			sel.And(m)
+		}
+	}
+	combine := &PlanNode{Op: "combine", Children: scans, Wall: time.Since(t0)}
+	if sel == nil {
+		tbl := cat.Table
+		sel = tbl.Column(tbl.Columns()[0]).All()
+		combine.Detail = "no predicates (all rows)"
+	} else if len(masks) == 1 {
+		combine.Detail = "1 predicate"
+	} else {
+		combine.Detail = fmt.Sprintf("%d predicates (AND)", len(masks))
+	}
+	combine.Rows = uint64(sel.Count())
+
+	// Optional group stage: the bit-parallel distinct-key walk.
+	agg := &PlanNode{Op: "aggregate", Detail: selectList(q)}
+	above := combine
+	var groups []group
+	if q.GroupBy != "" {
+		if cat.Spec(q.GroupBy) == nil {
+			return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
+		}
+		rec := bpagg.NewStatsCollector()
+		t0 := time.Now()
+		groups, err = groupSelections(ctx, cat.Table.Column(q.GroupBy), sel, rec)
+		if err != nil {
+			return nil, err
+		}
+		above = &PlanNode{
+			Op:       "group",
+			Detail:   "by " + q.GroupBy,
+			Rows:     uint64(len(groups)),
+			Stats:    rec.Snapshot(),
+			Wall:     time.Since(t0),
+			Children: []*PlanNode{combine},
+		}
+	}
+	agg.Children = []*PlanNode{above}
+
+	// Aggregate stage: all SELECT expressions (per group when grouped)
+	// share one collector.
+	rec := bpagg.NewStatsCollector()
+	oa := o
+	oa.Stats = rec
+	t0 = time.Now()
+	if q.GroupBy == "" {
+		if _, err := aggregateRow(ctx, cat, q.Selects, sel, oa); err != nil {
+			return nil, err
+		}
+		agg.Rows = 1
+	} else {
+		for _, g := range groups {
+			if _, err := aggregateRow(ctx, cat, q.Selects, g.sel, oa); err != nil {
+				return nil, err
+			}
+		}
+		agg.Rows = uint64(len(groups))
+	}
+	agg.Stats = rec.Snapshot()
+	agg.Wall = time.Since(t0)
+
+	root := &PlanNode{
+		Op:       "query",
+		Rows:     agg.Rows,
+		Wall:     time.Since(queryStart),
+		Children: []*PlanNode{agg},
+	}
+	if o.Stats != nil {
+		// EXPLAIN ANALYZE executes the query for real, so a session-level
+		// collector must see its work too. Stage collectors are
+		// independent, so summing the tree never double-counts.
+		recordTree(o.Stats, root)
+	}
+	return &ExplainResult{Root: root}, nil
+}
+
+func recordTree(rec *bpagg.StatsCollector, n *PlanNode) {
+	rec.Record(n.Stats)
+	for _, c := range n.Children {
+		recordTree(rec, c)
+	}
+}
+
+// selectList renders the aggregate list for the plan's aggregate node.
+func selectList(q *Query) string {
+	parts := make([]string, len(q.Selects))
+	for i, s := range q.Selects {
+		parts[i] = s.Label()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Render writes the plan as an indented tree. With normalizeTimes set,
+// every duration prints as "<dur>" — the stable form the golden-file
+// tests compare against.
+func (e *ExplainResult) Render(w io.Writer, normalizeTimes bool) error {
+	return renderNode(w, e.Root, "", "", normalizeTimes)
+}
+
+// Lines returns the rendered plan split into lines, for callers that
+// present plans row-wise (the CLI wraps them in a Result).
+func (e *ExplainResult) Lines(normalizeTimes bool) []string {
+	var b strings.Builder
+	e.Render(&b, normalizeTimes)
+	return strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+}
+
+func renderNode(w io.Writer, n *PlanNode, prefix, childPrefix string, norm bool) error {
+	if _, err := fmt.Fprintf(w, "%s%s\n", prefix, n.describe(norm)); err != nil {
+		return err
+	}
+	for i, c := range n.Children {
+		branch, cont := "├─ ", "│  "
+		if i == len(n.Children)-1 {
+			branch, cont = "└─ ", "   "
+		}
+		if err := renderNode(w, c, childPrefix+branch, childPrefix+cont, norm); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// describe renders one node line: op, detail, then the counters relevant
+// to the stage kind.
+func (n *PlanNode) describe(norm bool) string {
+	dur := func(d time.Duration) string {
+		if norm {
+			return "<dur>"
+		}
+		return d.Round(time.Microsecond).String()
+	}
+	var b strings.Builder
+	b.WriteString(n.Op)
+	if n.Detail != "" {
+		b.WriteString(" ")
+		b.WriteString(n.Detail)
+	}
+	var fields []string
+	add := func(format string, args ...any) {
+		fields = append(fields, fmt.Sprintf(format, args...))
+	}
+	switch n.Op {
+	case "scan":
+		add("rows=%d", n.Rows)
+		add("segments=%d", n.Stats.SegmentsScanned)
+		add("pruned_none=%d", n.Stats.SegmentsPrunedNone)
+		add("pruned_all=%d", n.Stats.SegmentsPrunedAll)
+		add("pruned=%.1f%%", 100*n.Stats.PruneRatio())
+		add("words=%d", n.Stats.WordsCompared)
+		add("time=%s", dur(n.Wall))
+	case "combine":
+		add("rows=%d", n.Rows)
+		add("time=%s", dur(n.Wall))
+	case "group":
+		add("groups=%d", n.Rows)
+		add("scans=%d", n.Stats.Scans)
+		add("words_compared=%d", n.Stats.WordsCompared)
+		add("words_touched=%d", n.Stats.WordsTouched)
+		add("time=%s", dur(n.Wall))
+	case "aggregate":
+		add("aggs=%d", n.Stats.Aggregates)
+		add("segments=%d", n.Stats.SegmentsAggregated)
+		add("words=%d", n.Stats.WordsTouched)
+		add("radix_rounds=%d", n.Stats.RadixRounds)
+		if n.Stats.ReconstructedRows > 0 {
+			add("reconstructed=%d", n.Stats.ReconstructedRows)
+		}
+		add("busy=%s", dur(n.Stats.WorkerBusy()))
+		add("time=%s", dur(n.Wall))
+	default: // query
+		add("rows=%d", n.Rows)
+		add("time=%s", dur(n.Wall))
+	}
+	b.WriteString(" (")
+	b.WriteString(strings.Join(fields, ", "))
+	b.WriteString(")")
+	return b.String()
+}

@@ -1,0 +1,298 @@
+package sqlmini
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bpagg"
+	"bpagg/internal/catalog"
+)
+
+// -update rewrites the golden plans under testdata/explain/ from the
+// current output. Timings are normalized to "<dur>" so goldens only pin
+// the deterministic counters.
+var update = flag.Bool("update", false, "rewrite EXPLAIN ANALYZE golden files")
+
+// loadOrders builds a deterministic 300-row catalog large enough for the
+// plans to span several 64-tuple segments, with amount ascending so
+// range scans get real zone-map pruning.
+func loadOrders(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	const schema = "amount:uint(10):vbp, qty:uint(6):hbp, region:string"
+	var b strings.Builder
+	b.WriteString("amount,qty,region\n")
+	regions := []string{"EU", "US", "APAC"}
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&b, "%d,%d,%s\n", i*3, (i*7)%60, regions[i%3])
+	}
+	specs, err := catalog.ParseSchema(schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat, err := catalog.LoadCSV(strings.NewReader(b.String()), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func explainLines(t *testing.T, cat *catalog.Catalog, sql string) []string {
+	t.Helper()
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("parse %q: %v", sql, err)
+	}
+	if !q.Explain {
+		t.Fatalf("query %q did not parse as EXPLAIN ANALYZE", sql)
+	}
+	ex, err := ExplainAnalyze(cat, q, ExecOptions{})
+	if err != nil {
+		t.Fatalf("explain %q: %v", sql, err)
+	}
+	return ex.Lines(true)
+}
+
+func TestExplainGolden(t *testing.T) {
+	cat := loadOrders(t)
+	cases := []struct {
+		name string
+		sql  string
+	}{
+		{"sum_filtered", "EXPLAIN ANALYZE SELECT SUM(amount), COUNT(*) WHERE amount < 150"},
+		{"median_two_preds", "EXPLAIN ANALYZE SELECT MEDIAN(qty) WHERE region = 'EU' AND amount BETWEEN 90 AND 600"},
+		{"group_by", "EXPLAIN ANALYZE SELECT SUM(qty), MAX(amount) GROUP BY region"},
+		{"no_predicates", "EXPLAIN ANALYZE SELECT COUNT(*), MIN(amount)"},
+		{"in_list", "EXPLAIN ANALYZE SELECT SUM(amount) WHERE region IN ('EU', 'US') AND qty != 0"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := strings.Join(explainLines(t, cat, tc.sql), "\n") + "\n"
+			path := filepath.Join("testdata", "explain", tc.name+".golden")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("plan mismatch for %q\n--- got ---\n%s--- want ---\n%s", tc.sql, got, want)
+			}
+		})
+	}
+}
+
+// TestExplainExecuteRouting checks the EXPLAIN path through the normal
+// Execute entry point: one "QUERY PLAN" column, one row per plan line.
+func TestExplainExecuteRouting(t *testing.T) {
+	cat := loadOrders(t)
+	res := run(t, cat, "EXPLAIN ANALYZE SELECT COUNT(*) WHERE amount > 100")
+	if len(res.Headers) != 1 || res.Headers[0] != "QUERY PLAN" {
+		t.Fatalf("headers = %v", res.Headers)
+	}
+	if len(res.Rows) < 3 {
+		t.Fatalf("plan rows = %d, want at least query/aggregate/scan", len(res.Rows))
+	}
+	if !strings.HasPrefix(res.Rows[0][0], "query ") {
+		t.Errorf("first line = %q, want query root", res.Rows[0][0])
+	}
+	var sawScan bool
+	for _, row := range res.Rows {
+		if strings.Contains(row[0], "scan amount > 100") {
+			sawScan = true
+		}
+	}
+	if !sawScan {
+		t.Errorf("no scan node for the predicate in:\n%s", planText(res))
+	}
+}
+
+// TestExplainFeedsSessionCollector: EXPLAIN ANALYZE executes the query,
+// so a caller-supplied collector must accumulate its work — the CLI's
+// -stats totals would otherwise read zero for explained queries.
+func TestExplainFeedsSessionCollector(t *testing.T) {
+	cat := loadOrders(t)
+	q, err := Parse("EXPLAIN ANALYZE SELECT MEDIAN(qty) WHERE amount > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := bpagg.NewStatsCollector()
+	ex, err := ExplainAnalyze(cat, q, ExecOptions{Stats: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec.Snapshot()
+	if s.Scans == 0 || s.Aggregates == 0 || s.WordsTouched == 0 {
+		t.Fatalf("session collector not fed by explain: %+v", s)
+	}
+	var scanNode *PlanNode
+	var walk func(n *PlanNode)
+	walk = func(n *PlanNode) {
+		if n.Op == "scan" {
+			scanNode = n
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(ex.Root)
+	if scanNode == nil {
+		t.Fatal("no scan node in plan")
+	}
+	if s.WordsCompared != scanNode.Stats.WordsCompared {
+		t.Errorf("session WordsCompared = %d, scan node reports %d",
+			s.WordsCompared, scanNode.Stats.WordsCompared)
+	}
+}
+
+func planText(res *Result) string {
+	var b strings.Builder
+	for _, row := range res.Rows {
+		b.WriteString(row[0])
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// TestExplainPlainRejected pins the parser contract: EXPLAIN without
+// ANALYZE is an error, not a silent execution.
+func TestExplainPlainRejected(t *testing.T) {
+	if _, err := Parse("EXPLAIN SELECT COUNT(*)"); err == nil {
+		t.Fatal("plain EXPLAIN parsed; want error")
+	} else if !strings.Contains(err.Error(), "ANALYZE") {
+		t.Fatalf("error %q does not mention ANALYZE", err)
+	}
+}
+
+// TestExplainCrossCheckMedian is the issue's acceptance check: the
+// numbers EXPLAIN ANALYZE prints for a filtered MEDIAN query must be the
+// same ones the public ExecStats API reports when the caller runs the
+// stages by hand.
+func TestExplainCrossCheckMedian(t *testing.T) {
+	cat := loadOrders(t)
+	const sql = "EXPLAIN ANALYZE SELECT MEDIAN(qty) WHERE amount BETWEEN 90 AND 600"
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := ExplainAnalyzeContext(context.Background(), cat, q, ExecOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Walk the tree: query → aggregate → combine → scan.
+	root := ex.Root
+	if root.Op != "query" || len(root.Children) != 1 {
+		t.Fatalf("bad root: %+v", root)
+	}
+	agg := root.Children[0]
+	if agg.Op != "aggregate" || len(agg.Children) != 1 {
+		t.Fatalf("bad aggregate node: %+v", agg)
+	}
+	combine := agg.Children[0]
+	if combine.Op != "combine" || len(combine.Children) != 1 {
+		t.Fatalf("bad combine node: %+v", combine)
+	}
+	scanNode := combine.Children[0]
+	if scanNode.Op != "scan" {
+		t.Fatalf("bad scan node: %+v", scanNode)
+	}
+
+	// Re-run the scan stage by hand through the public API.
+	col := cat.Table.Column("amount")
+	srec := bpagg.NewStatsCollector()
+	lo := col.ScanStats(bpagg.GreaterEq(90), srec)
+	hi := col.ScanStats(bpagg.LessEq(600), srec)
+	sel := lo.And(hi)
+	ss := srec.Snapshot()
+	if ss.Scans != scanNode.Stats.Scans {
+		t.Errorf("scan Scans: plan %d, manual %d", scanNode.Stats.Scans, ss.Scans)
+	}
+	if ss.SegmentsScanned != scanNode.Stats.SegmentsScanned {
+		t.Errorf("SegmentsScanned: plan %d, manual %d", scanNode.Stats.SegmentsScanned, ss.SegmentsScanned)
+	}
+	if ss.SegmentsPrunedAll != scanNode.Stats.SegmentsPrunedAll {
+		t.Errorf("SegmentsPrunedAll: plan %d, manual %d", scanNode.Stats.SegmentsPrunedAll, ss.SegmentsPrunedAll)
+	}
+	if ss.SegmentsPrunedNone != scanNode.Stats.SegmentsPrunedNone {
+		t.Errorf("SegmentsPrunedNone: plan %d, manual %d", scanNode.Stats.SegmentsPrunedNone, ss.SegmentsPrunedNone)
+	}
+	if ss.WordsCompared != scanNode.Stats.WordsCompared {
+		t.Errorf("WordsCompared: plan %d, manual %d", scanNode.Stats.WordsCompared, ss.WordsCompared)
+	}
+	if uint64(sel.Count()) != scanNode.Rows {
+		t.Errorf("scan rows: plan %d, manual %d", scanNode.Rows, sel.Count())
+	}
+	if uint64(sel.Count()) != combine.Rows {
+		t.Errorf("combine rows: plan %d, manual %d", combine.Rows, sel.Count())
+	}
+
+	// Re-run the aggregate stage by hand: MEDIAN over the same selection.
+	arec := bpagg.NewStatsCollector()
+	wantMed, ok, err := cat.Table.Column("qty").MedianContext(context.Background(), sel, bpagg.CollectStats(arec))
+	if err != nil || !ok {
+		t.Fatalf("manual median: ok=%v err=%v", ok, err)
+	}
+	as := arec.Snapshot()
+	if as.Aggregates != agg.Stats.Aggregates {
+		t.Errorf("Aggregates: plan %d, manual %d", agg.Stats.Aggregates, as.Aggregates)
+	}
+	if as.SegmentsAggregated != agg.Stats.SegmentsAggregated {
+		t.Errorf("SegmentsAggregated: plan %d, manual %d", agg.Stats.SegmentsAggregated, as.SegmentsAggregated)
+	}
+	if as.WordsTouched != agg.Stats.WordsTouched {
+		t.Errorf("WordsTouched: plan %d, manual %d", agg.Stats.WordsTouched, as.WordsTouched)
+	}
+	if as.RadixRounds != agg.Stats.RadixRounds {
+		t.Errorf("RadixRounds: plan %d, manual %d", agg.Stats.RadixRounds, as.RadixRounds)
+	}
+	if as.RadixRounds == 0 {
+		t.Error("MEDIAN recorded zero radix rounds")
+	}
+
+	// And the plan's answer must match the plain query result.
+	res := run(t, cat, "SELECT MEDIAN(qty) WHERE amount BETWEEN 90 AND 600")
+	if want := cat.FormatValue("qty", wantMed); res.Rows[0][0] != want {
+		t.Errorf("median: query %q, manual %q", res.Rows[0][0], want)
+	}
+}
+
+// TestExplainStatsThreadInvariant: the work counters in a plan are defined
+// analytically, so the same plan run with 8 threads must report the same
+// segments/words/rounds (only timings may differ).
+func TestExplainStatsThreadInvariant(t *testing.T) {
+	cat := loadOrders(t)
+	const sql = "EXPLAIN ANALYZE SELECT SUM(amount), MEDIAN(qty) WHERE amount > 120"
+	q, err := Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex1, err := ExplainAnalyze(cat, q, ExecOptions{Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex8, err := ExplainAnalyze(cat, q, ExecOptions{Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l8 := ex1.Lines(true), ex8.Lines(true)
+	if len(l1) != len(l8) {
+		t.Fatalf("plan shapes differ: %d vs %d lines", len(l1), len(l8))
+	}
+	for i := range l1 {
+		if l1[i] != l8[i] {
+			t.Errorf("line %d differs:\n  threads=1: %s\n  threads=8: %s", i, l1[i], l8[i])
+		}
+	}
+}

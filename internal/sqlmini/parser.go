@@ -61,10 +61,19 @@ func (p *parser) ident() (string, error) {
 }
 
 func (p *parser) parseQuery() (*Query, error) {
+	q := &Query{}
+	if p.keyword("EXPLAIN") {
+		// Only the ANALYZE form exists: the engine has no plan-only mode
+		// (there is nothing to show without executing), so plain EXPLAIN
+		// is rejected rather than silently executing.
+		if !p.keyword("ANALYZE") {
+			return nil, fmt.Errorf("sql: expected ANALYZE after EXPLAIN at offset %d (plain EXPLAIN is not supported)", p.cur().pos)
+		}
+		q.Explain = true
+	}
 	if !p.keyword("SELECT") {
 		return nil, fmt.Errorf("sql: query must start with SELECT")
 	}
-	q := &Query{}
 	for {
 		sel, err := p.parseSelectExpr()
 		if err != nil {

@@ -125,6 +125,7 @@ type Query struct {
 	t     *Table
 	sel   *Bitmap
 	execs []ExecOption
+	stats *StatsCollector
 }
 
 // Where adds a conjunctive predicate on the named column and returns the
@@ -134,7 +135,7 @@ func (q *Query) Where(column string, p Predicate) *Query {
 	if col == nil {
 		panic(fmt.Sprintf("bpagg: unknown column %q", column))
 	}
-	m := col.Scan(p)
+	m := col.ScanStats(p, q.stats)
 	if q.sel == nil {
 		q.sel = m
 	} else {
@@ -147,6 +148,24 @@ func (q *Query) Where(column string, p Predicate) *Query {
 func (q *Query) With(opts ...ExecOption) *Query {
 	q.execs = append(q.execs, opts...)
 	return q
+}
+
+// WithStats enables per-query statistics collection: every later Where
+// scan, GroupBy walk, and aggregate records into the query's collector,
+// readable at any point via Stats. Call it before the first Where so the
+// filter scans are captured too.
+func (q *Query) WithStats() *Query {
+	if q.stats == nil {
+		q.stats = NewStatsCollector()
+		q.execs = append(q.execs, CollectStats(q.stats))
+	}
+	return q
+}
+
+// Stats returns a snapshot of the counters collected so far; zero when
+// WithStats was not called.
+func (q *Query) Stats() ExecStats {
+	return q.stats.Snapshot()
 }
 
 // Selection returns the query's current filter bitmap (all rows if no Where
