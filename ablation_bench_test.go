@@ -4,22 +4,24 @@
 // the paper (the authors fix tau analytically, per footnote 4) but justify
 // the defaults this implementation ships.
 
-package bpagg
+package bpagg_test
 
 import (
+	"bpagg"
+
 	"fmt"
 	"math/rand"
 	"testing"
 )
 
 // ablationColumn builds one shared value set packed under a specific tau.
-func ablationColumn(layout Layout, k, tau int) *Column {
+func ablationColumn(layout bpagg.Layout, k, tau int) *bpagg.Column {
 	rng := rand.New(rand.NewSource(5))
 	vals := make([]uint64, 1<<19)
 	for i := range vals {
 		vals[i] = rng.Uint64() & ((1 << uint(k)) - 1)
 	}
-	return FromValues(layout, k, vals, WithGroupBits(tau))
+	return bpagg.FromValues(layout, k, vals, bpagg.WithGroupBits(tau))
 }
 
 // BenchmarkAblationTauHBP sweeps the HBP bit-group size for a 25-bit
@@ -30,8 +32,8 @@ func ablationColumn(layout Layout, k, tau int) *Column {
 func BenchmarkAblationTauHBP(b *testing.B) {
 	const k = 25
 	for _, tau := range []int{1, 3, 4, 7, 12, 15, 25} {
-		col := ablationColumn(HBP, k, tau)
-		sel := col.Scan(Less(1 << 24))
+		col := ablationColumn(bpagg.HBP, k, tau)
+		sel := col.Scan(bpagg.Less(1 << 24))
 		b.Run(fmt.Sprintf("SUM/tau=%d", tau), func(b *testing.B) {
 			benchOp(b, col.Len(), func() { col.Sum(sel) })
 		})
@@ -49,9 +51,9 @@ func BenchmarkAblationTauHBP(b *testing.B) {
 func BenchmarkAblationTauVBPScan(b *testing.B) {
 	const k = 25
 	for _, tau := range []int{1, 2, 4, 8, 25} {
-		col := ablationColumn(VBP, k, tau)
+		col := ablationColumn(bpagg.VBP, k, tau)
 		b.Run(fmt.Sprintf("EQ/tau=%d", tau), func(b *testing.B) {
-			benchOp(b, col.Len(), func() { col.Scan(Equal(12345)) })
+			benchOp(b, col.Len(), func() { col.Scan(bpagg.Equal(12345)) })
 		})
 	}
 }
@@ -63,8 +65,8 @@ func BenchmarkAblationTauVBPScan(b *testing.B) {
 func BenchmarkAblationAlignedSegments(b *testing.B) {
 	const k = 25
 	for _, tau := range []int{5, 7} {
-		col := ablationColumn(HBP, k, tau)
-		sel := col.Scan(Less(1 << 24))
+		col := ablationColumn(bpagg.HBP, k, tau)
+		sel := col.Scan(bpagg.Less(1 << 24))
 		b.Run(fmt.Sprintf("SUM/tau=%d", tau), func(b *testing.B) {
 			benchOp(b, col.Len(), func() { col.Sum(sel) })
 		})
@@ -78,14 +80,14 @@ func BenchmarkAblationAlignedSegments(b *testing.B) {
 // tuple.
 func BenchmarkAblationEarlyStop(b *testing.B) {
 	const k = 25
-	for _, layout := range []Layout{VBP, HBP} {
+	for _, layout := range []bpagg.Layout{bpagg.VBP, bpagg.HBP} {
 		col := ablationColumn(layout, k, 0b0) // 0 -> layout default
 		for _, sel := range []struct {
 			name string
-			bm   *Bitmap
+			bm   *bpagg.Bitmap
 		}{
-			{"sparse", col.Scan(Less(1 << 18))}, // ~0.8% of rows
-			{"dense", col.Scan(Less(1 << 24))},  // ~50% of rows
+			{"sparse", col.Scan(bpagg.Less(1 << 18))}, // ~0.8% of rows
+			{"dense", col.Scan(bpagg.Less(1 << 24))},  // ~50% of rows
 		} {
 			b.Run(fmt.Sprintf("%v/MIN/%s", layout, sel.name), func(b *testing.B) {
 				benchOp(b, col.Len(), func() { col.Min(sel.bm) })

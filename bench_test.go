@@ -10,13 +10,14 @@
 //
 // The cmd/bpagg-bench tool prints the same experiments as paper-style
 // tables with speedup columns; see EXPERIMENTS.md for paper-vs-measured.
-package bpagg
+package bpagg_test
 
 import (
 	"fmt"
 	"sync"
 	"testing"
 
+	"bpagg"
 	"bpagg/internal/bench"
 	"bpagg/internal/bitvec"
 	"bpagg/internal/nbp"
@@ -242,11 +243,11 @@ func BenchmarkFacade(b *testing.B) {
 	for i := range vals {
 		vals[i] = uint64(i) & ((1 << 25) - 1)
 	}
-	for _, layout := range []Layout{VBP, HBP} {
-		col := FromValues(layout, 25, vals)
+	for _, layout := range []bpagg.Layout{bpagg.VBP, bpagg.HBP} {
+		col := bpagg.FromValues(layout, 25, vals)
 		b.Run(fmt.Sprintf("%v/scan+sum", layout), func(b *testing.B) {
 			benchOp(b, benchN, func() {
-				sel := col.Scan(Less(1 << 22))
+				sel := col.Scan(bpagg.Less(1 << 22))
 				col.Sum(sel)
 			})
 		})

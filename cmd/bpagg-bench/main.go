@@ -1,7 +1,8 @@
 // Command bpagg-bench regenerates the paper's evaluation (Feng & Lo, ICDE
 // 2015, §IV): Figures 5-7 (micro-benchmarks of the aggregation phase),
 // Figure 8 (multi-threading and wide-word speedups) and Table II (TPC-H
-// style queries).
+// style queries), plus a fused-pipeline A/B comparison ("fused") of the
+// scan→aggregate path against the two-phase scan-then-aggregate path.
 //
 // Usage:
 //
@@ -29,7 +30,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | all")
+		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | all")
 		n          = flag.Int("n", 4<<20, "tuples per micro-benchmark column")
 		k          = flag.Int("k", 25, "default value width in bits")
 		sel        = flag.Float64("sel", 0.1, "default filter selectivity")
@@ -89,6 +90,10 @@ func main() {
 			bench.PrintTable2(os.Stdout, tpch.HBP, hrows)
 			report.AddTable2(tpch.VBP, vrows)
 			report.AddTable2(tpch.HBP, hrows)
+		case "fused":
+			rows := bench.Fused(cfg)
+			bench.PrintFused(os.Stdout, rows, cfg)
+			report.AddFused(rows)
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)
@@ -97,7 +102,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2"} {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2", "fused"} {
 			run(name)
 		}
 	} else {

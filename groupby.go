@@ -8,9 +8,12 @@ import "fmt"
 // reduces to one BIT-PARALLEL-EQUAL scan per distinct group value
 // intersected with the query's filter.
 //
-// Group keys are discovered bit-parallel as well: repeated MIN plus a
-// strictly-greater scan walks the distinct values in ascending order
-// without reconstructing a single row, costing O(G) scans for G groups.
+// Group keys are discovered bit-parallel as well: repeated MIN walks the
+// distinct values in ascending order without reconstructing a single
+// row. Each step needs only the equality scan of the freshly found key —
+// since that key is the minimum of the residual, removing its rows
+// (AndNot) leaves exactly the strictly-greater residual the next step
+// needs, so discovery costs G scans for G groups, not 2G.
 // Grouping therefore suits low-cardinality columns (dictionary codes,
 // flags, dates at coarse granularity) — the same regime the paper's
 // materialization argument assumes.
@@ -35,9 +38,10 @@ func (q *Query) GroupBy(column string) *Grouped {
 		if !ok {
 			break
 		}
+		eq := col.ScanStats(Equal(v), q.stats)
 		g.keys = append(g.keys, v)
-		g.sels = append(g.sels, base.Clone().And(col.ScanStats(Equal(v), q.stats)))
-		rest.And(col.ScanStats(Greater(v), q.stats))
+		g.sels = append(g.sels, base.Clone().And(eq))
+		rest.AndNot(eq)
 	}
 	return g
 }

@@ -1,6 +1,7 @@
 package bpagg
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -128,6 +129,127 @@ func TestGroupByUnknownColumnPanics(t *testing.T) {
 		}
 	}()
 	tbl.Query().GroupBy("nope")
+}
+
+// groupStatsTable builds a small table with a known number of distinct
+// group keys for the metrics-asserted invariant tests.
+func groupStatsTable(t *testing.T) (*Table, int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(103))
+	const n, groups = 2000, 7
+	key := make([]uint64, n)
+	val := make([]uint64, n)
+	for i := range key {
+		key[i] = uint64(i % groups) // every key present
+		val[i] = uint64(rng.Intn(1 << 10))
+	}
+	tbl := NewTable()
+	tbl.AddColumn("key", VBP, 3)
+	tbl.AddColumn("val", HBP, 10)
+	tbl.AppendColumnar(map[string][]uint64{"key": key, "val": val})
+	return tbl, groups
+}
+
+// TestGroupByOneScanPerGroup pins the discovery cost: finding G groups
+// takes exactly G equality scans — the strictly-greater residual is
+// derived from the just-computed equality bitmap (AndNot), never scanned —
+// and the walk's scan-side word counts are exactly those of G standalone
+// equality scans.
+func TestGroupByOneScanPerGroup(t *testing.T) {
+	tbl, groups := groupStatsTable(t)
+	q := tbl.Query().WithStats()
+	g := q.GroupBy("key")
+	if g.Len() != groups {
+		t.Fatalf("groups = %d, want %d", g.Len(), groups)
+	}
+	s := q.Stats()
+	if s.Scans != uint64(groups) {
+		t.Errorf("discovery Scans = %d, want exactly one per group (%d)", s.Scans, groups)
+	}
+
+	// Word-count invariant: the walk must cost the same packed-word
+	// comparisons as scanning each key's equality once by hand.
+	man := NewStatsCollector()
+	col := tbl.Column("key")
+	for _, v := range g.Keys() {
+		col.ScanStats(Equal(v), man)
+	}
+	ms := man.Snapshot()
+	if s.WordsCompared != ms.WordsCompared {
+		t.Errorf("WordsCompared = %d, want %d (G standalone equality scans)",
+			s.WordsCompared, ms.WordsCompared)
+	}
+	if s.SegmentsScanned != ms.SegmentsScanned {
+		t.Errorf("SegmentsScanned = %d, want %d", s.SegmentsScanned, ms.SegmentsScanned)
+	}
+
+	// The ctx-aware walk shares the invariant and the keys.
+	q2 := tbl.Query().WithStats()
+	g2, err := q2.GroupByContext(context.Background(), "key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != groups {
+		t.Fatalf("ctx groups = %d, want %d", g2.Len(), groups)
+	}
+	for i, k := range g.Keys() {
+		if g2.Keys()[i] != k {
+			t.Fatalf("ctx keys %v != plain keys %v", g2.Keys(), g.Keys())
+		}
+	}
+	if s2 := q2.Stats(); s2.Scans != uint64(groups) {
+		t.Errorf("ctx discovery Scans = %d, want %d", s2.Scans, groups)
+	}
+}
+
+// TestGroupedAggregatesVisibleInStats: per-group aggregates must flow
+// into the query's stats collector like everything else the query runs —
+// one recorded aggregate per group for Sum, a per-group multiple for Avg.
+func TestGroupedAggregatesVisibleInStats(t *testing.T) {
+	tbl, groups := groupStatsTable(t)
+	q := tbl.Query().WithStats()
+	g := q.GroupBy("key")
+	base := q.Stats()
+
+	g.Sum("val")
+	afterSum := q.Stats()
+	if got := afterSum.Aggregates - base.Aggregates; got != uint64(groups) {
+		t.Errorf("Grouped.Sum recorded %d aggregates, want one per group (%d)", got, groups)
+	}
+	if afterSum.WordsTouched <= base.WordsTouched {
+		t.Error("Grouped.Sum moved no WordsTouched")
+	}
+
+	g.Avg("val")
+	afterAvg := q.Stats()
+	got := afterAvg.Aggregates - afterSum.Aggregates
+	if got == 0 || got%uint64(groups) != 0 {
+		t.Errorf("Grouped.Avg recorded %d aggregates, want a positive per-group multiple of %d", got, groups)
+	}
+}
+
+// TestLazyClauseScanVisibleInStats: Where/WhereErr record clauses lazily,
+// so the eventual scan is captured by the collector even when WithStats
+// is attached after the clause.
+func TestLazyClauseScanVisibleInStats(t *testing.T) {
+	tbl, _ := groupStatsTable(t)
+	q, err := tbl.Query().WhereErr("val", Less(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.WithStats()
+	q.Selection()
+	if s := q.Stats(); s.Scans != 1 {
+		t.Errorf("Scans = %d, want the WhereErr clause's scan recorded", s.Scans)
+	}
+
+	q2 := tbl.Query().Where("val", Less(500)).WithStats()
+	if got, err := q2.CountContext(context.Background(), "val"); err != nil || got != uint64(q.Selection().Count()) {
+		t.Fatalf("CountContext = (%v, %v)", got, err)
+	}
+	if s := q2.Stats(); s.Scans != 1 {
+		t.Errorf("fused CountContext Scans = %d, want 1", s.Scans)
+	}
 }
 
 func TestGroupByWithExecOptions(t *testing.T) {

@@ -1,0 +1,148 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"bpagg"
+	"bpagg/internal/word"
+)
+
+// Fused A/B experiment: the fused scan→aggregate pipeline against the
+// two-phase path (scan to bitmap, then aggregate) on the same table and
+// the same selective single-predicate query — the setting of the paper's
+// Q1 with the filter bitmap eliminated. Two segment mixes bracket the
+// per-segment aggregate caches: uniform data leaves essentially no
+// all-match segments (every live segment is computed, a cache-miss mix),
+// while sorted data turns the matching prefix into all-match segments the
+// caches answer outright (cache-hit mix).
+//
+// Measurements are interleaved — fused and two-phase alternate in short
+// rounds and the per-side median is reported — so drift (thermal, cache
+// state, scheduler) lands on both sides instead of biasing whichever ran
+// second.
+
+// FusedRow is one fused-vs-two-phase comparison.
+type FusedRow struct {
+	Layout  string  // "VBP" | "HBP"
+	Agg     string  // "COUNT" | "SUM" | "MIN"
+	Mix     string  // "uniform" (cache-miss) | "sorted" (cache-hit)
+	TwoNs   float64 // two-phase ns/tuple (median of rounds)
+	FusedNs float64 // fused ns/tuple (median of rounds)
+	Speedup float64 // TwoNs / FusedNs
+}
+
+// fusedRounds is the number of interleaved measurement rounds per side.
+const fusedRounds = 5
+
+// measureOnce runs fn until minTime accumulates, returning ns/tuple.
+func measureOnce(n int, minTime time.Duration, fn func()) float64 {
+	var iters int
+	var elapsed time.Duration
+	for elapsed < minTime {
+		start := time.Now()
+		fn()
+		elapsed += time.Since(start)
+		iters++
+	}
+	return float64(elapsed.Nanoseconds()) / float64(iters) / float64(n)
+}
+
+// measureAB interleaves rounds of a and b and returns each side's median
+// ns/tuple.
+func measureAB(n int, minTime time.Duration, a, b func()) (aNs, bNs float64) {
+	a()
+	b() // warm caches and one-time allocations on both sides
+	per := minTime / fusedRounds
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	as := make([]float64, fusedRounds)
+	bs := make([]float64, fusedRounds)
+	for r := 0; r < fusedRounds; r++ {
+		as[r] = measureOnce(n, per, a)
+		bs[r] = measureOnce(n, per, b)
+	}
+	sort.Float64s(as)
+	sort.Float64s(bs)
+	return as[fusedRounds/2], bs[fusedRounds/2]
+}
+
+// fusedTable packs one k-bit column in the given layout.
+func fusedTable(layout bpagg.Layout, vals []uint64, k int) *bpagg.Table {
+	return bpagg.NewTableFromColumns(
+		[]string{"x"},
+		[]*bpagg.Column{bpagg.FromValues(layout, k, vals)},
+	)
+}
+
+// Fused runs the A/B grid: layout × segment mix × aggregate, single
+// predicate at cfg.Sel selectivity, single-threaded (the fused path's
+// thread scaling is covered by the property tests; serial A/B keeps the
+// comparison noise-free).
+func Fused(cfg Config) []FusedRow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	max := word.LowMask(cfg.K)
+	uniform := make([]uint64, cfg.N)
+	for i := range uniform {
+		uniform[i] = rng.Uint64() & max
+	}
+	sorted := append([]uint64(nil), uniform...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// The threshold keeping ~cfg.Sel of a uniform column.
+	cut := uint64(float64(max) * cfg.Sel)
+	pred := bpagg.Less(cut)
+
+	var rows []FusedRow
+	for _, layout := range []bpagg.Layout{bpagg.VBP, bpagg.HBP} {
+		for _, mix := range []struct {
+			name string
+			vals []uint64
+		}{{"uniform", uniform}, {"sorted", sorted}} {
+			tbl := fusedTable(layout, mix.vals, cfg.K)
+			twoQ := func(run func(q *bpagg.Query)) func() {
+				return func() {
+					q := tbl.Query().Where("x", pred)
+					q.Selection() // materialize: forces the two-phase path
+					run(q)
+				}
+			}
+			fusedQ := func(run func(q *bpagg.Query)) func() {
+				return func() {
+					run(tbl.Query().Where("x", pred))
+				}
+			}
+			for _, agg := range []struct {
+				name string
+				run  func(q *bpagg.Query)
+			}{
+				{"COUNT", func(q *bpagg.Query) { q.CountRows() }},
+				{"SUM", func(q *bpagg.Query) { q.Sum("x") }},
+				{"MIN", func(q *bpagg.Query) { q.Min("x") }},
+			} {
+				twoNs, fusedNs := measureAB(cfg.N, cfg.MinTime, twoQ(agg.run), fusedQ(agg.run))
+				rows = append(rows, FusedRow{
+					Layout: layout.String(), Agg: agg.name, Mix: mix.name,
+					TwoNs: twoNs, FusedNs: fusedNs, Speedup: twoNs / fusedNs,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// PrintFused renders the fused A/B grid.
+func PrintFused(w io.Writer, rows []FusedRow, cfg Config) {
+	fmt.Fprintln(w, "Fused — scan+aggregate pipeline vs two-phase (scan to bitmap, then aggregate)")
+	fmt.Fprintf(w, "(k=%d; selectivity %.2f; single predicate; single thread; interleaved medians of %d rounds)\n",
+		cfg.K, cfg.Sel, fusedRounds)
+	fmt.Fprintf(w, "%-7s %-8s %-9s %14s %14s %9s\n",
+		"layout", "agg", "mix", "two-phase ns/t", "fused ns/t", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %-8s %-9s %14.3f %14.3f %8.2fx\n",
+			r.Layout, r.Agg, r.Mix, r.TwoNs, r.FusedNs, r.Speedup)
+	}
+}

@@ -28,6 +28,7 @@ type Report struct {
 	Fig7      []MicroJSON  `json:"fig7,omitempty"`
 	Fig8      []Fig8JSON   `json:"fig8,omitempty"`
 	Table2    []Table2JSON `json:"table2,omitempty"`
+	Fused     []FusedJSON  `json:"fused,omitempty"`
 }
 
 // ReportHost records the machine the run happened on — enough to know
@@ -160,6 +161,29 @@ func (r *Report) AddTable2(layout tpch.Layout, rows []Table2Row) {
 			ScanNs: row.ScanNs, AggNBPNs: row.AggNBPNs, AggBPNs: row.AggBPNs,
 			AggAutoNs: row.AggAutoNs, AggImprove: row.AggImprove,
 			AutoImprove: row.AutoImprove, TotImprove: row.TotImprove,
+		})
+	}
+}
+
+// FusedJSON is a FusedRow in the report.
+type FusedJSON struct {
+	Layout     string  `json:"layout"`
+	Agg        string  `json:"agg"`
+	Mix        string  `json:"mix"`
+	TwoPhaseNs float64 `json:"two_phase_ns_per_tuple"`
+	FusedNs    float64 `json:"fused_ns_per_tuple"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// AddFused records the fused-vs-two-phase A/B grid.
+func (r *Report) AddFused(rows []FusedRow) {
+	if r == nil {
+		return
+	}
+	for _, row := range rows {
+		r.Fused = append(r.Fused, FusedJSON{
+			Layout: row.Layout, Agg: row.Agg, Mix: row.Mix,
+			TwoPhaseNs: row.TwoNs, FusedNs: row.FusedNs, Speedup: row.Speedup,
 		})
 	}
 }

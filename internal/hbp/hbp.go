@@ -46,6 +46,13 @@ type Column struct {
 	groups [][]uint64
 	// Per-segment zone map (see vbp.Column): min and max of each segment.
 	zMin, zMax []uint64
+	// Per-segment materialized sum (mod 2^64), maintained on append; the
+	// fused scan→aggregate path answers all-match segments from zSum and
+	// the exact zones without touching a packed word.
+	zSum []uint64
+	// cachesOff marks the segment aggregates stale (adopted zones or
+	// resumed appends); see vbp.Column.
+	cachesOff bool
 }
 
 // New returns an empty HBP column for k-bit values with bit-groups of tau
@@ -202,7 +209,9 @@ func (c *Column) Append(values ...uint64) {
 // appendSegment packs exactly one full segment.
 func (c *Column) appendSegment(vals []uint64, max uint64) {
 	lo, hi := vals[0], vals[0]
+	var sum uint64
 	for _, v := range vals {
+		sum += v
 		if v < lo {
 			lo = v
 		}
@@ -213,6 +222,9 @@ func (c *Column) appendSegment(vals []uint64, max uint64) {
 	c.ensureZones(c.n / c.vps)
 	c.zMin = append(c.zMin, lo)
 	c.zMax = append(c.zMax, hi)
+	if !c.cachesOff {
+		c.zSum = append(c.zSum, sum)
+	}
 	kPad := c.b * c.tau
 	tmask := word.LowMask(c.tau)
 	for g := 0; g < c.b; g++ {
@@ -245,6 +257,9 @@ func (c *Column) appendOne(v, max uint64) {
 		c.ensureZones(seg)
 		c.zMin = append(c.zMin, v)
 		c.zMax = append(c.zMax, v)
+		if !c.cachesOff {
+			c.zSum = append(c.zSum, v)
+		}
 	} else {
 		c.ensureZones(seg + 1)
 		if v < c.zMin[seg] {
@@ -252,6 +267,9 @@ func (c *Column) appendOne(v, max uint64) {
 		}
 		if v > c.zMax[seg] {
 			c.zMax[seg] = v
+		}
+		if !c.cachesOff {
+			c.zSum[seg] += v
 		}
 	}
 	base := seg * (c.tau + 1)
@@ -341,6 +359,10 @@ func (c *Column) SetZones(zMin, zMax []uint64) error {
 		}
 	}
 	c.zMin, c.zMax = zMin, zMax
+	// Adopted zones are validated for soundness, not exactness, so the
+	// segment-aggregate caches stay off until RebuildSegmentAggregates.
+	c.cachesOff = true
+	c.zSum = nil
 	return nil
 }
 
@@ -355,12 +377,67 @@ func (c *Column) ZoneRange(seg int) (lo, hi uint64, ok bool) {
 }
 
 // ensureZones pads conservative full-range zones for segments [len, upto)
-// — needed when appends resume on a column adopted via FromWords.
+// — needed when appends resume on a column adopted via FromWords. Padded
+// zones are sound for pruning but not exact, so the segment-aggregate
+// caches are disabled until RebuildSegmentAggregates.
 func (c *Column) ensureZones(upto int) {
+	if len(c.zMin) < upto {
+		c.cachesOff = true
+		c.zSum = nil
+	}
 	for len(c.zMin) < upto {
 		c.zMin = append(c.zMin, 0)
 		c.zMax = append(c.zMax, word.LowMask(c.k))
 	}
+}
+
+// SegmentSum returns the sum (mod 2^64) of the values stored in segment
+// seg. ok is false when the cache is stale or untracked (see
+// RebuildSegmentAggregates).
+func (c *Column) SegmentSum(seg int) (sum uint64, ok bool) {
+	if c.cachesOff || seg >= len(c.zSum) {
+		return 0, false
+	}
+	return c.zSum[seg], true
+}
+
+// SegmentRangeExact returns the exact minimum and maximum value stored in
+// segment seg — unlike ZoneRange, which may return conservative bounds
+// for adopted or padded zones. ok is false when exactness cannot be
+// guaranteed.
+func (c *Column) SegmentRangeExact(seg int) (lo, hi uint64, ok bool) {
+	if c.cachesOff || seg >= len(c.zMin) {
+		return 0, 0, false
+	}
+	return c.zMin[seg], c.zMax[seg], true
+}
+
+// RebuildSegmentAggregates recomputes the per-segment zones and sums from
+// the packed words, re-enabling the exact segment-aggregate caches after
+// FromWords/SetZones. The deserializer calls it for columns that carry
+// zones, so a reloaded column fuses as well as a freshly packed one.
+func (c *Column) RebuildSegmentAggregates() {
+	nseg := c.NumSegments()
+	c.zMin = make([]uint64, nseg)
+	c.zMax = make([]uint64, nseg)
+	c.zSum = make([]uint64, nseg)
+	for seg := 0; seg < nseg; seg++ {
+		base := seg * c.vps
+		cnt := c.SegmentValues(seg)
+		lo, hi, sum := ^uint64(0), uint64(0), uint64(0)
+		for j := 0; j < cnt; j++ {
+			v := c.At(base + j)
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		c.zMin[seg], c.zMax[seg], c.zSum[seg] = lo, hi, sum
+	}
+	c.cachesOff = false
 }
 
 // MemoryWords returns the number of 64-bit words backing the column.

@@ -52,6 +52,9 @@ import (
 //     independent of thread count and of the 64-bit vs wide kernels.
 //   - RadixRounds: rendezvous rounds of the MEDIAN/rank radix descent
 //     (VBP: one per bit position; HBP: one per bit-group chunk).
+//   - SegmentsCacheServed: all-match segments the fused scan→aggregate
+//     path answered from the per-segment aggregate caches without
+//     touching a packed word (they contribute nothing to WordsTouched).
 //   - ReconstructedRows: rows materialized by the NBP reconstruction
 //     baseline when the optimizer picks it over the bit-parallel path.
 //
@@ -69,13 +72,14 @@ type ExecStats struct {
 	WordsCompared      uint64
 	ScanNanos          int64
 
-	Aggregates         uint64
-	SegmentsAggregated uint64
-	WordsTouched       uint64
-	RadixRounds        uint64
-	ReconstructedRows  uint64
-	AggNanos           int64
-	WorkerBusyNanos    int64
+	Aggregates          uint64
+	SegmentsAggregated  uint64
+	WordsTouched        uint64
+	RadixRounds         uint64
+	SegmentsCacheServed uint64
+	ReconstructedRows   uint64
+	AggNanos            int64
+	WorkerBusyNanos     int64
 }
 
 // Add returns the field-wise sum s + o.
@@ -90,6 +94,7 @@ func (s ExecStats) Add(o ExecStats) ExecStats {
 	s.SegmentsAggregated += o.SegmentsAggregated
 	s.WordsTouched += o.WordsTouched
 	s.RadixRounds += o.RadixRounds
+	s.SegmentsCacheServed += o.SegmentsCacheServed
 	s.ReconstructedRows += o.ReconstructedRows
 	s.AggNanos += o.AggNanos
 	s.WorkerBusyNanos += o.WorkerBusyNanos
@@ -110,6 +115,7 @@ func (s ExecStats) Sub(o ExecStats) ExecStats {
 	s.SegmentsAggregated -= o.SegmentsAggregated
 	s.WordsTouched -= o.WordsTouched
 	s.RadixRounds -= o.RadixRounds
+	s.SegmentsCacheServed -= o.SegmentsCacheServed
 	s.ReconstructedRows -= o.ReconstructedRows
 	s.AggNanos -= o.AggNanos
 	s.WorkerBusyNanos -= o.WorkerBusyNanos
@@ -159,13 +165,14 @@ type Collector struct {
 	wordsCompared      atomic.Uint64
 	scanNanos          atomic.Int64
 
-	aggregates         atomic.Uint64
-	segmentsAggregated atomic.Uint64
-	wordsTouched       atomic.Uint64
-	radixRounds        atomic.Uint64
-	reconstructedRows  atomic.Uint64
-	aggNanos           atomic.Int64
-	workerBusyNanos    atomic.Int64
+	aggregates          atomic.Uint64
+	segmentsAggregated  atomic.Uint64
+	wordsTouched        atomic.Uint64
+	radixRounds         atomic.Uint64
+	segmentsCacheServed atomic.Uint64
+	reconstructedRows   atomic.Uint64
+	aggNanos            atomic.Int64
+	workerBusyNanos     atomic.Int64
 }
 
 // NewCollector returns an empty collector.
@@ -208,6 +215,9 @@ func (c *Collector) Record(s ExecStats) {
 	if s.RadixRounds != 0 {
 		c.radixRounds.Add(s.RadixRounds)
 	}
+	if s.SegmentsCacheServed != 0 {
+		c.segmentsCacheServed.Add(s.SegmentsCacheServed)
+	}
 	if s.ReconstructedRows != 0 {
 		c.reconstructedRows.Add(s.ReconstructedRows)
 	}
@@ -228,19 +238,20 @@ func (c *Collector) Snapshot() ExecStats {
 		return ExecStats{}
 	}
 	return ExecStats{
-		Scans:              c.scans.Load(),
-		SegmentsScanned:    c.segmentsScanned.Load(),
-		SegmentsPrunedNone: c.segmentsPrunedNone.Load(),
-		SegmentsPrunedAll:  c.segmentsPrunedAll.Load(),
-		WordsCompared:      c.wordsCompared.Load(),
-		ScanNanos:          c.scanNanos.Load(),
-		Aggregates:         c.aggregates.Load(),
-		SegmentsAggregated: c.segmentsAggregated.Load(),
-		WordsTouched:       c.wordsTouched.Load(),
-		RadixRounds:        c.radixRounds.Load(),
-		ReconstructedRows:  c.reconstructedRows.Load(),
-		AggNanos:           c.aggNanos.Load(),
-		WorkerBusyNanos:    c.workerBusyNanos.Load(),
+		Scans:               c.scans.Load(),
+		SegmentsScanned:     c.segmentsScanned.Load(),
+		SegmentsPrunedNone:  c.segmentsPrunedNone.Load(),
+		SegmentsPrunedAll:   c.segmentsPrunedAll.Load(),
+		WordsCompared:       c.wordsCompared.Load(),
+		ScanNanos:           c.scanNanos.Load(),
+		Aggregates:          c.aggregates.Load(),
+		SegmentsAggregated:  c.segmentsAggregated.Load(),
+		WordsTouched:        c.wordsTouched.Load(),
+		RadixRounds:         c.radixRounds.Load(),
+		SegmentsCacheServed: c.segmentsCacheServed.Load(),
+		ReconstructedRows:   c.reconstructedRows.Load(),
+		AggNanos:            c.aggNanos.Load(),
+		WorkerBusyNanos:     c.workerBusyNanos.Load(),
 	}
 }
 
@@ -260,6 +271,7 @@ func (c *Collector) Reset() {
 	c.segmentsAggregated.Store(0)
 	c.wordsTouched.Store(0)
 	c.radixRounds.Store(0)
+	c.segmentsCacheServed.Store(0)
 	c.reconstructedRows.Store(0)
 	c.aggNanos.Store(0)
 	c.workerBusyNanos.Store(0)

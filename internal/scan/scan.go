@@ -80,6 +80,14 @@ func (p Predicate) Matches(v uint64) bool {
 	}
 }
 
+// Fits reports whether the predicate's constants fit in k bits — the
+// validation every scan enforces on entry, exposed so a planner can
+// reject a clause at registration time instead of at execution.
+func (p Predicate) Fits(k int) bool {
+	max := word.LowMask(k)
+	return p.A <= max && (p.Op != Between || p.B <= max)
+}
+
 func (p Predicate) check(k int) {
 	max := word.LowMask(k)
 	if p.A > max || (p.Op == Between && p.B > max) {

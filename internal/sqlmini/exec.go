@@ -22,7 +22,10 @@ type ExecOptions struct {
 	Wide    bool
 	// Auto lets each aggregate pick between the bit-parallel kernels and
 	// the reconstruction baseline from the realized selectivity (the
-	// paper's optimizer policy).
+	// paper's optimizer policy). Queries eligible for the fused
+	// scan→aggregate pipeline fuse regardless — there is no realized
+	// selectivity to consult before the scan — so Auto governs only
+	// queries that run the bitmap path.
 	Auto bool
 	// Stats, when non-nil, receives execution statistics from every scan
 	// and aggregate the query runs.
@@ -86,6 +89,17 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 	}
 	if err := validateSelects(cat, q); err != nil {
 		return nil, err
+	}
+
+	if q.GroupBy == "" {
+		// Fused path first: when every conjunct translates to a simple
+		// predicate and every aggregate fuses, no filter bitmap is built
+		// (see fused.go). Otherwise fall through to the bitmap executor.
+		if row, ok, err := tryFusedRow(ctx, cat, q, o); err != nil {
+			return nil, err
+		} else if ok {
+			return &Result{Headers: headers(q, false), Rows: [][]string{row}}, nil
+		}
 	}
 
 	sel, err := bindWhere(cat, q.Where, o.Stats)
@@ -158,9 +172,12 @@ type group struct {
 }
 
 // groupSelections walks the distinct keys bit-parallel (repeated MIN plus
-// strictly-greater scans) and intersects per-key equality with the filter.
-// A canceled ctx stops the walk after the current key. A non-nil rec
-// collects the walk's scan and MIN statistics.
+// one equality scan per key) and intersects per-key equality with the
+// filter. The key is the minimum of the residual, so removing its rows
+// (AndNot of the equality bitmap) leaves exactly the strictly-greater
+// residual the next step needs — one scan per group, not two. A canceled
+// ctx stops the walk after the current key. A non-nil rec collects the
+// walk's scan and MIN statistics.
 func groupSelections(ctx context.Context, gcol *bpagg.Column, sel *bpagg.Bitmap, rec *bpagg.StatsCollector) ([]group, error) {
 	var gopts []bpagg.ExecOption
 	if rec != nil {
@@ -176,8 +193,9 @@ func groupSelections(ctx context.Context, gcol *bpagg.Column, sel *bpagg.Bitmap,
 		if !ok {
 			break
 		}
-		out = append(out, group{key: v, sel: sel.Clone().And(gcol.ScanStats(bpagg.Equal(v), rec))})
-		rest.And(gcol.ScanStats(bpagg.Greater(v), rec))
+		eq := gcol.ScanStats(bpagg.Equal(v), rec)
+		out = append(out, group{key: v, sel: sel.Clone().And(eq)})
+		rest.AndNot(eq)
 	}
 	return out, nil
 }

@@ -24,14 +24,22 @@ import (
 //	         ├─ scan pred1 ...
 //	         └─ scan pred2 ...
 //
+// When the executor takes the fused path instead (ungrouped, every
+// conjunct a simple predicate, every aggregate fusible — see fused.go and
+// DESIGN.md §10), the scan/combine/aggregate stages collapse into the one
+// stage that actually runs:
+//
+//	query
+//	└─ scan+agg (fused) ...
+//
 // Every counter on a node comes from the ExecStats machinery (DESIGN.md
 // §8), so the plan's numbers are the same ones a caller would get from
 // bpagg.CollectStats — a property the explain tests cross-check.
 
 // PlanNode is one stage of an executed EXPLAIN ANALYZE plan.
 type PlanNode struct {
-	// Op identifies the stage: "query", "aggregate", "group", "combine"
-	// or "scan".
+	// Op identifies the stage: "query", "aggregate", "group", "combine",
+	// "scan", or "scan+agg (fused)".
 	Op string
 	// Detail is the stage's SQL-ish description (predicate, aggregate
 	// list, grouping column).
@@ -73,6 +81,51 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 		return nil, err
 	}
 	queryStart := time.Now()
+
+	// Fused plan: the executor's routing decision is reproduced exactly
+	// (same bindPreds + queryFusesAll gate as ExecuteContext), so the plan
+	// always shows the stages that would really run.
+	if q.GroupBy == "" {
+		if bps, ok := bindPreds(cat, q.Where); ok && len(bps) > 0 {
+			rec := bpagg.NewStatsCollector()
+			bq, err := buildFusedQuery(cat, bps, o, rec)
+			if err == nil && queryFusesAll(bq, q.Selects) {
+				t0 := time.Now()
+				if _, err := aggregateRowQuery(ctx, cat, q.Selects, bq); err != nil {
+					return nil, err
+				}
+				wall := time.Since(t0)
+				// The matching-row cardinality is plan decoration the fused
+				// aggregates never compute; count it on a stats-free twin so
+				// the recorded counters stay exactly what execution cost.
+				cq, err := buildFusedQuery(cat, bps, o, nil)
+				if err != nil {
+					return nil, err
+				}
+				rows, err := cq.CountRowsContext(ctx)
+				if err != nil {
+					return nil, err
+				}
+				fused := &PlanNode{
+					Op:     "scan+agg (fused)",
+					Detail: fusedDetail(q),
+					Rows:   rows,
+					Stats:  rec.Snapshot(),
+					Wall:   wall,
+				}
+				root := &PlanNode{
+					Op:       "query",
+					Rows:     1,
+					Wall:     time.Since(queryStart),
+					Children: []*PlanNode{fused},
+				}
+				if o.Stats != nil {
+					recordTree(o.Stats, root)
+				}
+				return &ExplainResult{Root: root}, nil
+			}
+		}
+	}
 
 	// Scan stage: one bit-parallel scan per WHERE predicate, each with
 	// its own collector so per-predicate pruning is visible.
@@ -262,6 +315,20 @@ func (n *PlanNode) describe(norm bool) string {
 		add("scans=%d", n.Stats.Scans)
 		add("words_compared=%d", n.Stats.WordsCompared)
 		add("words_touched=%d", n.Stats.WordsTouched)
+		add("time=%s", dur(n.Wall))
+	case "scan+agg (fused)":
+		add("rows=%d", n.Rows)
+		add("aggs=%d", n.Stats.Aggregates)
+		add("scans=%d", n.Stats.Scans)
+		add("pruned_none=%d", n.Stats.SegmentsPrunedNone)
+		add("pruned_all=%d", n.Stats.SegmentsPrunedAll)
+		add("cache_served=%d", n.Stats.SegmentsCacheServed)
+		add("words_compared=%d", n.Stats.WordsCompared)
+		add("words_touched=%d", n.Stats.WordsTouched)
+		if n.Stats.RadixRounds > 0 {
+			add("radix_rounds=%d", n.Stats.RadixRounds)
+		}
+		add("busy=%s", dur(n.Stats.WorkerBusy()))
 		add("time=%s", dur(n.Wall))
 	case "aggregate":
 		add("aggs=%d", n.Stats.Aggregates)

@@ -95,26 +95,40 @@ func TestExplainGolden(t *testing.T) {
 
 // TestExplainExecuteRouting checks the EXPLAIN path through the normal
 // Execute entry point: one "QUERY PLAN" column, one row per plan line.
+// A fusible query collapses to the single scan+agg stage; an IN-list
+// keeps the two-phase scan/combine tree.
 func TestExplainExecuteRouting(t *testing.T) {
 	cat := loadOrders(t)
 	res := run(t, cat, "EXPLAIN ANALYZE SELECT COUNT(*) WHERE amount > 100")
 	if len(res.Headers) != 1 || res.Headers[0] != "QUERY PLAN" {
 		t.Fatalf("headers = %v", res.Headers)
 	}
-	if len(res.Rows) < 3 {
-		t.Fatalf("plan rows = %d, want at least query/aggregate/scan", len(res.Rows))
+	if len(res.Rows) != 2 {
+		t.Fatalf("plan rows = %d, want query + fused stage:\n%s", len(res.Rows), planText(res))
 	}
 	if !strings.HasPrefix(res.Rows[0][0], "query ") {
 		t.Errorf("first line = %q, want query root", res.Rows[0][0])
 	}
+	if !strings.Contains(res.Rows[1][0], "scan+agg (fused)") ||
+		!strings.Contains(res.Rows[1][0], "amount > 100") {
+		t.Errorf("second line = %q, want fused scan+agg stage for the predicate", res.Rows[1][0])
+	}
+
+	res = run(t, cat, "EXPLAIN ANALYZE SELECT COUNT(*) WHERE amount IN (30, 60)")
+	if len(res.Rows) < 3 {
+		t.Fatalf("plan rows = %d, want at least query/aggregate/scan:\n%s", len(res.Rows), planText(res))
+	}
 	var sawScan bool
 	for _, row := range res.Rows {
-		if strings.Contains(row[0], "scan amount > 100") {
+		if strings.Contains(row[0], "scan amount IN") {
 			sawScan = true
+		}
+		if strings.Contains(row[0], "fused") {
+			t.Errorf("IN-list plan has a fused stage: %q", row[0])
 		}
 	}
 	if !sawScan {
-		t.Errorf("no scan node for the predicate in:\n%s", planText(res))
+		t.Errorf("no scan node for the IN predicate in:\n%s", planText(res))
 	}
 }
 

@@ -31,24 +31,24 @@ func execDontPanic(t *testing.T, sql string) error {
 
 func TestBadQueriesReturnErrors(t *testing.T) {
 	for _, sql := range []string{
-		"SELECT SUM(nope)",                                   // unknown column in SELECT
-		"SELECT COUNT(*) WHERE nope = 3",                     // unknown column in WHERE
-		"SELECT COUNT(*) GROUP BY nope",                      // unknown GROUP BY column
-		"SELECT MEDIAN(missing) WHERE price > 1",             // unknown aggregate target
-		"SELECT QUANTILE(qty, 1.5)",                          // quantile out of range (parser)
-		"SELECT QUANTILE(qty, -0.5)",                         // negative quantile (parser)
-		"SELECT SUM(region)",                                 // SUM over string column
-		"SELECT AVG(region)",                                 // AVG over string column
-		"SELECT COUNT(*) WHERE region < 'EU'",                // ordering on string column
-		"SELECT FROBNICATE(qty)",                             // unknown aggregate
-		"SELECT",                                             // truncated query
-		"SELECT SUM(qty) WHERE",                              // truncated WHERE
-		"SELECT SUM(qty) GROUP BY",                           // truncated GROUP BY
-		"SELECT SUM(qty) WHERE qty BETWEEN 1",                // truncated BETWEEN
-		"SELECT SUM(qty) trailing garbage here",              // trailing tokens
-		"SELECT QUANTILE(qty)",                               // missing quantile argument
-		"SELECT SUM(qty) WHERE region IN ()",                 // empty IN list
-		"SELECT SUM(qty) WHERE qty = 'NaN'",                  // string literal on numeric column
+		"SELECT SUM(nope)",                       // unknown column in SELECT
+		"SELECT COUNT(*) WHERE nope = 3",         // unknown column in WHERE
+		"SELECT COUNT(*) GROUP BY nope",          // unknown GROUP BY column
+		"SELECT MEDIAN(missing) WHERE price > 1", // unknown aggregate target
+		"SELECT QUANTILE(qty, 1.5)",              // quantile out of range (parser)
+		"SELECT QUANTILE(qty, -0.5)",             // negative quantile (parser)
+		"SELECT SUM(region)",                     // SUM over string column
+		"SELECT AVG(region)",                     // AVG over string column
+		"SELECT COUNT(*) WHERE region < 'EU'",    // ordering on string column
+		"SELECT FROBNICATE(qty)",                 // unknown aggregate
+		"SELECT",                                 // truncated query
+		"SELECT SUM(qty) WHERE",                  // truncated WHERE
+		"SELECT SUM(qty) GROUP BY",               // truncated GROUP BY
+		"SELECT SUM(qty) WHERE qty BETWEEN 1",    // truncated BETWEEN
+		"SELECT SUM(qty) trailing garbage here",  // trailing tokens
+		"SELECT QUANTILE(qty)",                   // missing quantile argument
+		"SELECT SUM(qty) WHERE region IN ()",     // empty IN list
+		"SELECT SUM(qty) WHERE qty = 'NaN'",      // string literal on numeric column
 	} {
 		if err := execDontPanic(t, sql); err == nil {
 			t.Errorf("query %q: no error", sql)

@@ -48,6 +48,17 @@ type Column struct {
 	// intersect a predicate (and emit all-match words when it is
 	// contained), which pays off heavily on sorted or clustered data.
 	zMin, zMax []uint64
+	// Per-segment materialized aggregate: the sum (mod 2^64) of the
+	// segment's values, maintained on append alongside the zones. The
+	// fused scan→aggregate path answers all-match segments from zSum and
+	// the (exact) zMin/zMax without touching a packed word.
+	zSum []uint64
+	// cachesOff marks the segment aggregates stale: set when zones are
+	// adopted from outside (SetZones) or when appends resume on a column
+	// whose earlier segments were never tracked (FromWords). Zones stay
+	// usable for conservative pruning; SegmentSum/SegmentRangeExact
+	// refuse until RebuildSegmentAggregates recomputes from the data.
+	cachesOff bool
 }
 
 // New returns an empty VBP column for k-bit values with bit-groups of tau
@@ -147,11 +158,13 @@ func (c *Column) Append(values ...uint64) {
 func (c *Column) appendSegment(vals []uint64, max uint64) {
 	var m [64]uint64
 	lo, hi := vals[0], vals[0]
+	var sum uint64
 	for j, v := range vals {
 		if v > max {
 			panic(fmt.Sprintf("vbp: value %d does not fit in %d bits", v, c.k))
 		}
 		m[j] = v
+		sum += v
 		if v < lo {
 			lo = v
 		}
@@ -162,6 +175,9 @@ func (c *Column) appendSegment(vals []uint64, max uint64) {
 	c.ensureZones(c.n / SegBits)
 	c.zMin = append(c.zMin, lo)
 	c.zMax = append(c.zMax, hi)
+	if !c.cachesOff {
+		c.zSum = append(c.zSum, sum)
+	}
 	word.Transpose64(&m)
 	// Now m[b] holds, at bit j, bit b (LSB-indexed) of value j; the word
 	// for bit position p (0 = MSB) is therefore m[k-1-p].
@@ -188,6 +204,9 @@ func (c *Column) appendOne(v, max uint64) {
 		c.ensureZones(seg)
 		c.zMin = append(c.zMin, v)
 		c.zMax = append(c.zMax, v)
+		if !c.cachesOff {
+			c.zSum = append(c.zSum, v)
+		}
 	} else {
 		c.ensureZones(seg + 1)
 		if v < c.zMin[seg] {
@@ -195,6 +214,9 @@ func (c *Column) appendOne(v, max uint64) {
 		}
 		if v > c.zMax[seg] {
 			c.zMax[seg] = v
+		}
+		if !c.cachesOff {
+			c.zSum[seg] += v
 		}
 	}
 	for g := range c.groups {
@@ -269,6 +291,10 @@ func (c *Column) SetZones(zMin, zMax []uint64) error {
 		}
 	}
 	c.zMin, c.zMax = zMin, zMax
+	// Adopted zones are validated for soundness, not exactness, so the
+	// segment-aggregate caches stay off until RebuildSegmentAggregates.
+	c.cachesOff = true
+	c.zSum = nil
 	return nil
 }
 
@@ -283,12 +309,67 @@ func (c *Column) ZoneRange(seg int) (lo, hi uint64, ok bool) {
 }
 
 // ensureZones pads conservative full-range zones for segments [len, upto)
-// — needed when appends resume on a column adopted via FromWords.
+// — needed when appends resume on a column adopted via FromWords. Padded
+// zones are sound for pruning but not exact, so the segment-aggregate
+// caches are disabled until RebuildSegmentAggregates.
 func (c *Column) ensureZones(upto int) {
+	if len(c.zMin) < upto {
+		c.cachesOff = true
+		c.zSum = nil
+	}
 	for len(c.zMin) < upto {
 		c.zMin = append(c.zMin, 0)
 		c.zMax = append(c.zMax, word.LowMask(c.k))
 	}
+}
+
+// SegmentSum returns the sum (mod 2^64) of the values stored in segment
+// seg. ok is false when the cache is stale or untracked (see
+// RebuildSegmentAggregates).
+func (c *Column) SegmentSum(seg int) (sum uint64, ok bool) {
+	if c.cachesOff || seg >= len(c.zSum) {
+		return 0, false
+	}
+	return c.zSum[seg], true
+}
+
+// SegmentRangeExact returns the exact minimum and maximum value stored in
+// segment seg — unlike ZoneRange, which may return conservative bounds
+// for adopted or padded zones. ok is false when exactness cannot be
+// guaranteed.
+func (c *Column) SegmentRangeExact(seg int) (lo, hi uint64, ok bool) {
+	if c.cachesOff || seg >= len(c.zMin) {
+		return 0, 0, false
+	}
+	return c.zMin[seg], c.zMax[seg], true
+}
+
+// RebuildSegmentAggregates recomputes the per-segment zones and sums from
+// the packed words, re-enabling the exact segment-aggregate caches after
+// FromWords/SetZones. The deserializer calls it for columns that carry
+// zones, so a reloaded column fuses as well as a freshly packed one.
+func (c *Column) RebuildSegmentAggregates() {
+	nseg := c.NumSegments()
+	c.zMin = make([]uint64, nseg)
+	c.zMax = make([]uint64, nseg)
+	c.zSum = make([]uint64, nseg)
+	for seg := 0; seg < nseg; seg++ {
+		base := seg * SegBits
+		cnt := c.SegmentValues(seg)
+		lo, hi, sum := ^uint64(0), uint64(0), uint64(0)
+		for j := 0; j < cnt; j++ {
+			v := c.At(base + j)
+			sum += v
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		c.zMin[seg], c.zMax[seg], c.zSum[seg] = lo, hi, sum
+	}
+	c.cachesOff = false
 }
 
 // MemoryWords returns the number of 64-bit words backing the column,

@@ -178,6 +178,10 @@ func ReadColumn(r io.Reader) (*Column, error) {
 		if err := col.setZones(zMin, zMax); err != nil {
 			return nil, fmt.Errorf("bpagg: %w", err)
 		}
+		// Adopted zones are sound but not trusted as exact; recompute the
+		// per-segment aggregate caches from the data so a reloaded column
+		// serves the fused path as well as a freshly packed one.
+		col.rebuildSegmentAggregates()
 	default:
 		return nil, fmt.Errorf("bpagg: bad zone flag %d", zoneFlag)
 	}
@@ -206,6 +210,16 @@ func (c *Column) setZones(zMin, zMax []uint64) error {
 		return c.v.SetZones(zMin, zMax)
 	}
 	return c.h.SetZones(zMin, zMax)
+}
+
+// rebuildSegmentAggregates recomputes the exact per-segment zone and sum
+// caches from the packed data (deserialization path).
+func (c *Column) rebuildSegmentAggregates() {
+	if c.layout == VBP {
+		c.v.RebuildSegmentAggregates()
+	} else {
+		c.h.RebuildSegmentAggregates()
+	}
 }
 
 // WriteTo serializes the table with its column names. It implements

@@ -1,0 +1,237 @@
+package bpagg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"bpagg/internal/parallel"
+	"bpagg/internal/scan"
+	"bpagg/internal/vbp"
+)
+
+// Fused query planning. Where clauses are recorded lazily (see table.go);
+// when an aggregate runs before the selection is materialized, the planner
+// checks whether the whole query — predicate conjunction plus aggregate —
+// can execute as one fused segment-at-a-time pass, in which case the
+// filter bitmap is never built: each segment's filter word goes straight
+// from the scan lanes into the aggregate kernel, and all-match segments
+// are answered from the per-segment aggregate caches.
+//
+// Fusion contract (DESIGN.md §10): a query fuses iff
+//   - the selection has not been materialized (no Selection() call and no
+//     arbitrary user bitmap) and there is at least one Where clause;
+//   - every clause is a simple comparison (IN-lists run as unions of
+//     equality scans and need a bitmap);
+//   - neither the clause columns nor the aggregate column have NULLs
+//     (NULL semantics live in the validity-bitmap intersection);
+//   - execution is the bit-parallel access method with the 64-bit kernels
+//     (Reconstruct/Auto and WideWords fall back to two phases);
+//   - all columns involved agree on the window width (VBP's 64, HBP's
+//     values-per-segment), so one filter word addresses one segment
+//     everywhere.
+// Anything else falls back to the two-phase path, which remains the
+// general executor. Results are bit-identical either way.
+
+// whereClause is one recorded conjunct of a query's WHERE.
+type whereClause struct {
+	name string
+	col  *Column
+	pred Predicate
+}
+
+// fits reports whether every constant of the predicate fits the column's
+// k bits — the same validation the scans enforce, applied at clause
+// registration so lazy evaluation fails at the same point eager did.
+func (p Predicate) fits(k int) bool {
+	if p.list != nil {
+		for _, v := range p.list {
+			if !(scan.Predicate{Op: scan.EQ, A: v}).Fits(k) {
+				return false
+			}
+		}
+		return true
+	}
+	return p.p.Fits(k)
+}
+
+// windowBits returns the column's fused-window width in tuples.
+func (c *Column) windowBits() int {
+	if c.layout == VBP {
+		return vbp.SegBits
+	}
+	return c.h.ValuesPerSegment()
+}
+
+// fusedPlan decides whether the query's clauses and the aggregate column
+// (nil for row counting) can run fused, and builds the per-window
+// predicate evaluators if so.
+func (q *Query) fusedPlan(agg *Column) (preds []scan.WindowPred, o execConfig, ok bool) {
+	if q.sel != nil || len(q.clauses) == 0 {
+		return nil, o, false
+	}
+	o = execOptions(q.execs)
+	if o.access != BitParallel || o.par.Wide {
+		return nil, o, false
+	}
+	wb := 0
+	if agg != nil {
+		if agg.nulls != nil {
+			return nil, o, false
+		}
+		wb = agg.windowBits()
+	}
+	preds = make([]scan.WindowPred, 0, len(q.clauses))
+	for _, cl := range q.clauses {
+		if cl.pred.list != nil || cl.col.nulls != nil {
+			return nil, o, false
+		}
+		cwb := cl.col.windowBits()
+		if wb == 0 {
+			wb = cwb
+		} else if cwb != wb {
+			return nil, o, false
+		}
+		if cl.col.layout == VBP {
+			preds = append(preds, scan.NewVBPWindowPred(cl.col.v, cl.pred.p))
+		} else {
+			preds = append(preds, scan.NewHBPWindowPred(cl.col.h, cl.pred.p))
+		}
+	}
+	return preds, o, true
+}
+
+// fusedMust re-raises a fused-path failure on the plain (non-Context)
+// query methods, preserving their contract that worker panics propagate
+// with the original panic value.
+func fusedMust(err error) {
+	if err == nil {
+		return
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		panic(pe.Value)
+	}
+	panic(err)
+}
+
+// fusedSum runs the fused SUM+COUNT driver for the column's layout.
+func (c *Column) fusedSum(ctx context.Context, preds []scan.WindowPred, o execConfig) (sum, cnt uint64, err error) {
+	if c.layout == VBP {
+		sum, cnt, err = parallel.VBPFusedSumCtx(ctx, c.v, preds, o.par)
+	} else {
+		sum, cnt, err = parallel.HBPFusedSumCtx(ctx, c.h, preds, o.par)
+	}
+	return sum, cnt, wrapExecErr(err)
+}
+
+// fusedExtreme runs the fused MIN/MAX driver; cnt == 0 means nothing
+// matched.
+func (c *Column) fusedExtreme(ctx context.Context, preds []scan.WindowPred, o execConfig, wantMin bool) (v, cnt uint64, err error) {
+	if c.layout == VBP {
+		v, cnt, err = parallel.VBPFusedExtremeCtx(ctx, c.v, preds, o.par, wantMin)
+	} else {
+		v, cnt, err = parallel.HBPFusedExtremeCtx(ctx, c.h, preds, o.par, wantMin)
+	}
+	return v, cnt, wrapExecErr(err)
+}
+
+// fusedRank runs the fused rank driver; rankOf maps the selected tuple
+// count to the wanted 1-based rank.
+func (c *Column) fusedRank(ctx context.Context, preds []scan.WindowPred, o execConfig, rankOf func(u uint64) (uint64, bool)) (v, cnt uint64, ok bool, err error) {
+	if c.layout == VBP {
+		v, cnt, ok, err = parallel.VBPFusedRankCtx(ctx, c.v, preds, rankOf, o.par)
+	} else {
+		v, cnt, ok, err = parallel.HBPFusedRankCtx(ctx, c.h, preds, rankOf, o.par)
+	}
+	return v, cnt, ok, wrapExecErr(err)
+}
+
+// fusedCount counts matching rows with the first clause's column driving
+// the windows (every eligible column shares the window geometry).
+func (q *Query) fusedCount(ctx context.Context, preds []scan.WindowPred, o execConfig) (uint64, error) {
+	c := q.clauses[0].col
+	var (
+		cnt uint64
+		err error
+	)
+	if c.layout == VBP {
+		cnt, err = parallel.VBPFusedCountCtx(ctx, c.v, preds, o.par)
+	} else {
+		cnt, err = parallel.HBPFusedCountCtx(ctx, c.h, preds, o.par)
+	}
+	return cnt, wrapExecErr(err)
+}
+
+// medianRank is the lower-median rank function for the fused rank driver.
+func medianRank(u uint64) (uint64, bool) { return (u + 1) / 2, u > 0 }
+
+// quantileRank returns the nearest-rank function for quantile q in [0,1].
+func quantileRank(q float64) func(u uint64) (uint64, bool) {
+	return func(u uint64) (uint64, bool) {
+		if u == 0 {
+			return 0, false
+		}
+		r := uint64(float64(u)*q + 0.999999999)
+		if r == 0 {
+			r = 1
+		}
+		if r > u {
+			r = u
+		}
+		return r, true
+	}
+}
+
+// WithStatsInto directs the query's statistics into a caller-supplied
+// collector (which may be shared across queries) instead of a fresh one.
+// Stats then reports that collector's running totals.
+func (q *Query) WithStatsInto(rec *StatsCollector) *Query {
+	if rec == nil {
+		return q
+	}
+	q.stats = rec
+	q.execs = append(q.execs, CollectStats(rec))
+	return q
+}
+
+// SumCountContext aggregates SUM and COUNT over the named column in one
+// pass when the query fuses (the natural shape for AVG and for SQL
+// formatters that need both), falling back to a SUM plus a popcount.
+func (q *Query) SumCountContext(ctx context.Context, column string) (sum, cnt uint64, err error) {
+	col, err := q.colErr(column)
+	if err != nil {
+		return 0, 0, err
+	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		return col.fusedSum(orBackground(ctx), preds, o)
+	}
+	sum, err = col.SumContext(ctx, q.Selection(), q.execs...)
+	if err != nil {
+		return 0, 0, err
+	}
+	cnt, err = col.CountContext(ctx, q.Selection())
+	return sum, cnt, err
+}
+
+// Fused reports whether the next aggregate call would run the fused
+// scan→aggregate path for the named column (EXPLAIN support); the empty
+// string asks about row counting (COUNT(*)), which has no aggregate
+// column. It never materializes the selection.
+func (q *Query) Fused(column string) bool {
+	var col *Column
+	if column != "" {
+		col = q.t.cols[column]
+		if col == nil {
+			return false
+		}
+	}
+	_, _, ok := q.fusedPlan(col)
+	return ok
+}
+
+func checkPredFits(p Predicate, k int) {
+	if !p.fits(k) {
+		panic(fmt.Sprintf("scan: predicate constant does not fit in %d bits", k))
+	}
+}

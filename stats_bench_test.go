@@ -10,14 +10,16 @@
 // analytically per driver call). The off/on gap is the full price of
 // observability; off vs the pre-metrics tree is by construction the same
 // machine code plus one nil check per driver entry.
-package bpagg
+package bpagg_test
 
 import (
+	"bpagg"
+
 	"math/rand"
 	"testing"
 )
 
-func statsBenchColumn(b *testing.B, layout Layout) (*Column, *Bitmap) {
+func statsBenchColumn(b *testing.B, layout bpagg.Layout) (*bpagg.Column, *bpagg.Bitmap) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(9))
 	const k = 25
@@ -25,13 +27,13 @@ func statsBenchColumn(b *testing.B, layout Layout) (*Column, *Bitmap) {
 	for i := range vals {
 		vals[i] = rng.Uint64() & ((1 << k) - 1)
 	}
-	col := NewColumn(layout, k)
+	col := bpagg.NewColumn(layout, k)
 	col.Append(vals...)
-	return col, col.Scan(Less(1 << (k - 1)))
+	return col, col.Scan(bpagg.Less(1 << (k - 1)))
 }
 
 func BenchmarkVBPSumStatsOff(b *testing.B) {
-	col, sel := statsBenchColumn(b, VBP)
+	col, sel := statsBenchColumn(b, bpagg.VBP)
 	b.SetBytes(benchN / 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -40,30 +42,30 @@ func BenchmarkVBPSumStatsOff(b *testing.B) {
 }
 
 func BenchmarkVBPSumStatsOn(b *testing.B) {
-	col, sel := statsBenchColumn(b, VBP)
-	rec := NewStatsCollector()
+	col, sel := statsBenchColumn(b, bpagg.VBP)
+	rec := bpagg.NewStatsCollector()
 	b.SetBytes(benchN / 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		col.Sum(sel, CollectStats(rec))
+		col.Sum(sel, bpagg.CollectStats(rec))
 	}
 }
 
 func BenchmarkVBPScanStatsOff(b *testing.B) {
-	col, _ := statsBenchColumn(b, VBP)
+	col, _ := statsBenchColumn(b, bpagg.VBP)
 	b.SetBytes(benchN / 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		col.Scan(Less(1 << 20))
+		col.Scan(bpagg.Less(1 << 20))
 	}
 }
 
 func BenchmarkVBPScanStatsOn(b *testing.B) {
-	col, _ := statsBenchColumn(b, VBP)
-	rec := NewStatsCollector()
+	col, _ := statsBenchColumn(b, bpagg.VBP)
+	rec := bpagg.NewStatsCollector()
 	b.SetBytes(benchN / 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		col.ScanStats(Less(1<<20), rec)
+		col.ScanStats(bpagg.Less(1<<20), rec)
 	}
 }

@@ -1,6 +1,7 @@
 package bpagg
 
 import (
+	"context"
 	"fmt"
 
 	"bpagg/internal/bitvec"
@@ -118,29 +119,32 @@ func (t *Table) Query() *Query {
 }
 
 // Query is a conjunctive filter over table columns followed by aggregation.
-// Each Where clause runs as an independent bit-parallel scan; the
-// selections intersect (paper §II-E), and the aggregate methods run on the
-// combined filter bit vector.
+// Where clauses are recorded, not executed: when an aggregate can fuse
+// (see query_fused.go) each segment's filter word flows straight from the
+// predicate lanes into the aggregate kernel and no filter bitmap ever
+// exists. Otherwise the clauses run as independent bit-parallel scans
+// whose selections intersect (paper §II-E), and the aggregate runs on the
+// combined filter bit vector — the two paths are bit-identical.
 type Query struct {
-	t     *Table
-	sel   *Bitmap
-	execs []ExecOption
-	stats *StatsCollector
+	t       *Table
+	clauses []whereClause
+	applied int // clauses already folded into sel
+	sel     *Bitmap
+	execs   []ExecOption
+	stats   *StatsCollector
 }
 
 // Where adds a conjunctive predicate on the named column and returns the
-// query for chaining.
+// query for chaining. The clause is validated here (unknown columns and
+// oversized constants panic immediately, as they always did) but executes
+// lazily — at the next non-fusible aggregate or Selection call.
 func (q *Query) Where(column string, p Predicate) *Query {
 	col := q.t.cols[column]
 	if col == nil {
 		panic(fmt.Sprintf("bpagg: unknown column %q", column))
 	}
-	m := col.ScanStats(p, q.stats)
-	if q.sel == nil {
-		q.sel = m
-	} else {
-		q.sel.And(m)
-	}
+	checkPredFits(p, col.k)
+	q.clauses = append(q.clauses, whereClause{name: column, col: col, pred: p})
 	return q
 }
 
@@ -150,10 +154,12 @@ func (q *Query) With(opts ...ExecOption) *Query {
 	return q
 }
 
-// WithStats enables per-query statistics collection: every later Where
-// scan, GroupBy walk, and aggregate records into the query's collector,
-// readable at any point via Stats. Call it before the first Where so the
-// filter scans are captured too.
+// WithStats enables per-query statistics collection: every filter scan,
+// GroupBy walk, and aggregate (fused or two-phase) records into the
+// query's collector, readable at any point via Stats. Because Where
+// clauses execute lazily, scans are captured regardless of whether
+// WithStats comes before or after them — only work already executed is
+// missed.
 func (q *Query) WithStats() *Query {
 	if q.stats == nil {
 		q.stats = NewStatsCollector()
@@ -168,53 +174,122 @@ func (q *Query) Stats() ExecStats {
 	return q.stats.Snapshot()
 }
 
-// Selection returns the query's current filter bitmap (all rows if no Where
-// clause was added).
+// Selection materializes and returns the query's filter bitmap (all rows
+// if no Where clause was added): pending clauses run as bit-parallel
+// scans, recorded through the query's stats collector, and intersect in
+// clause order. Materializing disables fusion for subsequent aggregates —
+// they run two-phase on the returned bitmap (which the caller may also
+// combine with arbitrary bitmaps).
 func (q *Query) Selection() *Bitmap {
 	if q.sel == nil {
-		q.sel = &Bitmap{b: bitvec.NewFull(q.t.rows)}
+		if len(q.clauses) > 0 {
+			cl := q.clauses[0]
+			q.sel = cl.col.ScanStats(cl.pred, q.stats)
+			q.applied = 1
+		} else {
+			q.sel = &Bitmap{b: bitvec.NewFull(q.t.rows)}
+		}
+	}
+	for ; q.applied < len(q.clauses); q.applied++ {
+		cl := q.clauses[q.applied]
+		q.sel.And(cl.col.ScanStats(cl.pred, q.stats))
 	}
 	return q.sel
 }
 
 // CountRows returns the number of rows passing the filter.
 func (q *Query) CountRows() uint64 {
+	if preds, o, ok := q.fusedPlan(nil); ok {
+		cnt, err := q.fusedCount(context.Background(), preds, o)
+		fusedMust(err)
+		return cnt
+	}
 	return uint64(q.Selection().Count())
 }
 
 // Sum aggregates SUM over the named column.
 func (q *Query) Sum(column string) uint64 {
-	return q.col(column).Sum(q.Selection(), q.execs...)
+	col := q.col(column)
+	if preds, o, ok := q.fusedPlan(col); ok {
+		sum, _, err := col.fusedSum(context.Background(), preds, o)
+		fusedMust(err)
+		return sum
+	}
+	return col.Sum(q.Selection(), q.execs...)
 }
 
 // Min aggregates MIN over the named column.
 func (q *Query) Min(column string) (uint64, bool) {
-	return q.col(column).Min(q.Selection(), q.execs...)
+	return q.extreme(column, true)
 }
 
 // Max aggregates MAX over the named column.
 func (q *Query) Max(column string) (uint64, bool) {
-	return q.col(column).Max(q.Selection(), q.execs...)
+	return q.extreme(column, false)
+}
+
+func (q *Query) extreme(column string, wantMin bool) (uint64, bool) {
+	col := q.col(column)
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, cnt, err := col.fusedExtreme(context.Background(), preds, o, wantMin)
+		fusedMust(err)
+		return v, cnt > 0
+	}
+	if wantMin {
+		return col.Min(q.Selection(), q.execs...)
+	}
+	return col.Max(q.Selection(), q.execs...)
 }
 
 // Avg aggregates AVG over the named column.
 func (q *Query) Avg(column string) (float64, bool) {
-	return q.col(column).Avg(q.Selection(), q.execs...)
+	col := q.col(column)
+	if preds, o, ok := q.fusedPlan(col); ok {
+		sum, cnt, err := col.fusedSum(context.Background(), preds, o)
+		fusedMust(err)
+		if cnt == 0 {
+			return 0, false
+		}
+		return float64(sum) / float64(cnt), true
+	}
+	return col.Avg(q.Selection(), q.execs...)
 }
 
 // Median aggregates the lower MEDIAN over the named column.
 func (q *Query) Median(column string) (uint64, bool) {
-	return q.col(column).Median(q.Selection(), q.execs...)
+	col := q.col(column)
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, _, found, err := col.fusedRank(context.Background(), preds, o, medianRank)
+		fusedMust(err)
+		return v, found
+	}
+	return col.Median(q.Selection(), q.execs...)
 }
 
 // Rank returns the r-th smallest selected value of the named column.
 func (q *Query) Rank(column string, r uint64) (uint64, bool) {
-	return q.col(column).Rank(q.Selection(), r, q.execs...)
+	col := q.col(column)
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, _, found, err := col.fusedRank(context.Background(), preds, o,
+			func(uint64) (uint64, bool) { return r, true })
+		fusedMust(err)
+		return v, found
+	}
+	return col.Rank(q.Selection(), r, q.execs...)
 }
 
 // Quantile returns the q-quantile (nearest rank) of the named column.
 func (q *Query) Quantile(column string, quantile float64) (uint64, bool) {
-	return q.col(column).Quantile(q.Selection(), quantile, q.execs...)
+	if quantile < 0 || quantile > 1 {
+		panic(fmt.Sprintf("bpagg: quantile %v outside [0,1]", quantile))
+	}
+	col := q.col(column)
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, _, found, err := col.fusedRank(context.Background(), preds, o, quantileRank(quantile))
+		fusedMust(err)
+		return v, found
+	}
+	return col.Quantile(q.Selection(), quantile, q.execs...)
 }
 
 func (q *Query) col(name string) *Column {

@@ -21,19 +21,19 @@ func (t *Table) ColumnErr(name string) (*Column, error) {
 }
 
 // WhereErr is the error-returning twin of Where: an unknown column name
-// returns an error instead of panicking. On success it returns the
-// query for chaining.
+// or an oversized predicate constant returns an error instead of
+// panicking. On success it returns the query for chaining. The clause is
+// recorded lazily exactly like Where's, so it participates in fusion and
+// its eventual scan is visible to the query's stats collector.
 func (q *Query) WhereErr(column string, p Predicate) (*Query, error) {
 	col, err := q.t.ColumnErr(column)
 	if err != nil {
 		return nil, err
 	}
-	m := col.Scan(p)
-	if q.sel == nil {
-		q.sel = m
-	} else {
-		q.sel.And(m)
+	if !p.fits(col.k) {
+		return nil, fmt.Errorf("bpagg: predicate constant does not fit in %d bits", col.k)
 	}
+	q.clauses = append(q.clauses, whereClause{name: column, col: col, pred: p})
 	return q, nil
 }
 
@@ -42,11 +42,27 @@ func (q *Query) colErr(name string) (*Column, error) {
 	return q.t.ColumnErr(name)
 }
 
+// CountRowsContext counts the rows passing the filter (COUNT(*)),
+// honoring ctx — fused when the clauses allow it, a bitmap popcount
+// otherwise.
+func (q *Query) CountRowsContext(ctx context.Context) (uint64, error) {
+	if preds, o, ok := q.fusedPlan(nil); ok {
+		return q.fusedCount(orBackground(ctx), preds, o)
+	}
+	if err := orBackground(ctx).Err(); err != nil {
+		return 0, err
+	}
+	return uint64(q.Selection().Count()), nil
+}
+
 // CountContext counts selected non-NULL rows of the named column.
 func (q *Query) CountContext(ctx context.Context, column string) (uint64, error) {
 	col, err := q.colErr(column)
 	if err != nil {
 		return 0, err
+	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		return q.fusedCount(orBackground(ctx), preds, o)
 	}
 	return col.CountContext(ctx, q.Selection())
 }
@@ -57,23 +73,34 @@ func (q *Query) SumContext(ctx context.Context, column string) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		sum, _, err := col.fusedSum(orBackground(ctx), preds, o)
+		return sum, err
+	}
 	return col.SumContext(ctx, q.Selection(), q.execs...)
 }
 
 // MinContext aggregates MIN over the named column, honoring ctx.
 func (q *Query) MinContext(ctx context.Context, column string) (uint64, bool, error) {
-	col, err := q.colErr(column)
-	if err != nil {
-		return 0, false, err
-	}
-	return col.MinContext(ctx, q.Selection(), q.execs...)
+	return q.extremeContext(ctx, column, true)
 }
 
 // MaxContext aggregates MAX over the named column, honoring ctx.
 func (q *Query) MaxContext(ctx context.Context, column string) (uint64, bool, error) {
+	return q.extremeContext(ctx, column, false)
+}
+
+func (q *Query) extremeContext(ctx context.Context, column string, wantMin bool) (uint64, bool, error) {
 	col, err := q.colErr(column)
 	if err != nil {
 		return 0, false, err
+	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, cnt, err := col.fusedExtreme(orBackground(ctx), preds, o, wantMin)
+		return v, cnt > 0, err
+	}
+	if wantMin {
+		return col.MinContext(ctx, q.Selection(), q.execs...)
 	}
 	return col.MaxContext(ctx, q.Selection(), q.execs...)
 }
@@ -83,6 +110,13 @@ func (q *Query) AvgContext(ctx context.Context, column string) (float64, bool, e
 	col, err := q.colErr(column)
 	if err != nil {
 		return 0, false, err
+	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		sum, cnt, err := col.fusedSum(orBackground(ctx), preds, o)
+		if err != nil || cnt == 0 {
+			return 0, false, err
+		}
+		return float64(sum) / float64(cnt), true, nil
 	}
 	return col.AvgContext(ctx, q.Selection(), q.execs...)
 }
@@ -94,6 +128,10 @@ func (q *Query) MedianContext(ctx context.Context, column string) (uint64, bool,
 	if err != nil {
 		return 0, false, err
 	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, _, found, err := col.fusedRank(orBackground(ctx), preds, o, medianRank)
+		return v, found, err
+	}
 	return col.MedianContext(ctx, q.Selection(), q.execs...)
 }
 
@@ -103,6 +141,11 @@ func (q *Query) RankContext(ctx context.Context, column string, r uint64) (uint6
 	col, err := q.colErr(column)
 	if err != nil {
 		return 0, false, err
+	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, _, found, err := col.fusedRank(orBackground(ctx), preds, o,
+			func(uint64) (uint64, bool) { return r, true })
+		return v, found, err
 	}
 	return col.RankContext(ctx, q.Selection(), r, q.execs...)
 }
@@ -114,13 +157,22 @@ func (q *Query) QuantileContext(ctx context.Context, column string, quantile flo
 	if err != nil {
 		return 0, false, err
 	}
+	if quantile < 0 || quantile > 1 || quantile != quantile {
+		return 0, false, fmt.Errorf("bpagg: quantile %v outside [0,1]", quantile)
+	}
+	if preds, o, ok := q.fusedPlan(col); ok {
+		v, _, found, err := col.fusedRank(orBackground(ctx), preds, o, quantileRank(quantile))
+		return v, found, err
+	}
 	return col.QuantileContext(ctx, q.Selection(), quantile, q.execs...)
 }
 
 // GroupByContext partitions the query's selection by the named column's
 // distinct values, honoring ctx between group-discovery steps. Each
-// step is one MIN plus two scans, so a canceled context stops the walk
-// after the current group.
+// step is one MIN plus one equality scan (the strictly-greater residual
+// is derived from the equality bitmap, see GroupBy), so a canceled
+// context stops the walk after the current group. Scans record into the
+// query's stats collector like GroupBy's.
 func (q *Query) GroupByContext(ctx context.Context, column string) (*Grouped, error) {
 	ctx = orBackground(ctx)
 	col, err := q.t.ColumnErr(column)
@@ -138,9 +190,10 @@ func (q *Query) GroupByContext(ctx context.Context, column string) (*Grouped, er
 		if !ok {
 			break
 		}
+		eq := col.ScanStats(Equal(v), q.stats)
 		g.keys = append(g.keys, v)
-		g.sels = append(g.sels, base.Clone().And(col.Scan(Equal(v))))
-		rest.And(col.Scan(Greater(v)))
+		g.sels = append(g.sels, base.Clone().And(eq))
+		rest.AndNot(eq)
 	}
 	return g, nil
 }
