@@ -153,6 +153,14 @@ func (c *Column) Len() int {
 	return c.h.Len()
 }
 
+// sumOverflowPossible reports whether SUM over any selection of this
+// column could exceed uint64 (DESIGN.md §7): when true, SUM and AVG run
+// on the checked 128-bit kernels and report a true overflow as
+// *OverflowError instead of wrapping.
+func (c *Column) sumOverflowPossible() bool {
+	return core.SumOverflowPossible(c.k, c.Len())
+}
+
 // Append adds values to the column. Values must fit in BitWidth bits.
 func (c *Column) Append(values ...uint64) {
 	if c.layout == VBP {
@@ -223,6 +231,15 @@ func (c *Column) MemoryWords() int {
 	}
 	return c.h.MemoryWords()
 }
+
+// RebuildSegmentAggregates recomputes the per-segment zone maps and
+// aggregate caches (min/max/sum) from the packed words, discarding
+// whatever cached state the column carried. Results of every aggregate
+// are identical before and after — the caches are an acceleration, not
+// a source of truth — which is exactly what the differential harness
+// (internal/oracle/diff) asserts across fresh, rebuilt, and reloaded
+// columns.
+func (c *Column) RebuildSegmentAggregates() { c.rebuildSegmentAggregates() }
 
 // All returns a selection containing every row of the column.
 func (c *Column) All() *Bitmap {
@@ -323,6 +340,13 @@ func (c *Column) Count(sel *Bitmap) uint64 {
 // true sum fits in uint64 (guaranteed when Len < 2^(64-BitWidth)).
 func (c *Column) Sum(sel *Bitmap, opts ...ExecOption) uint64 {
 	c.checkSel(sel)
+	if c.sumOverflowPossible() {
+		// Reroute through the checked Context path so a true overflow
+		// surfaces as a *OverflowError panic instead of a wrapped value.
+		v, err := c.SumContext(nil, sel, opts...)
+		fusedMust(err)
+		return v
+	}
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {
@@ -371,6 +395,11 @@ func (c *Column) Max(sel *Bitmap, opts ...ExecOption) (uint64, bool) {
 // selection is empty.
 func (c *Column) Avg(sel *Bitmap, opts ...ExecOption) (float64, bool) {
 	c.checkSel(sel)
+	if c.sumOverflowPossible() {
+		v, ok, err := c.AvgContext(nil, sel, opts...)
+		fusedMust(err)
+		return v, ok
+	}
 	o := execOptions(opts)
 	eff := c.effective(sel)
 	if c.useReconstruct(eff, o) {

@@ -1,0 +1,139 @@
+package bpagg
+
+import "testing"
+
+// These tests drive the segment-aggregate cache staleness machinery that
+// the public API cannot reach directly: zone adoption (the
+// deserialization path) flips cachesOff, and the fused kernels must then
+// recompute all-match segments instead of serving a stale zSum. The
+// differential sweep covers the public build/rebuild/reload states; this
+// file covers the internal stale window in between.
+
+// naiveSum is the straight-line reference for one column's values.
+func naiveSum(vals []uint64) uint64 {
+	var s uint64
+	for _, v := range vals {
+		s += v
+	}
+	return s
+}
+
+// segmentSum asks the layout column for its cached per-segment sum.
+func segmentSum(c *Column, seg int) (uint64, bool) {
+	if c.layout == VBP {
+		return c.v.SegmentSum(seg)
+	}
+	return c.h.SegmentSum(seg)
+}
+
+// segSize returns the layout's values-per-segment (64 for VBP; HBP
+// segments hold FieldsPerWord × SubSegments values).
+func segSize(c *Column) int {
+	if c.layout == VBP {
+		return 64
+	}
+	return c.h.ValuesPerSegment()
+}
+
+// checkSegmentSums verifies every cached per-segment sum against a naive
+// slice sum of that segment's values.
+func checkSegmentSums(t *testing.T, c *Column, all []uint64, when string) {
+	t.Helper()
+	vps := segSize(c)
+	for seg, off := 0, 0; off < len(all); seg, off = seg+1, off+vps {
+		end := off + vps
+		if end > len(all) {
+			end = len(all)
+		}
+		if s, ok := segmentSum(c, seg); !ok || s != naiveSum(all[off:end]) {
+			t.Fatalf("%s %s: SegmentSum(%d) = %d (%v), want %d",
+				c.layout, when, seg, s, ok, naiveSum(all[off:end]))
+		}
+	}
+}
+
+// staleZones re-adopts the column's own (sound) zones, which marks the
+// aggregate caches stale exactly as the deserialization path does.
+func staleZones(t *testing.T, c *Column) {
+	t.Helper()
+	var err error
+	if c.layout == VBP {
+		zMin, zMax := c.v.Zones()
+		err = c.v.SetZones(append([]uint64(nil), zMin...), append([]uint64(nil), zMax...))
+	} else {
+		zMin, zMax := c.h.Zones()
+		err = c.h.SetZones(append([]uint64(nil), zMin...), append([]uint64(nil), zMax...))
+	}
+	if err != nil {
+		t.Fatalf("SetZones: %v", err)
+	}
+}
+
+func TestStaleCacheNeverServed(t *testing.T) {
+	vals := make([]uint64, 130) // two full segments + a tail
+	for i := range vals {
+		vals[i] = uint64(i * 31 % 1000)
+	}
+	want := naiveSum(vals)
+	for _, layout := range []Layout{VBP, HBP} {
+		tbl := NewTable()
+		tbl.AddColumn("a", layout, 10)
+		tbl.AppendColumnar(map[string][]uint64{"a": vals})
+		col := tbl.Column("a")
+
+		fusedSum := func() uint64 {
+			q := tbl.Query().Where("a", LessEq(1023))
+			if !q.Fused("a") {
+				t.Fatalf("%s: all-match query not fused", layout)
+			}
+			return q.Sum("a")
+		}
+		if got := fusedSum(); got != want {
+			t.Fatalf("%s: warm-cache fused sum = %d, want %d", layout, got, want)
+		}
+
+		// Adopt zones: caches go stale; the cache accessor must refuse
+		// and the fused path must recompute to the same answer.
+		staleZones(t, col)
+		if _, ok := segmentSum(col, 0); ok {
+			t.Fatalf("%s: SegmentSum served a stale cache after SetZones", layout)
+		}
+		if got := fusedSum(); got != want {
+			t.Fatalf("%s: stale-cache fused sum = %d, want %d", layout, got, want)
+		}
+
+		// Rebuild restores exact caches.
+		col.RebuildSegmentAggregates()
+		checkSegmentSums(t, col, vals, "rebuilt")
+		if got := fusedSum(); got != want {
+			t.Fatalf("%s: rebuilt fused sum = %d, want %d", layout, got, want)
+		}
+	}
+}
+
+// TestAppendKeepsCachesExact pins the append-path invariant the sweep's
+// "-extra" cases rely on: appends into a warm column (including into a
+// partially-filled final segment) keep zSum exact without a rebuild.
+func TestAppendKeepsCachesExact(t *testing.T) {
+	for _, layout := range []Layout{VBP, HBP} {
+		vals := make([]uint64, 60) // partial final segment
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+		col := FromValues(layout, 16, vals)
+		extra := []uint64{7, 9, 11, 13, 1000}
+		col.Append(extra...) // crosses a segment boundary mid-append
+		all := append(append([]uint64(nil), vals...), extra...)
+		checkSegmentSums(t, col, all, "after append")
+
+		// After staling, appends must NOT resurrect a partial cache.
+		staleZones(t, col)
+		col.Append(3, 4)
+		if _, ok := segmentSum(col, 0); ok {
+			t.Fatalf("%s: append after SetZones resurrected a stale cache", layout)
+		}
+		col.RebuildSegmentAggregates()
+		all = append(all, 3, 4)
+		checkSegmentSums(t, col, all, "after rebuild")
+	}
+}

@@ -30,12 +30,13 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | all")
+		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | oracle-soak | all")
 		n          = flag.Int("n", 4<<20, "tuples per micro-benchmark column")
 		k          = flag.Int("k", 25, "default value width in bits")
 		sel        = flag.Float64("sel", 0.1, "default filter selectivity")
 		threads    = flag.Int("threads", 4, "worker threads for fig8/table2")
 		seed       = flag.Int64("seed", 1, "data generation seed")
+		soakSeeds  = flag.Int("soak-seeds", 2, "seeds to run for -experiment oracle-soak")
 		minTime    = flag.Duration("mintime", 150*time.Millisecond, "minimum measurement time per data point")
 		skipSanity = flag.Bool("skip-sanity", false, "skip the BP-vs-NBP agreement pre-check")
 		jsonOut    = flag.Bool("json", false, "also write machine-readable results (see -json-out)")
@@ -49,6 +50,10 @@ func main() {
 	fmt.Printf("bpagg-bench: n=%d k=%d sel=%v threads=%d GOMAXPROCS=%d\n\n",
 		cfg.N, cfg.K, cfg.Sel, cfg.Threads, runtime.GOMAXPROCS(0))
 
+	if *experiment == "oracle-soak" {
+		// The soak is itself a (far stronger) BP-vs-reference check.
+		*skipSanity = true
+	}
 	if !*skipSanity {
 		if !bench.Sanity(cfg) {
 			fmt.Fprintln(os.Stderr, "sanity check failed: BP and NBP disagree; not benchmarking")
@@ -94,6 +99,13 @@ func main() {
 			rows := bench.Fused(cfg)
 			bench.PrintFused(os.Stdout, rows, cfg)
 			report.AddFused(rows)
+		case "oracle-soak":
+			// Correctness soak, not a benchmark: the Deep differential
+			// sweep over [seed, seed+soak-seeds). Excluded from "all".
+			if fails := bench.OracleSoak(os.Stdout, *seed, *soakSeeds); fails > 0 {
+				fmt.Fprintf(os.Stderr, "oracle-soak: %d divergences\n", fails)
+				os.Exit(1)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

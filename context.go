@@ -56,6 +56,10 @@ func wrapExecErr(err error) error {
 	if errors.As(err, &pe) {
 		return &PanicError{Worker: pe.Worker, Value: pe.Value, Stack: pe.Stack}
 	}
+	var oe *parallel.OverflowError
+	if errors.As(err, &oe) {
+		return &OverflowError{Hi: oe.Hi, Lo: oe.Lo}
+	}
 	return err
 }
 
@@ -110,6 +114,13 @@ func (c *Column) SumContext(ctx context.Context, sel *Bitmap, opts ...ExecOption
 			return 0, err
 		}
 		defer recordReconstruct(o.par.Stats, eff, time.Now())
+		if c.sumOverflowPossible() {
+			hi, lo := nbp.Sum128(c.nbpSource(), eff)
+			if hi != 0 {
+				return 0, &OverflowError{Hi: hi, Lo: lo}
+			}
+			return lo, nil
+		}
 		return nbp.SumOpt(c.nbpSource(), eff, nbpOptions(o)), nil
 	}
 	var (
@@ -187,6 +198,17 @@ func (c *Column) AvgContext(ctx context.Context, sel *Bitmap, opts ...ExecOption
 			return 0, false, err
 		}
 		defer recordReconstruct(o.par.Stats, eff, time.Now())
+		if c.sumOverflowPossible() {
+			cnt := eff.Count()
+			if cnt == 0 {
+				return 0, false, nil
+			}
+			hi, lo := nbp.Sum128(c.nbpSource(), eff)
+			if hi != 0 {
+				return 0, false, &OverflowError{Hi: hi, Lo: lo}
+			}
+			return float64(lo) / float64(cnt), true, nil
+		}
 		v, ok := nbp.AvgOpt(c.nbpSource(), eff, nbpOptions(o))
 		return v, ok, nil
 	}

@@ -1,0 +1,117 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+
+	"bpagg"
+	"bpagg/internal/oracle"
+)
+
+// TestValidateRejectsMismatchedColumns pins the harness's own input
+// checking: auxiliary columns must match the aggregate column row for
+// row, including the appended tails.
+func TestValidateRejectsMismatchedColumns(t *testing.T) {
+	base := Case{Name: "v", Layout: bpagg.VBP, K: 8, A: []uint64{1, 2, 3}}
+
+	c := base
+	c.ANulls = []bool{true}
+	if err := Check(c); err == nil || !strings.Contains(err.Error(), "ANulls") {
+		t.Errorf("short ANulls: err = %v", err)
+	}
+
+	c = base
+	c.B = []uint64{1}
+	if err := Check(c); err == nil || !strings.Contains(err.Error(), "B length") {
+		t.Errorf("short B: err = %v", err)
+	}
+
+	c = base
+	c.G = []uint64{1, 2}
+	if err := Check(c); err == nil || !strings.Contains(err.Error(), "G length") {
+		t.Errorf("short G: err = %v", err)
+	}
+
+	c = base
+	c.B = []uint64{4, 5, 6}
+	c.ExtraA = []uint64{9}
+	if err := Check(c); err == nil || !strings.Contains(err.Error(), "ExtraB") {
+		t.Errorf("missing ExtraB: err = %v", err)
+	}
+}
+
+// TestCheckDetectsDivergence feeds the harness a case whose oracle
+// expectation cannot match (a predicate constant that does not fit the
+// engine column is the easiest controlled divergence: the engine panics,
+// the oracle answers), proving failures actually surface.
+func TestCheckDetectsDivergence(t *testing.T) {
+	c := Case{
+		Name:   "must-fail",
+		Layout: bpagg.VBP,
+		K:      4,
+		A:      []uint64{1, 2, 3},
+		Preds:  []PredSpec{{Col: "a", Pred: oracle.Pred{Op: oracle.LE, A: 1 << 20}}},
+	}
+	err := Check(c)
+	if err == nil {
+		t.Fatal("Check passed a case whose predicate constant exceeds the column width")
+	}
+	if !strings.Contains(err.Error(), "must-fail") {
+		t.Errorf("failure does not name the case: %v", err)
+	}
+}
+
+// TestCasesDeterministic: the generator must be a pure function of its
+// seed so a failing case name replays exactly.
+func TestCasesDeterministic(t *testing.T) {
+	a := Cases(GenConfig{Seed: 42})
+	b := Cases(GenConfig{Seed: 42})
+	if len(a) != len(b) {
+		t.Fatalf("case counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].A) != len(b[i].A) {
+			t.Fatalf("case %d differs: %s vs %s", i, a[i].Name, b[i].Name)
+		}
+		for j := range a[i].A {
+			if a[i].A[j] != b[i].A[j] {
+				t.Fatalf("case %s: data differs at %d", a[i].Name, j)
+			}
+		}
+	}
+	if len(Cases(GenConfig{Seed: 43})) == 0 {
+		t.Fatal("seed 43 generated no cases")
+	}
+}
+
+// TestCasesCoverCriticalAxes: the short profile must always include the
+// overflow widths, both layouts, and the crafted adversaries.
+func TestCasesCoverCriticalAxes(t *testing.T) {
+	cases := Cases(GenConfig{Seed: 1})
+	sawK64 := false
+	sawHBP, sawVBP := false, false
+	crafted := map[string]bool{}
+	for _, c := range cases {
+		if c.K == 64 {
+			sawK64 = true
+		}
+		if c.Layout == bpagg.HBP {
+			sawHBP = true
+		} else {
+			sawVBP = true
+		}
+		for _, tag := range []string{"sum-wrap-64", "groupby-overflow", "nulls-ge", "tau-cap-full-seg"} {
+			if strings.Contains(c.Name, tag) {
+				crafted[tag] = true
+			}
+		}
+	}
+	if !sawK64 || !sawHBP || !sawVBP {
+		t.Fatalf("axes missing: k64=%v hbp=%v vbp=%v", sawK64, sawHBP, sawVBP)
+	}
+	for _, tag := range []string{"sum-wrap-64", "groupby-overflow", "nulls-ge", "tau-cap-full-seg"} {
+		if !crafted[tag] {
+			t.Errorf("crafted case %q missing from sweep", tag)
+		}
+	}
+}

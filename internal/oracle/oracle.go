@@ -1,0 +1,330 @@
+// Package oracle is a deliberately naive row-store reference engine for
+// differential testing of the bit-parallel aggregation paths (DESIGN.md
+// §11). It evaluates the same predicate/aggregate surface as the real
+// engine — all comparison predicates plus BETWEEN/IN and NULL handling,
+// COUNT/SUM/MIN/MAX/AVG/MEDIAN/rank/quantile, and GROUP BY — over plain
+// []uint64 slices with straight-line loops. Sums accumulate in big.Int so
+// the oracle can never overflow; everything else is the obvious scalar
+// code a first-year student would write. The paper's §V validates its SWAR
+// kernels against exactly this kind of scalar recomputation.
+//
+// The oracle is the arbiter: when it and the engine disagree, the engine
+// is wrong (or the oracle has a bug — which is why this package has its
+// own brute-force tests and no clever code).
+package oracle
+
+import (
+	"math/big"
+	"sort"
+)
+
+// Op enumerates the comparison operators of the engine's predicate
+// surface, in the same semantic order as package scan.
+type Op int
+
+const (
+	EQ Op = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+	Between // A <= v && v <= B
+	In      // v ∈ List (empty list matches nothing)
+)
+
+// Pred is one predicate against constant codes. For In, List carries the
+// members; for Between, A and B are the inclusive bounds; otherwise A is
+// the comparison constant.
+type Pred struct {
+	Op   Op
+	A, B uint64
+	List []uint64
+}
+
+// Matches reports whether a plain (non-NULL) value satisfies the
+// predicate.
+func (p Pred) Matches(v uint64) bool {
+	switch p.Op {
+	case EQ:
+		return v == p.A
+	case NE:
+		return v != p.A
+	case LT:
+		return v < p.A
+	case LE:
+		return v <= p.A
+	case GT:
+		return v > p.A
+	case GE:
+		return v >= p.A
+	case Between:
+		return p.A <= v && v <= p.B
+	case In:
+		for _, x := range p.List {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// Column is a plain row-store column: Vals[i] is row i's code, and
+// Nulls[i] (when Nulls is non-nil) marks row i as SQL NULL. NULL rows
+// keep a placeholder code that no scan or aggregate ever reads, matching
+// the engine's validity-bitmap semantics.
+type Column struct {
+	Vals  []uint64
+	Nulls []bool
+}
+
+// New returns a column over vals with no NULLs. The slice is referenced,
+// not copied.
+func New(vals []uint64) *Column { return &Column{Vals: vals} }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return len(c.Vals) }
+
+// IsNull reports whether row i is NULL.
+func (c *Column) IsNull(i int) bool { return c.Nulls != nil && c.Nulls[i] }
+
+// Select evaluates the predicate over every row and returns the selection
+// (NULL compares as unknown: never selected).
+func (c *Column) Select(p Pred) []bool {
+	sel := make([]bool, len(c.Vals))
+	for i, v := range c.Vals {
+		sel[i] = !c.IsNull(i) && p.Matches(v)
+	}
+	return sel
+}
+
+// All returns a selection of every row.
+func (c *Column) All() []bool {
+	sel := make([]bool, len(c.Vals))
+	for i := range sel {
+		sel[i] = true
+	}
+	return sel
+}
+
+// And intersects two selections into a fresh slice.
+func And(a, b []bool) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] && b[i]
+	}
+	return out
+}
+
+// CountRows returns the number of selected rows — SQL COUNT(*), which
+// counts NULL rows too.
+func CountRows(sel []bool) uint64 {
+	var n uint64
+	for _, s := range sel {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// Count returns the number of selected non-NULL rows — SQL COUNT(column).
+func (c *Column) Count(sel []bool) uint64 {
+	var n uint64
+	for i, s := range sel {
+		if s && !c.IsNull(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// Sum returns the exact sum of the selected non-NULL values. big.Int
+// arithmetic means the result is always the true sum, however wide the
+// column or long the selection.
+func (c *Column) Sum(sel []bool) *big.Int {
+	sum := new(big.Int)
+	var v big.Int
+	for i, s := range sel {
+		if s && !c.IsNull(i) {
+			v.SetUint64(c.Vals[i])
+			sum.Add(sum, &v)
+		}
+	}
+	return sum
+}
+
+// SumUint64 returns the sum when it fits in uint64; ok is false when the
+// true sum overflows (the engine must then report an overflow error, not
+// a wrapped value).
+func (c *Column) SumUint64(sel []bool) (sum uint64, ok bool) {
+	b := c.Sum(sel)
+	if !b.IsUint64() {
+		return 0, false
+	}
+	return b.Uint64(), true
+}
+
+// Min returns the minimum selected non-NULL value; ok is false when the
+// effective selection is empty.
+func (c *Column) Min(sel []bool) (uint64, bool) {
+	var m uint64
+	found := false
+	for i, s := range sel {
+		if s && !c.IsNull(i) {
+			if !found || c.Vals[i] < m {
+				m = c.Vals[i]
+			}
+			found = true
+		}
+	}
+	return m, found
+}
+
+// Max returns the maximum selected non-NULL value; ok is false when the
+// effective selection is empty.
+func (c *Column) Max(sel []bool) (uint64, bool) {
+	var m uint64
+	found := false
+	for i, s := range sel {
+		if s && !c.IsNull(i) {
+			if !found || c.Vals[i] > m {
+				m = c.Vals[i]
+			}
+			found = true
+		}
+	}
+	return m, found
+}
+
+// Avg returns the mean of the selected non-NULL values; ok is false when
+// the effective selection is empty. When the sum fits in uint64 the
+// division replicates the engine's float64(sum)/float64(cnt) bit for bit;
+// otherwise the exact big.Int sum is converted (the engine reports
+// overflow there, so the value is for diagnostics only).
+func (c *Column) Avg(sel []bool) (float64, bool) {
+	cnt := c.Count(sel)
+	if cnt == 0 {
+		return 0, false
+	}
+	if sum, ok := c.SumUint64(sel); ok {
+		return float64(sum) / float64(cnt), true
+	}
+	f, _ := new(big.Float).SetInt(c.Sum(sel)).Float64()
+	return f / float64(cnt), true
+}
+
+// Median returns the lower median of the selected non-NULL values — the
+// value at 1-based rank (count+1)/2, matching every engine path. ok is
+// false when the effective selection is empty.
+func (c *Column) Median(sel []bool) (uint64, bool) {
+	vals := c.collect(sel)
+	if len(vals) == 0 {
+		return 0, false
+	}
+	return c.Rank(sel, (uint64(len(vals))+1)/2)
+}
+
+// Rank returns the r-th smallest selected non-NULL value (1-based). ok is
+// false when r is 0 or exceeds the effective selection count.
+func (c *Column) Rank(sel []bool, r uint64) (uint64, bool) {
+	vals := c.collect(sel)
+	if r == 0 || r > uint64(len(vals)) {
+		return 0, false
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return vals[r-1], true
+}
+
+// Quantile returns the value at quantile q in [0, 1] with the engine's
+// nearest-rank definition: rank = ceil(q*count) computed with the same
+// float arithmetic, q = 0 meaning the minimum. ok is false when the
+// effective selection is empty.
+func (c *Column) Quantile(sel []bool, q float64) (uint64, bool) {
+	cnt := c.Count(sel)
+	if cnt == 0 {
+		return 0, false
+	}
+	r := uint64(float64(cnt)*q + 0.999999999)
+	if r == 0 {
+		r = 1
+	}
+	if r > cnt {
+		r = cnt
+	}
+	return c.Rank(sel, r)
+}
+
+// collect gathers the selected non-NULL values into a fresh slice.
+func (c *Column) collect(sel []bool) []uint64 {
+	var vals []uint64
+	for i, s := range sel {
+		if s && !c.IsNull(i) {
+			vals = append(vals, c.Vals[i])
+		}
+	}
+	return vals
+}
+
+// GroupBy partitions the selection by the distinct non-NULL values of the
+// key column, keys ascending — exactly the engine's GroupBy contract.
+// groups[i] is the sub-selection of rows whose key equals keys[i].
+func (c *Column) GroupBy(sel []bool) (keys []uint64, groups [][]bool) {
+	seen := map[uint64]int{}
+	for i, s := range sel {
+		if !s || c.IsNull(i) {
+			continue
+		}
+		k := c.Vals[i]
+		gi, ok := seen[k]
+		if !ok {
+			gi = len(keys)
+			seen[k] = gi
+			keys = append(keys, k)
+			groups = append(groups, make([]bool, len(sel)))
+		}
+		groups[gi][i] = true
+	}
+	// Sort keys ascending, carrying the groups along.
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	outK := make([]uint64, len(keys))
+	outG := make([][]bool, len(keys))
+	for i, j := range idx {
+		outK[i], outG[i] = keys[j], groups[j]
+	}
+	return outK, outG
+}
+
+// TopK returns the k largest selected values in descending order and
+// BottomK the k smallest in ascending order, both with the engine's
+// tie-filling semantics (at most k values, padded with the threshold).
+func (c *Column) TopK(sel []bool, k int) []uint64 {
+	vals := c.collect(sel)
+	if k <= 0 || len(vals) == 0 {
+		return nil
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] > vals[j] })
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return vals[:k]
+}
+
+// BottomK is TopK's ascending twin.
+func (c *Column) BottomK(sel []bool, k int) []uint64 {
+	vals := c.collect(sel)
+	if k <= 0 || len(vals) == 0 {
+		return nil
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	if k > len(vals) {
+		k = len(vals)
+	}
+	return vals[:k]
+}

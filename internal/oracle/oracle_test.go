@@ -1,0 +1,153 @@
+package oracle
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPredMatches(t *testing.T) {
+	cases := []struct {
+		p    Pred
+		v    uint64
+		want bool
+	}{
+		{Pred{Op: EQ, A: 5}, 5, true},
+		{Pred{Op: EQ, A: 5}, 6, false},
+		{Pred{Op: NE, A: 5}, 6, true},
+		{Pred{Op: LT, A: 5}, 4, true},
+		{Pred{Op: LT, A: 5}, 5, false},
+		{Pred{Op: LE, A: 5}, 5, true},
+		{Pred{Op: GT, A: 5}, 5, false},
+		{Pred{Op: GT, A: 5}, 6, true},
+		{Pred{Op: GE, A: 5}, 5, true},
+		{Pred{Op: Between, A: 2, B: 4}, 2, true},
+		{Pred{Op: Between, A: 2, B: 4}, 4, true},
+		{Pred{Op: Between, A: 2, B: 4}, 5, false},
+		{Pred{Op: In, List: []uint64{1, 9}}, 9, true},
+		{Pred{Op: In, List: []uint64{1, 9}}, 2, false},
+		{Pred{Op: In}, 0, false},
+	}
+	for _, c := range cases {
+		if got := c.p.Matches(c.v); got != c.want {
+			t.Errorf("Pred%+v.Matches(%d) = %v, want %v", c.p, c.v, got, c.want)
+		}
+	}
+}
+
+func TestAggregatesKnownAnswers(t *testing.T) {
+	c := New([]uint64{5, 1, 4, 1, 9, 2, 6})
+	sel := c.All()
+	if got := c.Count(sel); got != 7 {
+		t.Errorf("Count = %d, want 7", got)
+	}
+	if got := c.Sum(sel); !got.IsUint64() || got.Uint64() != 28 {
+		t.Errorf("Sum = %v, want 28", got)
+	}
+	if v, ok := c.Min(sel); !ok || v != 1 {
+		t.Errorf("Min = %d,%v want 1", v, ok)
+	}
+	if v, ok := c.Max(sel); !ok || v != 9 {
+		t.Errorf("Max = %d,%v want 9", v, ok)
+	}
+	if v, ok := c.Avg(sel); !ok || v != 4.0 {
+		t.Errorf("Avg = %v,%v want 4", v, ok)
+	}
+	// sorted: 1 1 2 4 5 6 9; lower median is rank (7+1)/2 = 4 -> 4.
+	if v, ok := c.Median(sel); !ok || v != 4 {
+		t.Errorf("Median = %d,%v want 4", v, ok)
+	}
+	if v, ok := c.Rank(sel, 1); !ok || v != 1 {
+		t.Errorf("Rank(1) = %d,%v want 1", v, ok)
+	}
+	if v, ok := c.Rank(sel, 7); !ok || v != 9 {
+		t.Errorf("Rank(7) = %d,%v want 9", v, ok)
+	}
+	if _, ok := c.Rank(sel, 0); ok {
+		t.Error("Rank(0) should not be ok")
+	}
+	if _, ok := c.Rank(sel, 8); ok {
+		t.Error("Rank(8) should not be ok")
+	}
+	if v, ok := c.Quantile(sel, 0); !ok || v != 1 {
+		t.Errorf("Quantile(0) = %d,%v want 1", v, ok)
+	}
+	if v, ok := c.Quantile(sel, 1); !ok || v != 9 {
+		t.Errorf("Quantile(1) = %d,%v want 9", v, ok)
+	}
+}
+
+func TestEvenCountMedianIsLower(t *testing.T) {
+	c := New([]uint64{10, 20, 30, 40})
+	// Lower median of an even count: rank (4+1)/2 = 2 -> 20, never 30.
+	if v, ok := c.Median(c.All()); !ok || v != 20 {
+		t.Errorf("Median = %d,%v want lower median 20", v, ok)
+	}
+}
+
+func TestSumNeverOverflows(t *testing.T) {
+	c := New([]uint64{math.MaxUint64, math.MaxUint64, 3})
+	sum := c.Sum(c.All())
+	if sum.IsUint64() {
+		t.Fatalf("Sum %v unexpectedly fits uint64", sum)
+	}
+	if _, ok := c.SumUint64(c.All()); ok {
+		t.Fatal("SumUint64 should report overflow")
+	}
+	// 2*(2^64-1)+3 = 2^65+1
+	want := "36893488147419103233"
+	if sum.String() != want {
+		t.Fatalf("Sum = %v, want %s", sum, want)
+	}
+}
+
+func TestNullsAreSkipped(t *testing.T) {
+	c := &Column{Vals: []uint64{7, 0, 3}, Nulls: []bool{false, true, false}}
+	sel := c.Select(Pred{Op: GE, A: 0})
+	if sel[1] {
+		t.Fatal("NULL row matched a predicate")
+	}
+	if got := c.Count(c.All()); got != 2 {
+		t.Errorf("Count = %d, want 2 (NULL skipped)", got)
+	}
+	if got := CountRows(c.All()); got != 3 {
+		t.Errorf("CountRows = %d, want 3 (COUNT(*) counts NULL)", got)
+	}
+	if s, ok := c.SumUint64(c.All()); !ok || s != 10 {
+		t.Errorf("Sum = %d,%v want 10", s, ok)
+	}
+	if v, ok := c.Min(c.All()); !ok || v != 3 {
+		t.Errorf("Min = %d,%v want 3 (placeholder 0 not read)", v, ok)
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	key := New([]uint64{2, 1, 2, 3, 1})
+	val := New([]uint64{10, 20, 30, 40, 50})
+	keys, groups := key.GroupBy(key.All())
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 2 || keys[2] != 3 {
+		t.Fatalf("keys = %v, want [1 2 3]", keys)
+	}
+	sums := []uint64{70, 40, 40}
+	for i := range keys {
+		if s, ok := val.SumUint64(groups[i]); !ok || s != sums[i] {
+			t.Errorf("group %d sum = %d, want %d", keys[i], s, sums[i])
+		}
+	}
+}
+
+func TestEmptySelection(t *testing.T) {
+	c := New(nil)
+	sel := c.All()
+	if got := c.Count(sel); got != 0 {
+		t.Errorf("Count = %d, want 0", got)
+	}
+	if _, ok := c.Min(sel); ok {
+		t.Error("Min of empty should not be ok")
+	}
+	if _, ok := c.Median(sel); ok {
+		t.Error("Median of empty should not be ok")
+	}
+	if s := c.Sum(sel); s.Sign() != 0 {
+		t.Errorf("Sum = %v, want 0", s)
+	}
+}

@@ -50,6 +50,9 @@ func (o Options) fusedStatsEnd(ws []metrics.ExecStats, start time.Time, fss []co
 // VBPFusedSumCtx computes SUM and COUNT of the tuples matching the
 // predicate conjunction over a VBP column in one fused pass, honoring ctx.
 func VBPFusedSumCtx(ctx context.Context, col *vbp.Column, preds []scan.WindowPred, o Options) (sum, cnt uint64, err error) {
+	if core.SumOverflowPossible(col.K(), col.Len()) {
+		return vbpFusedSumCtx128(ctx, col, preds, o)
+	}
 	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	n := o.threads()
@@ -80,6 +83,9 @@ func VBPFusedSumCtx(ctx context.Context, col *vbp.Column, preds []scan.WindowPre
 // HBPFusedSumCtx computes SUM and COUNT of the tuples matching the
 // predicate conjunction over an HBP column in one fused pass, honoring ctx.
 func HBPFusedSumCtx(ctx context.Context, col *hbp.Column, preds []scan.WindowPred, o Options) (sum, cnt uint64, err error) {
+	if core.SumOverflowPossible(col.K(), col.Len()) {
+		return hbpFusedSumCtx128(ctx, col, preds, o)
+	}
 	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	n := o.threads()

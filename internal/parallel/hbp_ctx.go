@@ -12,6 +12,9 @@ import (
 
 // HBPSumCtx computes SUM over an HBP column, honoring ctx.
 func HBPSumCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) (uint64, error) {
+	if core.SumOverflowPossible(col.K(), col.Len()) {
+		return hbpSumCtx128(ctx, col, f, o)
+	}
 	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	partials := make([]uint64, o.threads())

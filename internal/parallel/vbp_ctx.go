@@ -23,6 +23,9 @@ import (
 
 // VBPSumCtx computes SUM over a VBP column, honoring ctx.
 func VBPSumCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) (uint64, error) {
+	if core.SumOverflowPossible(col.K(), col.Len()) {
+		return vbpSumCtx128(ctx, col, f, o)
+	}
 	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	partials := make([]uint64, o.threads())

@@ -1,0 +1,71 @@
+package bpagg_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"bpagg"
+	"bpagg/internal/oracle"
+	"bpagg/internal/oracle/diff"
+)
+
+// FuzzOracleEquivalence lets the fuzzer drive the differential harness
+// directly: it decodes an arbitrary byte string into a legal Case
+// (layout, width, τ, one predicate, values) and demands the engine agree
+// with the naive oracle on every aggregate over every execution state.
+// Any corpus entry that fails is a real divergence — add it as a named
+// regression test once fixed.
+func FuzzOracleEquivalence(f *testing.F) {
+	f.Add(byte(0), byte(8), byte(0), byte(2), uint64(100), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(byte(1), byte(64), byte(31), byte(5), ^uint64(0), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(byte(0), byte(64), byte(1), byte(0), uint64(1)<<63, make([]byte, 8*70))
+	f.Add(byte(1), byte(31), byte(4), byte(7), uint64(12345), []byte{})
+	f.Fuzz(func(t *testing.T, layoutB, kB, tauB, opB byte, a uint64, data []byte) {
+		layout := bpagg.VBP
+		if layoutB&1 == 1 {
+			layout = bpagg.HBP
+		}
+		k := 1 + int(kB)%64
+		maxTau := k
+		if layout == bpagg.HBP && maxTau > 31 {
+			maxTau = 31
+		}
+		tau := int(tauB) % (maxTau + 1) // 0 = library default
+
+		mask := uint64(1)<<uint(k) - 1
+		if k == 64 {
+			mask = ^uint64(0)
+		}
+		n := len(data) / 8
+		if n > 300 {
+			n = 300
+		}
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint64(data[i*8:]) & mask
+		}
+
+		ops := []oracle.Op{oracle.EQ, oracle.NE, oracle.LT, oracle.LE,
+			oracle.GT, oracle.GE, oracle.Between, oracle.In}
+		p := oracle.Pred{Op: ops[int(opB)%len(ops)], A: a & mask}
+		switch p.Op {
+		case oracle.Between:
+			p.B = (a >> 7) & mask
+		case oracle.In:
+			p.List = []uint64{a & mask, (a >> 13) & mask}
+		}
+
+		c := diff.Case{
+			Name:    "fuzz",
+			Layout:  layout,
+			K:       k,
+			Tau:     tau,
+			A:       vals,
+			Preds:   []diff.PredSpec{{Col: "a", Pred: p}},
+			Threads: []int{1, 3},
+		}
+		if err := diff.Check(c); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

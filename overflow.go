@@ -1,0 +1,33 @@
+package bpagg
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// OverflowError reports that the true value of a SUM — or the sum inside
+// an AVG — does not fit in uint64. The engine detects the possibility up
+// front (a column of n k-bit codes can only overflow when n·(2^k−1)
+// exceeds 2^64−1) and reruns the aggregate on 128-bit checked kernels,
+// so the exact total is always available: true sum = Hi·2^64 + Lo.
+// No aggregate ever returns a silently wrapped value.
+//
+// Plain methods (Column.Sum, Query.Sum, Grouped.Sum, and their Avg
+// twins) panic with *OverflowError, consistent with their contract that
+// runtime failures propagate as panics; the ...Context methods return
+// it. See DESIGN.md §7.
+type OverflowError struct {
+	Hi, Lo uint64
+}
+
+// Error implements the error interface.
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("bpagg: SUM overflows uint64 (true sum %s)", e.Big().String())
+}
+
+// Big returns the exact sum as a big.Int (Hi·2^64 + Lo).
+func (e *OverflowError) Big() *big.Int {
+	b := new(big.Int).SetUint64(e.Hi)
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(e.Lo))
+}
