@@ -2,7 +2,9 @@
 // 2015, §IV): Figures 5-7 (micro-benchmarks of the aggregation phase),
 // Figure 8 (multi-threading and wide-word speedups) and Table II (TPC-H
 // style queries), plus a fused-pipeline A/B comparison ("fused") of the
-// scan→aggregate path against the two-phase scan-then-aggregate path.
+// scan→aggregate path against the two-phase scan-then-aggregate path,
+// and a grouped A/B comparison ("groupby") of the single-pass bit-sliced
+// GROUP BY engine against the legacy per-group walk across cardinalities.
 //
 // Usage:
 //
@@ -30,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | oracle-soak | all")
+		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | groupby | oracle-soak | all")
 		n          = flag.Int("n", 4<<20, "tuples per micro-benchmark column")
 		k          = flag.Int("k", 25, "default value width in bits")
 		sel        = flag.Float64("sel", 0.1, "default filter selectivity")
@@ -99,6 +101,10 @@ func main() {
 			rows := bench.Fused(cfg)
 			bench.PrintFused(os.Stdout, rows, cfg)
 			report.AddFused(rows)
+		case "groupby":
+			rows := bench.GroupBy(cfg)
+			bench.PrintGroupBy(os.Stdout, rows, cfg)
+			report.AddGroupBy(rows)
 		case "oracle-soak":
 			// Correctness soak, not a benchmark: the Deep differential
 			// sweep over [seed, seed+soak-seeds). Excluded from "all".
@@ -114,7 +120,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2", "fused"} {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2", "fused", "groupby"} {
 			run(name)
 		}
 	} else {

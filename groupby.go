@@ -1,26 +1,99 @@
 package bpagg
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/parallel"
+)
 
 // Grouped is a query partitioned by the distinct values of a grouping
 // column. Following the paper's wide-table approach (§III, [11], [12]),
 // grouping columns are materialized and dictionary-encoded, so GROUP BY
-// reduces to one BIT-PARALLEL-EQUAL scan per distinct group value
-// intersected with the query's filter.
+// reduces to refining the query's filter into one selection bitmap per
+// distinct group value.
 //
-// Group keys are discovered bit-parallel as well: repeated MIN walks the
-// distinct values in ascending order without reconstructing a single
-// row. Each step needs only the equality scan of the freshly found key —
-// since that key is the minimum of the residual, removing its rows
-// (AndNot) leaves exactly the strictly-greater residual the next step
-// needs, so discovery costs G scans for G groups, not 2G.
-// Grouping therefore suits low-cardinality columns (dictionary codes,
-// flags, dates at coarse granularity) — the same regime the paper's
-// materialization argument assumes.
+// Two execution strategies produce that partition (DESIGN.md §12):
+//
+//   - Single-pass: each 64-value segment is visited once, and the
+//     grouping column's bit-tree is descended to split the segment's
+//     filter word across all group keys simultaneously, discovering
+//     keys as a side effect. One traversal of the packed column serves
+//     every group; banked aggregate kernels then answer SUM/MIN/MAX for
+//     all groups in one traversal of the measure column too.
+//   - Legacy per-group: repeated MIN walks the distinct values in
+//     ascending order, one BIT-PARALLEL-EQUAL scan per key intersected
+//     with the filter. Each step needs only the equality scan of the
+//     freshly found key — since that key is the minimum of the
+//     residual, removing its rows (AndNot) leaves exactly the
+//     strictly-greater residual the next step needs, so discovery costs
+//     G scans for G groups, not 2G.
+//
+// GroupBy picks single-pass when the query qualifies (same spirit as
+// the Query.Fused gate: no user bitmap, no NULLs on the grouping
+// column, bit-parallel 64-bit execution, cardinality within
+// MaxSinglePassGroups) and falls back to the legacy walk otherwise.
+// Results are bit-identical either way. Grouping suits low-cardinality
+// columns (dictionary codes, flags, dates at coarse granularity) — the
+// same regime the paper's materialization argument assumes.
 type Grouped struct {
-	q    *Query
-	keys []uint64
-	sels []*Bitmap
+	q          *Query
+	keys       []uint64
+	sels       []*Bitmap
+	singlePass bool
+}
+
+// MaxSinglePassGroups is the group-cardinality ceiling of the
+// single-pass partition path; queries grouping columns with more
+// distinct values fall back to the legacy per-group walk.
+const MaxSinglePassGroups = core.MaxGroups
+
+// SinglePass reports whether this partition was built by the
+// single-pass engine (EXPLAIN support). Banked per-group aggregate
+// kernels are only available on single-pass partitions.
+func (g *Grouped) SinglePass() bool { return g.singlePass }
+
+// groupSinglePass attempts the single-pass partition. ok is false when
+// the query does not qualify (pre-materialized or user-supplied
+// selection, NULLs on the grouping column, wide words, non-bit-parallel
+// access, or cardinality past MaxSinglePassGroups) — the caller then
+// runs the legacy walk. A returned error is a real execution failure
+// (cancellation, worker panic), never a fallback signal.
+func (q *Query) groupSinglePass(ctx context.Context, col *Column) (*Grouped, bool, error) {
+	if q.sel != nil || col.nulls != nil {
+		return nil, false, nil
+	}
+	o := execOptions(q.execs)
+	if o.access != BitParallel || o.par.Wide {
+		return nil, false, nil
+	}
+	base := q.Selection()
+	var (
+		keys []uint64
+		bs   []*bitvec.Bitmap
+		err  error
+	)
+	if col.layout == VBP {
+		keys, bs, err = parallel.VBPGroupPartitionCtx(ctx, col.v, base.b, o.par)
+	} else {
+		keys, bs, err = parallel.HBPGroupPartitionCtx(ctx, col.h, base.b, o.par)
+	}
+	if err != nil {
+		if errors.Is(err, core.ErrGroupCardinality) {
+			return nil, false, nil
+		}
+		return nil, false, wrapExecErr(err)
+	}
+	g := &Grouped{q: q, keys: keys, singlePass: true}
+	g.sels = make([]*Bitmap, len(bs))
+	for i, b := range bs {
+		g.sels[i] = &Bitmap{b: b}
+	}
+	return g, true, nil
 }
 
 // GroupBy partitions the query's current selection by the named column's
@@ -30,7 +103,12 @@ func (q *Query) GroupBy(column string) *Grouped {
 	if col == nil {
 		panic(fmt.Sprintf("bpagg: unknown column %q", column))
 	}
-	g := &Grouped{q: q}
+	g, ok, err := q.groupSinglePass(context.Background(), col)
+	fusedMust(err)
+	if ok {
+		return g
+	}
+	g = &Grouped{q: q}
 	base := q.Selection()
 	rest := base.Clone()
 	for {
@@ -59,18 +137,99 @@ func (g *Grouped) Keys() []uint64 {
 // with key equality).
 func (g *Grouped) Selection(i int) *Bitmap { return g.sels[i] }
 
-// Count returns each group's row count.
+// banked reports whether a per-group aggregate over col can run the
+// banked single-pass kernels, and resolves the execution options if so.
+// The gate mirrors groupSinglePass's per-column conditions: the
+// partition itself must be single-pass, the measure column NULL-free,
+// and execution bit-parallel with 64-bit words.
+func (g *Grouped) banked(col *Column) (execConfig, bool) {
+	if !g.singlePass || col.nulls != nil {
+		return execConfig{}, false
+	}
+	o := execOptions(g.q.execs)
+	if o.access != BitParallel || o.par.Wide {
+		return execConfig{}, false
+	}
+	return o, true
+}
+
+// rawSels unwraps the group selections for the internal drivers.
+func (g *Grouped) rawSels() []*bitvec.Bitmap {
+	bs := make([]*bitvec.Bitmap, len(g.sels))
+	for i, s := range g.sels {
+		bs[i] = s.b
+	}
+	return bs
+}
+
+// bankedSum runs the single-pass grouped SUM over all groups at once.
+// The kernels accumulate 128 bits per group; any hi != 0 surfaces as an
+// *OverflowError, honoring the same overflow contract as Column.Sum.
+func (g *Grouped) bankedSum(ctx context.Context, col *Column, o execConfig) ([]uint64, error) {
+	var his, los []uint64
+	var err error
+	if col.layout == VBP {
+		his, los, err = parallel.VBPGroupSumCtx(ctx, col.v, g.rawSels(), o.par)
+	} else {
+		his, los, err = parallel.HBPGroupSumCtx(ctx, col.h, g.rawSels(), o.par)
+	}
+	if err != nil {
+		return nil, wrapExecErr(err)
+	}
+	for i, hi := range his {
+		if hi != 0 {
+			return nil, &OverflowError{Hi: hi, Lo: los[i]}
+		}
+	}
+	return los, nil
+}
+
+// bankedExtreme runs the single-pass grouped MIN/MAX over all groups at
+// once. anys[i] is false only if group i's selection is empty, which
+// the partition invariant rules out.
+func (g *Grouped) bankedExtreme(ctx context.Context, col *Column, o execConfig, wantMin bool) ([]uint64, []bool, error) {
+	var vals []uint64
+	var anys []bool
+	var err error
+	if col.layout == VBP {
+		vals, anys, err = parallel.VBPGroupExtremeCtx(ctx, col.v, g.rawSels(), wantMin, o.par)
+	} else {
+		vals, anys, err = parallel.HBPGroupExtremeCtx(ctx, col.h, g.rawSels(), wantMin, o.par)
+	}
+	if err != nil {
+		return nil, nil, wrapExecErr(err)
+	}
+	return vals, anys, nil
+}
+
+// Count returns each group's row count. The popcounts are recorded into
+// the query's stats collector as one aggregate per group, matching the
+// other per-group aggregates.
 func (g *Grouped) Count() []uint64 {
+	start := time.Now()
 	out := make([]uint64, len(g.keys))
 	for i, sel := range g.sels {
 		out[i] = uint64(sel.Count())
 	}
+	g.q.stats.Record(ExecStats{
+		Aggregates: uint64(len(g.sels)),
+		AggNanos:   time.Since(start).Nanoseconds(),
+	})
 	return out
 }
 
-// Sum aggregates SUM of the named column per group.
+// Sum aggregates SUM of the named column per group: banked single-pass
+// over the measure column when the partition and column qualify, one
+// Column.Sum per group otherwise. Either path panics with an
+// *OverflowError when a group's sum exceeds uint64 (use SumContext to
+// receive it as an error).
 func (g *Grouped) Sum(column string) []uint64 {
 	col := g.q.col(column)
+	if o, ok := g.banked(col); ok {
+		out, err := g.bankedSum(context.Background(), col, o)
+		fusedMust(err)
+		return out
+	}
 	out := make([]uint64, len(g.keys))
 	for i, sel := range g.sels {
 		out[i] = col.Sum(sel, g.q.execs...)
@@ -81,11 +240,29 @@ func (g *Grouped) Sum(column string) []uint64 {
 // Min aggregates MIN of the named column per group. Every group is
 // non-empty by construction, so no ok flags are needed.
 func (g *Grouped) Min(column string) []uint64 {
-	return g.each(column, (*Column).Min)
+	return g.extreme(column, true)
 }
 
 // Max aggregates MAX of the named column per group.
 func (g *Grouped) Max(column string) []uint64 {
+	return g.extreme(column, false)
+}
+
+func (g *Grouped) extreme(column string, wantMin bool) []uint64 {
+	col := g.q.col(column)
+	if o, ok := g.banked(col); ok {
+		vals, anys, err := g.bankedExtreme(context.Background(), col, o, wantMin)
+		fusedMust(err)
+		for _, any := range anys {
+			if !any {
+				panic("bpagg: empty group selection — grouping invariant violated")
+			}
+		}
+		return vals
+	}
+	if wantMin {
+		return g.each(column, (*Column).Min)
+	}
 	return g.each(column, (*Column).Max)
 }
 
@@ -94,15 +271,40 @@ func (g *Grouped) Median(column string) []uint64 {
 	return g.each(column, (*Column).Median)
 }
 
-// Avg aggregates AVG of the named column per group.
+// Avg aggregates AVG of the named column per group. Like Sum, a group
+// whose running sum exceeds uint64 panics with an *OverflowError (use
+// AvgContext to receive it as an error).
 func (g *Grouped) Avg(column string) []float64 {
 	col := g.q.col(column)
+	if o, ok := g.banked(col); ok {
+		out, err := g.bankedAvg(context.Background(), col, o)
+		fusedMust(err)
+		return out
+	}
 	out := make([]float64, len(g.keys))
 	for i, sel := range g.sels {
 		v, _ := col.Avg(sel, g.q.execs...)
 		out[i] = v
 	}
 	return out
+}
+
+// bankedAvg divides the banked sums by the group counts; with NULL-free
+// columns (a banked-gate precondition) the divisor is exactly the
+// group's row count, so the quotient is bit-identical to the per-group
+// path's.
+func (g *Grouped) bankedAvg(ctx context.Context, col *Column, o execConfig) ([]float64, error) {
+	sums, err := g.bankedSum(ctx, col, o)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(sums))
+	for i, s := range sums {
+		if cnt := g.sels[i].Count(); cnt > 0 {
+			out[i] = float64(s) / float64(cnt)
+		}
+	}
+	return out, nil
 }
 
 func (g *Grouped) each(column string, agg func(*Column, *Bitmap, ...ExecOption) (uint64, bool)) []uint64 {

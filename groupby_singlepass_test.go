@@ -1,0 +1,384 @@
+package bpagg
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// buildGroupTable assembles a two-column table: "g" (grouping) and "v"
+// (measure), with the given layouts and widths.
+func buildGroupTable(t testing.TB, layoutG, layoutV Layout, kG, kV int, keys, vals []uint64) *Table {
+	t.Helper()
+	tbl := NewTable()
+	tbl.AddColumn("g", layoutG, kG)
+	tbl.AddColumn("v", layoutV, kV)
+	tbl.AppendColumnar(map[string][]uint64{"g": keys, "v": vals})
+	return tbl
+}
+
+// checkSinglePassVsLegacy runs the same grouped query through both
+// partition engines and requires bit-identical keys, selections, and
+// aggregates.
+func checkSinglePassVsLegacy(t *testing.T, tbl *Table, threads int, withFilter bool) {
+	t.Helper()
+	mk := func() *Query {
+		q := tbl.Query().With(Parallel(threads))
+		if withFilter {
+			q.Where("v", GreaterEq(1))
+		}
+		return q
+	}
+	qs := mk()
+	sp := qs.GroupBy("g")
+	if !sp.SinglePass() {
+		t.Fatal("lazy query did not take the single-pass path")
+	}
+	ql := mk()
+	ql.Selection()
+	lg := ql.GroupBy("g")
+	if lg.SinglePass() {
+		t.Fatal("materialized selection did not force the legacy walk")
+	}
+
+	spKeys, lgKeys := sp.Keys(), lg.Keys()
+	if len(spKeys) != len(lgKeys) {
+		t.Fatalf("key counts differ: single-pass %d, legacy %d", len(spKeys), len(lgKeys))
+	}
+	for i := range spKeys {
+		if spKeys[i] != lgKeys[i] {
+			t.Fatalf("keys differ: single-pass %v, legacy %v", spKeys, lgKeys)
+		}
+		a, b := sp.Selection(i), lg.Selection(i)
+		if a.Count() != b.Count() || a.Clone().AndNot(b).Count() != 0 {
+			t.Fatalf("group %d selection differs (single-pass %d rows, legacy %d rows)",
+				i, a.Count(), b.Count())
+		}
+	}
+	cmp := func(name string, a, b []uint64) {
+		t.Helper()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s differs at group %d: single-pass %d, legacy %d", name, i, a[i], b[i])
+			}
+		}
+	}
+	cmp("Count", sp.Count(), lg.Count())
+	cmp("Sum", sp.Sum("v"), lg.Sum("v"))
+	cmp("Min", sp.Min("v"), lg.Min("v"))
+	cmp("Max", sp.Max("v"), lg.Max("v"))
+	cmp("Median", sp.Median("v"), lg.Median("v"))
+	spAvg, lgAvg := sp.Avg("v"), lg.Avg("v")
+	for i := range spAvg {
+		if spAvg[i] != lgAvg[i] {
+			t.Fatalf("Avg differs at group %d: single-pass %v, legacy %v", i, spAvg[i], lgAvg[i])
+		}
+	}
+}
+
+// TestGroupSinglePassMatchesLegacy sweeps layouts, widths, cardinalities
+// (including the G=1 and G=segment-count edges), and thread counts,
+// requiring the two partition engines to agree everywhere.
+func TestGroupSinglePassMatchesLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	layouts := []Layout{VBP, HBP}
+	for _, n := range []int{63, 64, 200, 2048} {
+		for _, G := range []int{1, 2, 7, 32, n} {
+			if G > n || G > MaxSinglePassGroups {
+				continue
+			}
+			for _, lg := range layouts {
+				for _, lv := range layouts {
+					kG := 1
+					for 1<<kG < G {
+						kG++
+					}
+					kV := 1 + rng.Intn(20)
+					keys := make([]uint64, n)
+					vals := make([]uint64, n)
+					for i := range keys {
+						keys[i] = uint64(rng.Intn(G))
+						vals[i] = rng.Uint64() & ((1 << kV) - 1)
+					}
+					tbl := buildGroupTable(t, lg, lv, kG, kV, keys, vals)
+					for _, th := range []int{1, 8} {
+						checkSinglePassVsLegacy(t, tbl, th, false)
+						checkSinglePassVsLegacy(t, tbl, th, true)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGroupSinglePassCardinalityFallback pins the high-cardinality gate:
+// a grouping column with more than MaxSinglePassGroups distinct values
+// silently falls back to the legacy walk and still answers correctly.
+func TestGroupSinglePassCardinalityFallback(t *testing.T) {
+	n := MaxSinglePassGroups + 300
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = uint64(i % 97)
+	}
+	tbl := buildGroupTable(t, VBP, VBP, 11, 7, keys, vals)
+	g := tbl.Query().GroupBy("g")
+	if g.SinglePass() {
+		t.Fatalf("%d groups exceed MaxSinglePassGroups=%d; expected legacy fallback",
+			n, MaxSinglePassGroups)
+	}
+	if g.Len() != n {
+		t.Fatalf("groups = %d, want %d", g.Len(), n)
+	}
+	sums := g.Sum("v")
+	for i := range sums {
+		if sums[i] != uint64(i%97) {
+			t.Fatalf("group %d sum = %d, want %d", i, sums[i], i%97)
+		}
+	}
+}
+
+// TestGroupSinglePassStats asserts the single-pass counters: one
+// partition scan discovering all groups, banked words, exactly one
+// recorded aggregate per banked call, and the exact words-touched
+// relation vs the legacy path (a VBP measure column is read once per
+// live segment instead of once per live segment per group — G×).
+func TestGroupSinglePassStats(t *testing.T) {
+	const n, groups = 2048, 8
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	rng := rand.New(rand.NewSource(72))
+	for i := range keys {
+		keys[i] = uint64(i % groups) // every group live in every segment
+		vals[i] = uint64(rng.Intn(1 << 10))
+	}
+	tbl := buildGroupTable(t, VBP, VBP, 3, 10, keys, vals)
+
+	q := tbl.Query().WithStats()
+	g := q.GroupBy("g")
+	if !g.SinglePass() {
+		t.Fatal("expected the single-pass path")
+	}
+	s := q.Stats()
+	if s.Scans != 1 {
+		t.Errorf("partition Scans = %d, want 1 (one traversal for all groups)", s.Scans)
+	}
+	if s.GroupsDiscovered != groups {
+		t.Errorf("GroupsDiscovered = %d, want %d", s.GroupsDiscovered, groups)
+	}
+	if want := uint64(groups * n / 64); s.GroupBankWords != want {
+		t.Errorf("GroupBankWords = %d, want %d (every group live in every segment)",
+			s.GroupBankWords, want)
+	}
+
+	g.Sum("v")
+	afterSum := q.Stats()
+	if got := afterSum.Aggregates - s.Aggregates; got != 1 {
+		t.Errorf("banked Sum recorded %d aggregates, want 1", got)
+	}
+	spWords := afterSum.WordsTouched - s.WordsTouched
+	if spWords == 0 {
+		t.Error("banked Sum moved no WordsTouched")
+	}
+
+	g.Min("v")
+	g.Max("v")
+	afterExtremes := q.Stats()
+	if got := afterExtremes.Aggregates - afterSum.Aggregates; got != 2 {
+		t.Errorf("banked Min+Max recorded %d aggregates, want 2", got)
+	}
+
+	g.Count()
+	afterCount := q.Stats()
+	if got := afterCount.Aggregates - afterExtremes.Aggregates; got != groups {
+		t.Errorf("Count recorded %d aggregates, want one per group (%d)", got, groups)
+	}
+
+	// Words-touched relation: the legacy path reads the measure column's
+	// k planes once per live segment per group; the banked kernel reads
+	// them once per live segment, shared by all groups — exactly G× less
+	// here, where every group is live in every segment.
+	ql := tbl.Query().WithStats()
+	ql.Selection()
+	lg := ql.GroupBy("g")
+	base := ql.Stats()
+	lg.Sum("v")
+	lgWords := ql.Stats().WordsTouched - base.WordsTouched
+	if lgWords != uint64(groups)*spWords {
+		t.Errorf("words-touched relation: legacy %d, single-pass %d, want exactly %d× (%d)",
+			lgWords, spWords, groups, uint64(groups)*spWords)
+	}
+}
+
+// TestGroupedCountRecordsStatsLegacy pins the satellite contract on the
+// legacy route too: Grouped.Count and CountContext record one aggregate
+// per group whichever engine built the partition.
+func TestGroupedCountRecordsStatsLegacy(t *testing.T) {
+	tbl, groups := groupStatsTable(t)
+	q := tbl.Query().WithStats()
+	q.Selection()
+	g := q.GroupBy("key")
+	base := q.Stats()
+	g.Count()
+	after := q.Stats()
+	if got := after.Aggregates - base.Aggregates; got != uint64(groups) {
+		t.Errorf("legacy Count recorded %d aggregates, want %d", got, groups)
+	}
+	if _, err := g.CountContext(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	after2 := q.Stats()
+	if got := after2.Aggregates - after.Aggregates; got != uint64(groups) {
+		t.Errorf("legacy CountContext recorded %d aggregates, want %d", got, groups)
+	}
+}
+
+// TestGroupedSumOverflow pins the grouped overflow contract on both
+// engines: plain Sum/Avg panic with *OverflowError, SumContext/
+// AvgContext return it, and the error carries the exact 128-bit total.
+func TestGroupedSumOverflow(t *testing.T) {
+	const n = 128
+	keys := make([]uint64, n)
+	vals := make([]uint64, n)
+	for i := range keys {
+		keys[i] = uint64(i % 2)
+		vals[i] = 1 << 63 // each group's sum is 64 << 63 = 2^69
+	}
+	for _, layout := range []Layout{VBP, HBP} {
+		for _, forceLegacy := range []bool{false, true} {
+			tbl := buildGroupTable(t, layout, layout, 1, 64, keys, vals)
+			q := tbl.Query()
+			if forceLegacy {
+				q.Selection()
+			}
+			g := q.GroupBy("g")
+			if g.SinglePass() == forceLegacy {
+				t.Fatalf("layout %v: SinglePass = %v, want %v", layout, g.SinglePass(), !forceLegacy)
+			}
+
+			_, err := g.SumContext(context.Background(), "v")
+			var ov *OverflowError
+			if !errors.As(err, &ov) {
+				t.Fatalf("layout %v legacy=%v: SumContext = %v, want *OverflowError", layout, forceLegacy, err)
+			}
+			want := "590295810358705651712" // 64 * 2^63 = 2^69
+			if ov.Big().String() != want {
+				t.Fatalf("layout %v: overflow total = %s, want %s", layout, ov.Big().String(), want)
+			}
+			if _, err := g.AvgContext(context.Background(), "v"); !errors.As(err, &ov) {
+				t.Fatalf("layout %v legacy=%v: AvgContext = %v, want *OverflowError", layout, forceLegacy, err)
+			}
+
+			func() {
+				defer func() {
+					r := recover()
+					if r == nil {
+						t.Fatalf("layout %v legacy=%v: plain Sum did not panic on overflow", layout, forceLegacy)
+					}
+					e, ok := r.(error)
+					if !ok || !errors.As(e, &ov) {
+						t.Fatalf("layout %v: plain Sum panicked with %v, want *OverflowError", layout, r)
+					}
+				}()
+				g.Sum("v")
+			}()
+		}
+	}
+}
+
+// FuzzGroupSinglePass drives the property check with fuzz-chosen data
+// shapes: the single-pass engine must stay bit-identical to the legacy
+// walk for any layout pair, width, cardinality, and thread count.
+func FuzzGroupSinglePass(f *testing.F) {
+	f.Add(int64(1), uint16(100), uint8(3), uint8(12), uint8(0), uint8(1))
+	f.Add(int64(2), uint16(64), uint8(1), uint8(64), uint8(1), uint8(8))
+	f.Add(int64(3), uint16(1000), uint8(6), uint8(30), uint8(2), uint8(4))
+	f.Add(int64(4), uint16(63), uint8(10), uint8(7), uint8(3), uint8(2))
+	f.Fuzz(func(t *testing.T, seed int64, n uint16, kG, kV, layouts, threads uint8) {
+		if n == 0 {
+			return
+		}
+		kGi := 1 + int(kG)%10 // cardinality cap 2^10 = MaxSinglePassGroups
+		kVi := 1 + int(kV)%64
+		rng := rand.New(rand.NewSource(seed))
+		keys := make([]uint64, n)
+		vals := make([]uint64, n)
+		for i := range keys {
+			keys[i] = rng.Uint64() & ((1 << kGi) - 1)
+			var mask uint64 = (1 << kVi) - 1
+			if kVi == 64 {
+				mask = ^uint64(0)
+			}
+			vals[i] = rng.Uint64() & mask
+		}
+		lg, lv := VBP, VBP
+		if layouts&1 != 0 {
+			lg = HBP
+		}
+		if layouts&2 != 0 {
+			lv = HBP
+		}
+		tbl := buildGroupTable(t, lg, lv, kGi, kVi, keys, vals)
+		th := 1 + int(threads)%8
+
+		mk := func() *Query { return tbl.Query().With(Parallel(th)) }
+		qs := mk()
+		sp := qs.GroupBy("g")
+		if !sp.SinglePass() {
+			t.Fatal("lazy query did not take the single-pass path")
+		}
+		ql := mk()
+		ql.Selection()
+		legacy := ql.GroupBy("g")
+
+		spKeys, lgKeys := sp.Keys(), legacy.Keys()
+		if len(spKeys) != len(lgKeys) {
+			t.Fatalf("key counts differ: single-pass %d, legacy %d", len(spKeys), len(lgKeys))
+		}
+		for i := range spKeys {
+			if spKeys[i] != lgKeys[i] {
+				t.Fatalf("keys differ at %d: %d vs %d", i, spKeys[i], lgKeys[i])
+			}
+			if a, b := sp.Selection(i), legacy.Selection(i); a.Count() != b.Count() ||
+				a.Clone().AndNot(b).Count() != 0 {
+				t.Fatalf("group %d selections differ", i)
+			}
+		}
+		ctx := context.Background()
+		spSums, spErr := sp.SumContext(ctx, "v")
+		lgSums, lgErr := legacy.SumContext(ctx, "v")
+		var spOv, lgOv *OverflowError
+		if errors.As(spErr, &spOv) != errors.As(lgErr, &lgOv) {
+			t.Fatalf("overflow disagreement: single-pass err=%v, legacy err=%v", spErr, lgErr)
+		}
+		if spOv != nil {
+			if spOv.Hi != lgOv.Hi || spOv.Lo != lgOv.Lo {
+				t.Fatalf("overflow totals differ: %v vs %v", spOv.Big(), lgOv.Big())
+			}
+		} else {
+			for i := range spSums {
+				if spSums[i] != lgSums[i] {
+					t.Fatalf("sum differs at group %d: %d vs %d", i, spSums[i], lgSums[i])
+				}
+			}
+		}
+		lgMin, lgMax, lgCnt := legacy.Min("v"), legacy.Max("v"), legacy.Count()
+		for i, v := range sp.Min("v") {
+			if v != lgMin[i] {
+				t.Fatalf("min differs at group %d: %d vs %d", i, v, lgMin[i])
+			}
+		}
+		for i, v := range sp.Max("v") {
+			if v != lgMax[i] {
+				t.Fatalf("max differs at group %d: %d vs %d", i, v, lgMax[i])
+			}
+		}
+		for i, v := range sp.Count() {
+			if v != lgCnt[i] {
+				t.Fatalf("count differs at group %d: %d vs %d", i, v, lgCnt[i])
+			}
+		}
+	})
+}

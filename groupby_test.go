@@ -150,15 +150,20 @@ func groupStatsTable(t *testing.T) (*Table, int) {
 	return tbl, groups
 }
 
-// TestGroupByOneScanPerGroup pins the discovery cost: finding G groups
-// takes exactly G equality scans — the strictly-greater residual is
-// derived from the just-computed equality bitmap (AndNot), never scanned —
-// and the walk's scan-side word counts are exactly those of G standalone
-// equality scans.
+// TestGroupByOneScanPerGroup pins the legacy discovery cost: finding G
+// groups takes exactly G equality scans — the strictly-greater residual
+// is derived from the just-computed equality bitmap (AndNot), never
+// scanned — and the walk's scan-side word counts are exactly those of G
+// standalone equality scans. Materializing the selection first forces
+// the legacy walk (a pre-built selection gates off single-pass).
 func TestGroupByOneScanPerGroup(t *testing.T) {
 	tbl, groups := groupStatsTable(t)
 	q := tbl.Query().WithStats()
+	q.Selection()
 	g := q.GroupBy("key")
+	if g.SinglePass() {
+		t.Fatal("materialized selection should force the legacy walk")
+	}
 	if g.Len() != groups {
 		t.Fatalf("groups = %d, want %d", g.Len(), groups)
 	}
@@ -185,6 +190,7 @@ func TestGroupByOneScanPerGroup(t *testing.T) {
 
 	// The ctx-aware walk shares the invariant and the keys.
 	q2 := tbl.Query().WithStats()
+	q2.Selection()
 	g2, err := q2.GroupByContext(context.Background(), "key")
 	if err != nil {
 		t.Fatal(err)
@@ -202,12 +208,15 @@ func TestGroupByOneScanPerGroup(t *testing.T) {
 	}
 }
 
-// TestGroupedAggregatesVisibleInStats: per-group aggregates must flow
-// into the query's stats collector like everything else the query runs —
-// one recorded aggregate per group for Sum, a per-group multiple for Avg.
+// TestGroupedAggregatesVisibleInStats: legacy per-group aggregates must
+// flow into the query's stats collector like everything else the query
+// runs — one recorded aggregate per group for Sum, a per-group multiple
+// for Avg. (The single-pass twin records one banked aggregate per call;
+// see TestGroupSinglePassStats.)
 func TestGroupedAggregatesVisibleInStats(t *testing.T) {
 	tbl, groups := groupStatsTable(t)
 	q := tbl.Query().WithStats()
+	q.Selection()
 	g := q.GroupBy("key")
 	base := q.Stats()
 

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"bpagg"
+	"bpagg/internal/word"
+)
+
+// GroupBy A/B experiment: the single-pass bit-sliced partition engine
+// (one traversal of the grouping column discovers every key and refines
+// the filter into per-group selection words; banked kernels answer the
+// aggregate for all groups in one traversal of the measure column)
+// against the legacy per-group path (G discovery scans, then G
+// independent aggregate passes). The cardinality sweep G ∈ {4, 16, 64,
+// 256} tracks the paths' asymmetry: legacy traffic grows linearly in G
+// while single-pass traffic is G-independent, so the speedup should
+// approach G× for the aggregate phase. Measurements are interleaved
+// like the fused experiment's so drift lands on both sides.
+
+// GroupByRow is one single-pass vs legacy grouped comparison.
+type GroupByRow struct {
+	Layout   string  // "VBP" | "HBP"
+	Agg      string  // "SUM" | "MIN"
+	G        int     // group cardinality
+	LegacyNs float64 // legacy per-group ns/tuple (median of rounds)
+	SingleNs float64 // single-pass ns/tuple (median of rounds)
+	Speedup  float64 // LegacyNs / SingleNs
+}
+
+// GroupBy runs the grid: layout × cardinality × aggregate, full grouped
+// query (partition + aggregate) per iteration, single-threaded for a
+// noise-free A/B.
+func GroupBy(cfg Config) []GroupByRow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	max := word.LowMask(cfg.K)
+	vals := make([]uint64, cfg.N)
+	for i := range vals {
+		vals[i] = rng.Uint64() & max
+	}
+
+	var rows []GroupByRow
+	for _, layout := range []bpagg.Layout{bpagg.VBP, bpagg.HBP} {
+		for _, G := range []int{4, 16, 64, 256} {
+			kg := 1
+			for 1<<kg < G {
+				kg++
+			}
+			keys := make([]uint64, cfg.N)
+			for i := range keys {
+				keys[i] = uint64(rng.Intn(G))
+			}
+			tbl := bpagg.NewTableFromColumns(
+				[]string{"g", "x"},
+				[]*bpagg.Column{
+					bpagg.FromValues(layout, kg, keys),
+					bpagg.FromValues(layout, cfg.K, vals),
+				},
+			)
+			if !tbl.Query().GroupBy("g").SinglePass() {
+				panic(fmt.Sprintf("bench: G=%d %s grouped query did not take the single-pass path", G, layout))
+			}
+			for _, agg := range []struct {
+				name string
+				run  func(g *bpagg.Grouped)
+			}{
+				{"SUM", func(g *bpagg.Grouped) { g.Sum("x") }},
+				{"MIN", func(g *bpagg.Grouped) { g.Min("x") }},
+			} {
+				legacy := func() {
+					q := tbl.Query()
+					q.Selection() // materialize: forces the per-group walk
+					agg.run(q.GroupBy("g"))
+				}
+				single := func() {
+					agg.run(tbl.Query().GroupBy("g"))
+				}
+				legacyNs, singleNs := measureAB(cfg.N, cfg.MinTime, legacy, single)
+				rows = append(rows, GroupByRow{
+					Layout: layout.String(), Agg: agg.name, G: G,
+					LegacyNs: legacyNs, SingleNs: singleNs, Speedup: legacyNs / singleNs,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// PrintGroupBy renders the grouped A/B grid.
+func PrintGroupBy(w io.Writer, rows []GroupByRow, cfg Config) {
+	fmt.Fprintln(w, "GroupBy — single-pass bit-sliced partition vs legacy per-group walk")
+	fmt.Fprintf(w, "(k=%d; no filter; single thread; partition + aggregate per iteration; interleaved medians of %d rounds)\n",
+		cfg.K, fusedRounds)
+	fmt.Fprintf(w, "%-7s %-6s %5s %14s %14s %9s\n",
+		"layout", "agg", "G", "legacy ns/t", "single ns/t", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %-6s %5d %14.3f %14.3f %8.2fx\n",
+			r.Layout, r.Agg, r.G, r.LegacyNs, r.SingleNs, r.Speedup)
+	}
+}

@@ -19,16 +19,17 @@ const ReportSchema = "bpagg-bench/v1"
 
 // Report is the machine-readable form of one benchmark run.
 type Report struct {
-	Schema    string       `json:"schema"`
-	Timestamp string       `json:"timestamp"` // RFC 3339, UTC
-	Host      ReportHost   `json:"host"`
-	Config    ReportConfig `json:"config"`
-	Fig5      []MicroJSON  `json:"fig5,omitempty"`
-	Fig6      []MicroJSON  `json:"fig6,omitempty"`
-	Fig7      []MicroJSON  `json:"fig7,omitempty"`
-	Fig8      []Fig8JSON   `json:"fig8,omitempty"`
-	Table2    []Table2JSON `json:"table2,omitempty"`
-	Fused     []FusedJSON  `json:"fused,omitempty"`
+	Schema    string        `json:"schema"`
+	Timestamp string        `json:"timestamp"` // RFC 3339, UTC
+	Host      ReportHost    `json:"host"`
+	Config    ReportConfig  `json:"config"`
+	Fig5      []MicroJSON   `json:"fig5,omitempty"`
+	Fig6      []MicroJSON   `json:"fig6,omitempty"`
+	Fig7      []MicroJSON   `json:"fig7,omitempty"`
+	Fig8      []Fig8JSON    `json:"fig8,omitempty"`
+	Table2    []Table2JSON  `json:"table2,omitempty"`
+	Fused     []FusedJSON   `json:"fused,omitempty"`
+	GroupBy   []GroupByJSON `json:"groupby,omitempty"`
 }
 
 // ReportHost records the machine the run happened on — enough to know
@@ -184,6 +185,29 @@ func (r *Report) AddFused(rows []FusedRow) {
 		r.Fused = append(r.Fused, FusedJSON{
 			Layout: row.Layout, Agg: row.Agg, Mix: row.Mix,
 			TwoPhaseNs: row.TwoNs, FusedNs: row.FusedNs, Speedup: row.Speedup,
+		})
+	}
+}
+
+// GroupByJSON is a GroupByRow in the report.
+type GroupByJSON struct {
+	Layout   string  `json:"layout"`
+	Agg      string  `json:"agg"`
+	G        int     `json:"groups"`
+	LegacyNs float64 `json:"legacy_ns_per_tuple"`
+	SingleNs float64 `json:"single_pass_ns_per_tuple"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// AddGroupBy records the single-pass-vs-legacy grouped A/B grid.
+func (r *Report) AddGroupBy(rows []GroupByRow) {
+	if r == nil {
+		return
+	}
+	for _, row := range rows {
+		r.GroupBy = append(r.GroupBy, GroupByJSON{
+			Layout: row.Layout, Agg: row.Agg, G: row.G,
+			LegacyNs: row.LegacyNs, SingleNs: row.SingleNs, Speedup: row.Speedup,
 		})
 	}
 }

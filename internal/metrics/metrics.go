@@ -57,6 +57,13 @@ import (
 //     touching a packed word (they contribute nothing to WordsTouched).
 //   - ReconstructedRows: rows materialized by the NBP reconstruction
 //     baseline when the optimizer picks it over the bit-parallel path.
+//   - GroupsDiscovered: distinct group keys found by a single-pass
+//     GROUP BY partition (the legacy per-group walk records Scans
+//     instead — the words-touched relation between the two paths is
+//     pinned in DESIGN.md §12).
+//   - GroupBankWords: non-zero (group, segment) selection words banked
+//     by single-pass group partitioning — the memory footprint of the
+//     per-group selection banks.
 //
 // Timers (nanoseconds, summed):
 //
@@ -78,6 +85,8 @@ type ExecStats struct {
 	RadixRounds         uint64
 	SegmentsCacheServed uint64
 	ReconstructedRows   uint64
+	GroupsDiscovered    uint64
+	GroupBankWords      uint64
 	AggNanos            int64
 	WorkerBusyNanos     int64
 }
@@ -96,6 +105,8 @@ func (s ExecStats) Add(o ExecStats) ExecStats {
 	s.RadixRounds += o.RadixRounds
 	s.SegmentsCacheServed += o.SegmentsCacheServed
 	s.ReconstructedRows += o.ReconstructedRows
+	s.GroupsDiscovered += o.GroupsDiscovered
+	s.GroupBankWords += o.GroupBankWords
 	s.AggNanos += o.AggNanos
 	s.WorkerBusyNanos += o.WorkerBusyNanos
 	return s
@@ -117,6 +128,8 @@ func (s ExecStats) Sub(o ExecStats) ExecStats {
 	s.RadixRounds -= o.RadixRounds
 	s.SegmentsCacheServed -= o.SegmentsCacheServed
 	s.ReconstructedRows -= o.ReconstructedRows
+	s.GroupsDiscovered -= o.GroupsDiscovered
+	s.GroupBankWords -= o.GroupBankWords
 	s.AggNanos -= o.AggNanos
 	s.WorkerBusyNanos -= o.WorkerBusyNanos
 	return s
@@ -171,6 +184,8 @@ type Collector struct {
 	radixRounds         atomic.Uint64
 	segmentsCacheServed atomic.Uint64
 	reconstructedRows   atomic.Uint64
+	groupsDiscovered    atomic.Uint64
+	groupBankWords      atomic.Uint64
 	aggNanos            atomic.Int64
 	workerBusyNanos     atomic.Int64
 }
@@ -221,6 +236,12 @@ func (c *Collector) Record(s ExecStats) {
 	if s.ReconstructedRows != 0 {
 		c.reconstructedRows.Add(s.ReconstructedRows)
 	}
+	if s.GroupsDiscovered != 0 {
+		c.groupsDiscovered.Add(s.GroupsDiscovered)
+	}
+	if s.GroupBankWords != 0 {
+		c.groupBankWords.Add(s.GroupBankWords)
+	}
 	if s.AggNanos != 0 {
 		c.aggNanos.Add(s.AggNanos)
 	}
@@ -250,6 +271,8 @@ func (c *Collector) Snapshot() ExecStats {
 		RadixRounds:         c.radixRounds.Load(),
 		SegmentsCacheServed: c.segmentsCacheServed.Load(),
 		ReconstructedRows:   c.reconstructedRows.Load(),
+		GroupsDiscovered:    c.groupsDiscovered.Load(),
+		GroupBankWords:      c.groupBankWords.Load(),
 		AggNanos:            c.aggNanos.Load(),
 		WorkerBusyNanos:     c.workerBusyNanos.Load(),
 	}
@@ -273,6 +296,8 @@ func (c *Collector) Reset() {
 	c.radixRounds.Store(0)
 	c.segmentsCacheServed.Store(0)
 	c.reconstructedRows.Store(0)
+	c.groupsDiscovered.Store(0)
+	c.groupBankWords.Store(0)
 	c.aggNanos.Store(0)
 	c.workerBusyNanos.Store(0)
 }

@@ -163,8 +163,10 @@ func Check(c Case) error {
 				}
 			}
 			if c.G != nil {
-				if err := checkGroupBy(&c, exp, st.name, st.tbl, th); err != nil {
-					return err
+				for _, route := range []string{"singlepass", "legacy"} {
+					if err := checkGroupBy(&c, exp, st.name, st.tbl, th, route); err != nil {
+						return err
+					}
 				}
 			}
 		}
@@ -539,14 +541,30 @@ func checkColumn(c *Case, exp *expectation, state string, tbl *bpagg.Table, th i
 	return nil
 }
 
-// checkGroupBy compares GROUP BY keys and per-group aggregates.
-func checkGroupBy(c *Case, exp *expectation, state string, tbl *bpagg.Table, th int) error {
-	e := tag{c, state, "groupby", th}
+// checkGroupBy compares GROUP BY keys and per-group aggregates. route
+// selects the partition engine: "singlepass" leaves the query lazy so
+// GroupBy takes the single-pass bit-sliced path, "legacy" materializes
+// the selection first, which gates it off and forces the per-group
+// MIN/Equal walk. Both must agree with the naive oracle bit for bit.
+func checkGroupBy(c *Case, exp *expectation, state string, tbl *bpagg.Table, th int, route string) error {
+	e := tag{c, state, "groupby-" + route, th}
 	keys, groups := exp.og.GroupBy(exp.sel)
 
-	g, err := capture1(func() *bpagg.Grouped { return newQuery(c, tbl, th).GroupBy("g") })
+	g, err := capture1(func() *bpagg.Grouped {
+		q := newQuery(c, tbl, th)
+		if route == "legacy" {
+			q.Selection()
+		}
+		return q.GroupBy("g")
+	})
 	if err != nil {
 		return e.fail("GROUPBY", "unexpected panic: %v", err)
+	}
+	switch {
+	case route == "legacy" && g.SinglePass():
+		return e.fail("GROUPBY", "materialized selection must force the legacy walk")
+	case route == "singlepass" && !g.SinglePass() && len(keys) <= bpagg.MaxSinglePassGroups:
+		return e.fail("GROUPBY", "lazy query should take the single-pass path (%d keys)", len(keys))
 	}
 	if ferr := cmpSlice(e, "KEYS", g.Keys(), keys); ferr != nil {
 		return ferr

@@ -1,0 +1,276 @@
+package parallel
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/hbp"
+	"bpagg/internal/metrics"
+	"bpagg/internal/vbp"
+)
+
+// Single-pass grouped drivers. The partition drivers split the segment
+// range across workers, each of which banks per-group selection words
+// for its own range (core.GroupBank), then merge the banks into one
+// sorted key list and one dense selection bitmap per key. Worker ranges
+// are disjoint and the key union is sorted, so the merged result is
+// deterministic for any thread count. The banked aggregate drivers give
+// every worker its own accumulators and combine them in ascending
+// worker order — the same deterministic-combine discipline as the
+// scalar drivers.
+
+// VBPGroupPartitionCtx partitions the filter across all group keys of a
+// VBP grouping column in one pass. It returns the discovered keys in
+// ascending order with one selection bitmap per key, or
+// core.ErrGroupCardinality past core.MaxGroups distinct keys.
+func VBPGroupPartitionCtx(ctx context.Context, col *vbp.Column, f *bitvec.Bitmap, o Options) ([]uint64, []*bitvec.Bitmap, error) {
+	return groupPartitionCtx(ctx, col.NumSegments(), col.Len(), 64, col.K(), o,
+		func(bank *core.GroupBank, lo, hi int, st *core.GroupStats) error {
+			return core.VBPGroupPartitionRange(col, f, bank, lo, hi, st)
+		})
+}
+
+// HBPGroupPartitionCtx is the HBP twin of VBPGroupPartitionCtx.
+func HBPGroupPartitionCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, o Options) ([]uint64, []*bitvec.Bitmap, error) {
+	return groupPartitionCtx(ctx, col.NumSegments(), col.Len(), col.ValuesPerSegment(), col.K(), o,
+		func(bank *core.GroupBank, lo, hi int, st *core.GroupStats) error {
+			return core.HBPGroupPartitionRange(col, f, bank, lo, hi, st)
+		})
+}
+
+func groupPartitionCtx(ctx context.Context, nseg, n, vps, keyK int, o Options,
+	run func(bank *core.GroupBank, lo, hi int, st *core.GroupStats) error) ([]uint64, []*bitvec.Bitmap, error) {
+	var start time.Time
+	if o.Stats != nil {
+		start = time.Now()
+	}
+	parts := partition(nseg, o.threads())
+	banks := make([]*core.GroupBank, len(parts))
+	gsts := make([]core.GroupStats, len(parts))
+	busy := make([]int64, len(parts))
+	for i, p := range parts {
+		banks[i] = core.NewGroupBank(p[0], p[1])
+		banks[i].EnableDirect(keyK)
+	}
+	if _, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+		var t0 time.Time
+		if o.Stats != nil {
+			t0 = time.Now()
+		}
+		err := run(banks[w], lo, hi, &gsts[w])
+		if o.Stats != nil {
+			busy[w] += time.Since(t0).Nanoseconds()
+		}
+		return err
+	}); err != nil {
+		return nil, nil, err
+	}
+
+	// Union the per-worker key sets, sorted ascending.
+	var keys []uint64
+	for _, b := range banks {
+		keys = append(keys, b.Keys...)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dedup := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != dedup[len(dedup)-1] {
+			dedup = append(dedup, k)
+		}
+	}
+	keys = dedup
+	if len(keys) > core.MaxGroups {
+		return nil, nil, core.ErrGroupCardinality
+	}
+
+	sels := make([]*bitvec.Bitmap, len(keys))
+	for i, key := range keys {
+		bm := bitvec.New(n)
+		for _, bank := range banks {
+			ws, ok := bank.Lookup(key)
+			if !ok {
+				continue
+			}
+			for si, w := range ws {
+				if w == 0 {
+					continue
+				}
+				if seg := bank.SegLo + si; vps == 64 {
+					bm.SetWord(seg, w)
+				} else {
+					bm.Deposit(seg*vps, vps, w)
+				}
+			}
+		}
+		sels[i] = bm
+	}
+
+	if o.Stats != nil {
+		var gs core.GroupStats
+		var bankWords uint64
+		var busyTotal int64
+		for i := range banks {
+			gs = gs.Add(gsts[i])
+			bankWords += banks[i].BankWords
+			busyTotal += busy[i]
+		}
+		o.Stats.Record(metrics.ExecStats{
+			Scans:               1,
+			SegmentsScanned:     gs.Segments,
+			SegmentsCacheServed: gs.CacheServed,
+			WordsCompared:       gs.Words,
+			GroupsDiscovered:    uint64(len(keys)),
+			GroupBankWords:      bankWords,
+			ScanNanos:           time.Since(start).Nanoseconds(),
+			WorkerBusyNanos:     busyTotal,
+		})
+	}
+	return keys, sels, nil
+}
+
+// groupStatsExtra folds worker GroupStats into the driver-level extra
+// batch merged by statsEnd.
+func groupStatsExtra(gsts []core.GroupStats) metrics.ExecStats {
+	var gs core.GroupStats
+	for i := range gsts {
+		gs = gs.Add(gsts[i])
+	}
+	return metrics.ExecStats{
+		SegmentsAggregated:  gs.Segments,
+		WordsTouched:        gs.Words,
+		SegmentsCacheServed: gs.CacheServed,
+	}
+}
+
+// VBPGroupSumCtx computes the 128-bit SUM of every group's selection in
+// one pass over the measure column. Results are (hi, lo) pairs indexed
+// like sels; hi != 0 marks a uint64 overflow the caller surfaces.
+func VBPGroupSumCtx(ctx context.Context, col *vbp.Column, sels []*bitvec.Bitmap, o Options) ([]uint64, []uint64, error) {
+	k := col.K()
+	nG := len(sels)
+	ws, start := o.statsBegin()
+	parts := partition(col.NumSegments(), o.threads())
+	bSums := make([][]uint64, len(parts))
+	his := make([][]uint64, len(parts))
+	los := make([][]uint64, len(parts))
+	gsts := make([]core.GroupStats, len(parts))
+	for w := range parts {
+		bSums[w] = make([]uint64, nG*k)
+		his[w] = make([]uint64, nG)
+		los[w] = make([]uint64, nG)
+	}
+	if _, err := forEachRangeErr(ctx, col.NumSegments(), o.threads(), func(w, lo, hi int) error {
+		t0 := statsNow(ws)
+		core.VBPGroupSumRange128(col, sels, lo, hi, bSums[w], his[w], los[w], &gsts[w])
+		if ws != nil {
+			busyOnly(ws, w, t0)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for w := 1; w < len(parts); w++ {
+		for i, v := range bSums[w] {
+			bSums[0][i] += v
+		}
+		core.Add128Pairs(his[0], los[0], his[w], los[w])
+	}
+	core.VBPGroupSumFinish(k, bSums[0], his[0], los[0])
+	o.statsEnd(ws, start, groupStatsExtra(gsts))
+	return his[0], los[0], nil
+}
+
+// HBPGroupSumCtx is the HBP twin of VBPGroupSumCtx.
+func HBPGroupSumCtx(ctx context.Context, col *hbp.Column, sels []*bitvec.Bitmap, o Options) ([]uint64, []uint64, error) {
+	b := col.NumGroups()
+	nG := len(sels)
+	ws, start := o.statsBegin()
+	parts := partition(col.NumSegments(), o.threads())
+	ghis := make([][]uint64, len(parts))
+	glos := make([][]uint64, len(parts))
+	his := make([][]uint64, len(parts))
+	los := make([][]uint64, len(parts))
+	gsts := make([]core.GroupStats, len(parts))
+	for w := range parts {
+		ghis[w] = make([]uint64, nG*b)
+		glos[w] = make([]uint64, nG*b)
+		his[w] = make([]uint64, nG)
+		los[w] = make([]uint64, nG)
+	}
+	if _, err := forEachRangeErr(ctx, col.NumSegments(), o.threads(), func(w, lo, hi int) error {
+		t0 := statsNow(ws)
+		core.HBPGroupSumRange128(col, sels, lo, hi, ghis[w], glos[w], his[w], los[w], &gsts[w])
+		if ws != nil {
+			busyOnly(ws, w, t0)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for w := 1; w < len(parts); w++ {
+		core.Add128Pairs(ghis[0], glos[0], ghis[w], glos[w])
+		core.Add128Pairs(his[0], los[0], his[w], los[w])
+	}
+	core.HBPGroupSumFinish(b, col.Tau(), ghis[0], glos[0], his[0], los[0])
+	o.statsEnd(ws, start, groupStatsExtra(gsts))
+	return his[0], los[0], nil
+}
+
+// VBPGroupExtremeCtx computes MIN (or MAX) of every group's selection in
+// one pass over the measure column. anys[i] is false for a group whose
+// selection turned out empty on this column (cannot happen for
+// selections produced by the partition drivers).
+func VBPGroupExtremeCtx(ctx context.Context, col *vbp.Column, sels []*bitvec.Bitmap, wantMin bool, o Options) ([]uint64, []bool, error) {
+	return groupExtremeCtx(ctx, col.NumSegments(), len(sels), wantMin, o,
+		func(lo, hi int, bests []uint64, anys []bool, st *core.GroupStats) {
+			core.VBPGroupExtremeRange(col, sels, wantMin, lo, hi, bests, anys, st)
+		})
+}
+
+// HBPGroupExtremeCtx is the HBP twin of VBPGroupExtremeCtx.
+func HBPGroupExtremeCtx(ctx context.Context, col *hbp.Column, sels []*bitvec.Bitmap, wantMin bool, o Options) ([]uint64, []bool, error) {
+	return groupExtremeCtx(ctx, col.NumSegments(), len(sels), wantMin, o,
+		func(lo, hi int, bests []uint64, anys []bool, st *core.GroupStats) {
+			core.HBPGroupExtremeRange(col, sels, wantMin, lo, hi, bests, anys, st)
+		})
+}
+
+func groupExtremeCtx(ctx context.Context, nseg, nG int, wantMin bool, o Options,
+	run func(lo, hi int, bests []uint64, anys []bool, st *core.GroupStats)) ([]uint64, []bool, error) {
+	ws, start := o.statsBegin()
+	parts := partition(nseg, o.threads())
+	bests := make([][]uint64, len(parts))
+	anys := make([][]bool, len(parts))
+	gsts := make([]core.GroupStats, len(parts))
+	for w := range parts {
+		bests[w] = make([]uint64, nG)
+		anys[w] = make([]bool, nG)
+	}
+	if _, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+		t0 := statsNow(ws)
+		run(lo, hi, bests[w], anys[w], &gsts[w])
+		if ws != nil {
+			busyOnly(ws, w, t0)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for w := 1; w < len(parts); w++ {
+		for gi := range bests[0] {
+			if !anys[w][gi] {
+				continue
+			}
+			v := bests[w][gi]
+			if !anys[0][gi] || wantMin && v < bests[0][gi] || !wantMin && v > bests[0][gi] {
+				bests[0][gi] = v
+			}
+			anys[0][gi] = true
+		}
+	}
+	o.statsEnd(ws, start, groupStatsExtra(gsts))
+	return bests[0], anys[0], nil
+}

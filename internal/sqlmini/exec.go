@@ -100,6 +100,15 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		} else if ok {
 			return &Result{Headers: headers(q, false), Rows: [][]string{row}}, nil
 		}
+	} else {
+		// Grouped twin: single-pass partition + banked aggregates when the
+		// query qualifies (see group_fast.go). Otherwise fall through to
+		// the per-group walk below.
+		if rows, ok, err := tryGroupedRows(ctx, cat, q, o); err != nil {
+			return nil, err
+		} else if ok {
+			return &Result{Headers: headers(q, true), Rows: rows}, nil
+		}
 	}
 
 	sel, err := bindWhere(cat, q.Where, o.Stats)

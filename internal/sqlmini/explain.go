@@ -39,7 +39,7 @@ import (
 // PlanNode is one stage of an executed EXPLAIN ANALYZE plan.
 type PlanNode struct {
 	// Op identifies the stage: "query", "aggregate", "group", "combine",
-	// "scan", or "scan+agg (fused)".
+	// "scan", "scan+agg (fused)", or "group+agg (single-pass)".
 	Op string
 	// Detail is the stage's SQL-ish description (predicate, aggregate
 	// list, grouping column).
@@ -118,6 +118,49 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 					Rows:     1,
 					Wall:     time.Since(queryStart),
 					Children: []*PlanNode{fused},
+				}
+				if o.Stats != nil {
+					recordTree(o.Stats, root)
+				}
+				return &ExplainResult{Root: root}, nil
+			}
+		}
+	}
+
+	// Grouped single-pass plan: like the fused plan, the executor's
+	// routing gate is reproduced exactly (groupSinglePassEligible is
+	// complete — the dictionary bound rules out the runtime cardinality
+	// fallback), so the plan shows the one stage that really runs:
+	//
+	//	query
+	//	└─ group+agg (single-pass) ...
+	if q.GroupBy != "" {
+		if bps, ok := groupSinglePassEligible(cat, q, o); ok {
+			rec := bpagg.NewStatsCollector()
+			bq, err := buildFusedQuery(cat, bps, o, rec)
+			if err == nil {
+				oa := o
+				oa.Stats = rec
+				t0 := time.Now()
+				g, err := bq.GroupByContext(ctx, q.GroupBy)
+				if err != nil {
+					return nil, err
+				}
+				if _, err := groupedRows(ctx, cat, q, g, oa); err != nil {
+					return nil, err
+				}
+				node := &PlanNode{
+					Op:     "group+agg (single-pass)",
+					Detail: groupFastDetail(q),
+					Rows:   uint64(g.Len()),
+					Stats:  rec.Snapshot(),
+					Wall:   time.Since(t0),
+				}
+				root := &PlanNode{
+					Op:       "query",
+					Rows:     uint64(g.Len()),
+					Wall:     time.Since(queryStart),
+					Children: []*PlanNode{node},
 				}
 				if o.Stats != nil {
 					recordTree(o.Stats, root)
@@ -328,6 +371,16 @@ func (n *PlanNode) describe(norm bool) string {
 		if n.Stats.RadixRounds > 0 {
 			add("radix_rounds=%d", n.Stats.RadixRounds)
 		}
+		add("busy=%s", dur(n.Stats.WorkerBusy()))
+		add("time=%s", dur(n.Wall))
+	case "group+agg (single-pass)":
+		add("groups=%d", n.Stats.GroupsDiscovered)
+		add("aggs=%d", n.Stats.Aggregates)
+		add("scans=%d", n.Stats.Scans)
+		add("cache_served=%d", n.Stats.SegmentsCacheServed)
+		add("words_compared=%d", n.Stats.WordsCompared)
+		add("words_touched=%d", n.Stats.WordsTouched)
+		add("bank_words=%d", n.Stats.GroupBankWords)
 		add("busy=%s", dur(n.Stats.WorkerBusy()))
 		add("time=%s", dur(n.Wall))
 	case "aggregate":

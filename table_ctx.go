@@ -3,6 +3,7 @@ package bpagg
 import (
 	"context"
 	"fmt"
+	"time"
 )
 
 // Error-returning and context-aware query layer: the hardened twins of
@@ -168,16 +169,22 @@ func (q *Query) QuantileContext(ctx context.Context, column string, quantile flo
 }
 
 // GroupByContext partitions the query's selection by the named column's
-// distinct values, honoring ctx between group-discovery steps. Each
+// distinct values, honoring ctx. Qualifying queries run the single-pass
+// partition (see GroupBy); otherwise the legacy walk runs, where each
 // step is one MIN plus one equality scan (the strictly-greater residual
-// is derived from the equality bitmap, see GroupBy), so a canceled
-// context stops the walk after the current group. Scans record into the
-// query's stats collector like GroupBy's.
+// is derived from the equality bitmap), so a canceled context stops the
+// walk after the current group. Either path records into the query's
+// stats collector.
 func (q *Query) GroupByContext(ctx context.Context, column string) (*Grouped, error) {
 	ctx = orBackground(ctx)
 	col, err := q.t.ColumnErr(column)
 	if err != nil {
 		return nil, err
+	}
+	if g, ok, err := q.groupSinglePass(ctx, col); err != nil {
+		return nil, err
+	} else if ok {
+		return g, nil
 	}
 	g := &Grouped{q: q}
 	base := q.Selection()
@@ -199,9 +206,11 @@ func (q *Query) GroupByContext(ctx context.Context, column string) (*Grouped, er
 }
 
 // CountContext returns each group's row count, honoring ctx between
-// groups.
+// groups. Like Count, the popcounts record into the query's stats
+// collector as one aggregate per group.
 func (g *Grouped) CountContext(ctx context.Context) ([]uint64, error) {
 	ctx = orBackground(ctx)
+	start := time.Now()
 	out := make([]uint64, len(g.keys))
 	for i, sel := range g.sels {
 		if err := ctx.Err(); err != nil {
@@ -209,15 +218,23 @@ func (g *Grouped) CountContext(ctx context.Context) ([]uint64, error) {
 		}
 		out[i] = uint64(sel.Count())
 	}
+	g.q.stats.Record(ExecStats{
+		Aggregates: uint64(len(g.sels)),
+		AggNanos:   time.Since(start).Nanoseconds(),
+	})
 	return out, nil
 }
 
 // SumContext aggregates SUM of the named column per group, honoring
-// ctx.
+// ctx. A group whose sum exceeds uint64 returns an *OverflowError
+// carrying the exact 128-bit total.
 func (g *Grouped) SumContext(ctx context.Context, column string) ([]uint64, error) {
 	col, err := g.q.colErr(column)
 	if err != nil {
 		return nil, err
+	}
+	if o, ok := g.banked(col); ok {
+		return g.bankedSum(orBackground(ctx), col, o)
 	}
 	out := make([]uint64, len(g.keys))
 	for i, sel := range g.sels {
@@ -233,12 +250,35 @@ func (g *Grouped) SumContext(ctx context.Context, column string) ([]uint64, erro
 // MinContext aggregates MIN of the named column per group, honoring
 // ctx. Groups are non-empty by construction, so no ok flags are needed.
 func (g *Grouped) MinContext(ctx context.Context, column string) ([]uint64, error) {
-	return g.eachContext(ctx, column, (*Column).MinContext)
+	return g.extremeContext(ctx, column, true)
 }
 
 // MaxContext aggregates MAX of the named column per group, honoring
 // ctx.
 func (g *Grouped) MaxContext(ctx context.Context, column string) ([]uint64, error) {
+	return g.extremeContext(ctx, column, false)
+}
+
+func (g *Grouped) extremeContext(ctx context.Context, column string, wantMin bool) ([]uint64, error) {
+	col, err := g.q.colErr(column)
+	if err != nil {
+		return nil, err
+	}
+	if o, ok := g.banked(col); ok {
+		vals, anys, err := g.bankedExtreme(orBackground(ctx), col, o, wantMin)
+		if err != nil {
+			return nil, err
+		}
+		for _, any := range anys {
+			if !any {
+				return nil, fmt.Errorf("bpagg: empty group selection — grouping invariant violated")
+			}
+		}
+		return vals, nil
+	}
+	if wantMin {
+		return g.eachContext(ctx, column, (*Column).MinContext)
+	}
 	return g.eachContext(ctx, column, (*Column).MaxContext)
 }
 
@@ -249,11 +289,15 @@ func (g *Grouped) MedianContext(ctx context.Context, column string) ([]uint64, e
 }
 
 // AvgContext aggregates AVG of the named column per group, honoring
-// ctx.
+// ctx. A group whose running sum exceeds uint64 returns an
+// *OverflowError carrying the exact 128-bit total.
 func (g *Grouped) AvgContext(ctx context.Context, column string) ([]float64, error) {
 	col, err := g.q.colErr(column)
 	if err != nil {
 		return nil, err
+	}
+	if o, ok := g.banked(col); ok {
+		return g.bankedAvg(orBackground(ctx), col, o)
 	}
 	out := make([]float64, len(g.keys))
 	for i, sel := range g.sels {
