@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet race ci bench bench-json clean
+.PHONY: build test vet race server-race ci bench bench-json clean
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
-ci: vet build test race
+# server-race runs the bpaggd chaos suite (admission, deadlines, drain,
+# shared-scan batching under injected faults) with the race detector and
+# a hard wall-clock budget: a deadlock or goroutine leak fails as a
+# timeout instead of hanging CI.
+server-race:
+	$(GO) test -race -timeout 60s -count=1 ./internal/server/...
+
+ci: vet build test race server-race
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | groupby | oracle-soak | all")
+		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | groupby | concurrent-clients | oracle-soak | all")
 		n          = flag.Int("n", 4<<20, "tuples per micro-benchmark column")
 		k          = flag.Int("k", 25, "default value width in bits")
 		sel        = flag.Float64("sel", 0.1, "default filter selectivity")
@@ -105,6 +105,14 @@ func main() {
 			rows := bench.GroupBy(cfg)
 			bench.PrintGroupBy(os.Stdout, rows, cfg)
 			report.AddGroupBy(rows)
+		case "concurrent-clients":
+			rows, err := bench.ConcurrentClients(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "concurrent-clients:", err)
+				os.Exit(1)
+			}
+			bench.PrintServer(os.Stdout, rows)
+			report.AddServer(rows)
 		case "oracle-soak":
 			// Correctness soak, not a benchmark: the Deep differential
 			// sweep over [seed, seed+soak-seeds). Excluded from "all".
@@ -120,7 +128,7 @@ func main() {
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2", "fused", "groupby"} {
+		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2", "fused", "groupby", "concurrent-clients"} {
 			run(name)
 		}
 	} else {

@@ -214,6 +214,18 @@ func runQuery(ctx context.Context, cat *catalog.Catalog, sql string, opts sqlmin
 	}
 	start := time.Now()
 	res, err := sqlmini.ExecuteContext(ctx, cat, q, opts)
+	if opts.Stats != nil {
+		// ExecuteContext joins every worker goroutine before returning —
+		// including on ctrl-C and deadline expiry — so the collector is
+		// quiescent here and -stats can report the work actually done
+		// (partial on a canceled query) without racing a straggler's
+		// Record or truncating mid-write. Snapshot-and-reset so each REPL
+		// query reports its own numbers.
+		defer func() {
+			printStats(opts.Stats.Snapshot())
+			opts.Stats.Reset()
+		}()
+	}
 	if err != nil {
 		if errors.Is(err, context.DeadlineExceeded) && timeout > 0 {
 			return fmt.Errorf("%w (budget %v)", err, timeout)
@@ -223,11 +235,6 @@ func runQuery(ctx context.Context, cat *catalog.Catalog, sql string, opts sqlmin
 	printResult(res)
 	fmt.Printf("(%d row(s) over %d tuples in %v)\n",
 		len(res.Rows), cat.Table.Rows(), time.Since(start).Round(time.Microsecond))
-	if opts.Stats != nil {
-		// Snapshot-and-reset so each REPL query reports its own numbers.
-		printStats(opts.Stats.Snapshot())
-		opts.Stats.Reset()
-	}
 	return nil
 }
 

@@ -1,0 +1,125 @@
+package bpagg
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"bpagg/internal/core"
+	"bpagg/internal/faultinject"
+	"bpagg/internal/parallel"
+)
+
+// TestErrorContract pins the error classification surface the serving
+// layer depends on: every engine failure mode must satisfy errors.Is/As
+// through arbitrary fmt.Errorf("%w") wrapping, so HTTP status mapping
+// (internal/server.statusFor) never needs string sniffing. Each case
+// produces its error from a REAL execution path, not a hand-built value
+// — if a path stops returning the typed error, this test is what breaks.
+func TestErrorContract(t *testing.T) {
+	defer faultinject.Reset()
+
+	overflowErr := func() error {
+		// Two max-width values: 2·(2^64−1) cannot fit in uint64, so the
+		// checked kernels must return the exact 128-bit total.
+		tbl := NewTable()
+		tbl.AddColumn("v", VBP, 64)
+		tbl.AppendColumnar(map[string][]uint64{"v": {^uint64(0), ^uint64(0)}})
+		_, err := tbl.Query().SumContext(context.Background(), "v")
+		return err
+	}
+
+	panicErr := func() error {
+		faultinject.Set(faultinject.SiteWorkerStart, func(args ...any) error {
+			if args[0].(int) == 1 {
+				panic("injected corrupt segment")
+			}
+			return nil
+		})
+		defer faultinject.Reset()
+		col, sel := bigColumn(t, VBP, 64*512, 16)
+		_, err := col.SumContext(context.Background(), sel, Parallel(4))
+		return err
+	}
+
+	deadlineErr := func() error {
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Minute))
+		defer cancel()
+		col, sel := bigColumn(t, HBP, 64*512, 16)
+		_, err := col.SumContext(ctx, sel, Parallel(2))
+		return err
+	}
+
+	cancelErr := func() error {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		col, sel := bigColumn(t, VBP, 64*512, 16)
+		_, _, err := col.MedianContext(ctx, sel)
+		return err
+	}
+
+	cardinalityErr := func() error {
+		// Drive the partition kernel directly with > MaxGroups distinct
+		// keys; the public GroupBy swallows this signal into the legacy
+		// fallback, but kernel callers (and the serving layer, via the
+		// exported sentinel) observe it as an error.
+		n := (core.MaxGroups + 1) * 64
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(i / 64)
+		}
+		col := FromValues(VBP, 16, vals)
+		_, _, err := parallel.VBPGroupPartitionCtx(context.Background(), col.v, col.All().b, parallel.Options{})
+		return err
+	}
+
+	cases := []struct {
+		name string
+		make func() error
+		want func(error) bool
+	}{
+		{"overflow errors.As", overflowErr, func(err error) bool {
+			var oe *OverflowError
+			return errors.As(err, &oe) && oe.Hi == 1
+		}},
+		{"panic errors.As", panicErr, func(err error) bool {
+			var pe *PanicError
+			return errors.As(err, &pe) && pe.Worker == 1 && len(pe.Stack) > 0
+		}},
+		{"deadline errors.Is", deadlineErr, func(err error) bool {
+			return errors.Is(err, context.DeadlineExceeded)
+		}},
+		{"canceled errors.Is", cancelErr, func(err error) bool {
+			return errors.Is(err, context.Canceled)
+		}},
+		{"group cardinality errors.Is", cardinalityErr, func(err error) bool {
+			return errors.Is(err, ErrGroupCardinality)
+		}},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.make()
+			if err == nil {
+				t.Fatal("execution path returned nil; expected a typed error")
+			}
+			if !tc.want(err) {
+				t.Fatalf("raw error %v (%T) does not satisfy the contract", err, err)
+			}
+			// The contract must survive wrapping — twice, because serving
+			// layers and callers both annotate.
+			wrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", err))
+			if !tc.want(wrapped) {
+				t.Fatalf("wrapped error %v does not satisfy the contract", wrapped)
+			}
+		})
+	}
+
+	// The exported sentinel IS the internal one — not a lookalike — so
+	// classification agrees on both sides of the internal boundary.
+	if !errors.Is(core.ErrGroupCardinality, ErrGroupCardinality) {
+		t.Error("bpagg.ErrGroupCardinality is not core.ErrGroupCardinality")
+	}
+}

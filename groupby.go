@@ -52,6 +52,16 @@ type Grouped struct {
 // distinct values fall back to the legacy per-group walk.
 const MaxSinglePassGroups = core.MaxGroups
 
+// ErrGroupCardinality reports that a single-pass GROUP BY partition
+// discovered more distinct keys than MaxSinglePassGroups. Inside the
+// engine it is a fallback signal (GroupBy silently reruns the legacy
+// per-group walk), so it normally never escapes; it is exported so
+// callers that drive the partition kernels directly — and serving-layer
+// error→status mappings — can classify it with errors.Is. The sentinel
+// is wrap-stable: errors.Is matches it through any fmt.Errorf("%w")
+// chain (pinned by the error-contract table test).
+var ErrGroupCardinality = core.ErrGroupCardinality
+
 // SinglePass reports whether this partition was built by the
 // single-pass engine (EXPLAIN support). Banked per-group aggregate
 // kernels are only available on single-pass partitions.

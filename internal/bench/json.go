@@ -30,6 +30,7 @@ type Report struct {
 	Table2    []Table2JSON  `json:"table2,omitempty"`
 	Fused     []FusedJSON   `json:"fused,omitempty"`
 	GroupBy   []GroupByJSON `json:"groupby,omitempty"`
+	Server    []ServerJSON  `json:"concurrent_clients,omitempty"`
 }
 
 // ReportHost records the machine the run happened on — enough to know
@@ -208,6 +209,35 @@ func (r *Report) AddGroupBy(rows []GroupByRow) {
 		r.GroupBy = append(r.GroupBy, GroupByJSON{
 			Layout: row.Layout, Agg: row.Agg, G: row.G,
 			LegacyNs: row.LegacyNs, SingleNs: row.SingleNs, Speedup: row.Speedup,
+		})
+	}
+}
+
+// ServerJSON is a ServerRow in the report.
+type ServerJSON struct {
+	Mode         string  `json:"mode"`
+	Clients      int     `json:"clients"`
+	Requests     int     `json:"requests"`
+	QPS          float64 `json:"qps"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	WordsTouched uint64  `json:"words_touched"`
+	Scans        uint64  `json:"scans"`
+	Batches      uint64  `json:"batches"`
+	Batched      uint64  `json:"batched"`
+}
+
+// AddServer records the concurrent-clients serving A/B.
+func (r *Report) AddServer(rows []ServerRow) {
+	if r == nil {
+		return
+	}
+	for _, row := range rows {
+		r.Server = append(r.Server, ServerJSON{
+			Mode: row.Mode, Clients: row.Clients, Requests: row.Requests,
+			QPS: row.QPS, P50Ms: row.P50Ms, P99Ms: row.P99Ms,
+			WordsTouched: row.WordsTouched, Scans: row.Scans,
+			Batches: row.Batches, Batched: row.Batched,
 		})
 	}
 }

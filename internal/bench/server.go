@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"bpagg/internal/catalog"
+	"bpagg/internal/server"
+)
+
+// Concurrent-clients experiment: many clients firing aggregate queries
+// that share one predicate class at bpaggd's serving layer, measured
+// with shared-scan batching on and off. The batched mode must show the
+// multi-query amortization the paper exploits intra-query: total
+// WordsTouched (packed words read by kernels) collapses because one
+// traversal answers many queries.
+
+// ServerRow is one serving-mode measurement.
+type ServerRow struct {
+	Mode         string  // "unbatched" | "batched"
+	Clients      int     // concurrent clients
+	Requests     int     // total requests answered
+	QPS          float64 // answered / wall time
+	P50Ms        float64
+	P99Ms        float64
+	WordsTouched uint64 // engine totals across the run
+	Scans        uint64
+	Batches      uint64 // shared batches executed (0 when unbatched)
+	Batched      uint64 // requests answered from a shared batch
+}
+
+// serverCatalog packs a two-column table for the serving benchmark. The
+// row count is deliberately smaller than the micro-benchmark N: the
+// interesting axis here is concurrency, not column length.
+func serverCatalog(cfg Config) (*catalog.Catalog, error) {
+	n := cfg.N / 16
+	if n < 1<<16 {
+		n = 1 << 16
+	}
+	specs, err := catalog.ParseSchema("g:uint(4):vbp, v:uint(20):vbp")
+	if err != nil {
+		return nil, err
+	}
+	var b strings.Builder
+	b.WriteString("g,v\n")
+	rng := newSplitMix(uint64(cfg.Seed))
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,%d\n", rng.next()&15, rng.next()&((1<<20)-1))
+	}
+	return catalog.LoadCSV(strings.NewReader(b.String()), specs)
+}
+
+// splitMix is a tiny deterministic generator so the benchmark does not
+// depend on math/rand ordering across Go versions.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed + 0x9e3779b97f4a7c15} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// serverQueries is the request mix: one shared predicate class, several
+// distinct aggregates — the shape shared-scan batching amortizes.
+var serverQueries = []string{
+	"SELECT SUM(v) WHERE g < 6",
+	"SELECT COUNT(*) WHERE g < 6",
+	"SELECT AVG(v) WHERE g < 6",
+	"SELECT MIN(v), MAX(v) WHERE g < 6",
+}
+
+// runServerMode drives one serving configuration and reports the row.
+func runServerMode(cat *catalog.Catalog, cfg Config, mode string, disableBatching bool, clients, perClient int) (ServerRow, error) {
+	s, err := server.New(server.Config{
+		Catalog:          cat,
+		MaxConcurrent:    cfg.Threads,
+		MaxQueue:         4 * clients,
+		DefaultTimeout:   30 * time.Second,
+		BatchWindow:      2 * time.Millisecond,
+		BatchMinInflight: 2,
+		MaxBatch:         clients,
+		DisableBatching:  disableBatching,
+	})
+	if err != nil {
+		return ServerRow{}, err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	lat := make([]time.Duration, clients*perClient)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; i < perClient; i++ {
+				sql := serverQueries[(c+i)%len(serverQueries)]
+				t0 := time.Now()
+				resp, err := client.Post(ts.URL+"/query", "text/plain", bytes.NewBufferString(sql))
+				if err != nil {
+					errs[c] = err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs[c] = fmt.Errorf("status %d for %q", resp.StatusCode, sql)
+					return
+				}
+				lat[c*perClient+i] = time.Since(t0)
+			}
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	for _, err := range errs {
+		if err != nil {
+			return ServerRow{}, err
+		}
+	}
+
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(lat)-1))
+		return float64(lat[idx].Microseconds()) / 1000
+	}
+	totals := s.Totals()
+	counters := s.CountersSnapshot()
+	return ServerRow{
+		Mode:         mode,
+		Clients:      clients,
+		Requests:     len(lat),
+		QPS:          float64(len(lat)) / wall.Seconds(),
+		P50Ms:        pct(0.50),
+		P99Ms:        pct(0.99),
+		WordsTouched: totals.WordsTouched,
+		Scans:        totals.Scans,
+		Batches:      counters.Batches,
+		Batched:      counters.Batched,
+	}, nil
+}
+
+// ConcurrentClients measures serving latency and engine work for the
+// same workload with shared-scan batching off and on.
+func ConcurrentClients(cfg Config) ([]ServerRow, error) {
+	cat, err := serverCatalog(cfg)
+	if err != nil {
+		return nil, err
+	}
+	const clients, perClient = 32, 8
+	var rows []ServerRow
+	for _, m := range []struct {
+		mode    string
+		disable bool
+	}{{"unbatched", true}, {"batched", false}} {
+		row, err := runServerMode(cat, cfg, m.mode, m.disable, clients, perClient)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.mode, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// PrintServer renders the concurrent-clients comparison.
+func PrintServer(w io.Writer, rows []ServerRow) {
+	fmt.Fprintln(w, "concurrent-clients: shared-scan batching A/B at the serving layer")
+	fmt.Fprintf(w, "%-10s %8s %8s %10s %9s %9s %14s %8s %8s %8s\n",
+		"mode", "clients", "reqs", "qps", "p50_ms", "p99_ms", "words_touched", "scans", "batches", "batched")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %8d %8d %10.0f %9.2f %9.2f %14d %8d %8d %8d\n",
+			r.Mode, r.Clients, r.Requests, r.QPS, r.P50Ms, r.P99Ms,
+			r.WordsTouched, r.Scans, r.Batches, r.Batched)
+	}
+	if len(rows) == 2 && rows[1].WordsTouched > 0 && rows[0].WordsTouched > rows[1].WordsTouched {
+		fmt.Fprintf(w, "batching reduced words touched %.1fx\n",
+			float64(rows[0].WordsTouched)/float64(rows[1].WordsTouched))
+	}
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// errShed reports an admission refusal because the wait queue is full:
+// the client should back off and retry (HTTP 429 + Retry-After).
+var errShed = errors.New("server: overloaded, admission queue full")
+
+// errDraining reports an admission refusal because the server is
+// shutting down (HTTP 503): retrying against this instance is pointless.
+var errDraining = errors.New("server: draining, not accepting queries")
+
+// admission is the bounded two-stage gate in front of execution:
+//
+//	enter  — counted admission; refuses instantly when draining or when
+//	         MaxQueue requests are already waiting for a slot.
+//	acquire — blocks for one of MaxConcurrent execution slots, giving up
+//	         when the request's context dies first.
+//
+// The split matters for batching: a batch follower is admitted (enter)
+// but never takes a slot — its leader's single slot covers the whole
+// batch — so N coalesced queries consume one unit of execution
+// concurrency, which is the point.
+//
+// The draining flag and the in-house count share one mutex with the
+// WaitGroup's Add, closing the classic Add/Wait race: once beginDrain
+// returns, no later enter can Add, so wait observes a monotonically
+// draining house.
+type admission struct {
+	slots chan struct{}
+
+	mu       sync.Mutex
+	draining bool
+	inHouse  int // admitted requests: waiting + executing
+	maxHouse int // MaxQueue + MaxConcurrent
+	wg       sync.WaitGroup
+}
+
+func (a *admission) init(maxConcurrent, maxQueue int) {
+	a.slots = make(chan struct{}, maxConcurrent)
+	a.maxHouse = maxConcurrent + maxQueue
+}
+
+// enter admits one request or refuses with errShed/errDraining. Every
+// successful enter must be paired with exit.
+func (a *admission) enter() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.draining {
+		return errDraining
+	}
+	if a.inHouse >= a.maxHouse {
+		return errShed
+	}
+	a.inHouse++
+	a.wg.Add(1)
+	return nil
+}
+
+// exit retires one admitted request.
+func (a *admission) exit() {
+	a.mu.Lock()
+	a.inHouse--
+	a.mu.Unlock()
+	a.wg.Done()
+}
+
+// acquire blocks until an execution slot frees up or ctx dies. A nil
+// return must be paired with release.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release frees an execution slot.
+func (a *admission) release() { <-a.slots }
+
+// load reports how many admitted requests are in the house right now —
+// the concurrency signal for the batching gate.
+func (a *admission) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inHouse
+}
+
+func (a *admission) isDraining() bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.draining
+}
+
+// beginDrain stops admission. Idempotent; never blocks.
+func (a *admission) beginDrain() {
+	a.mu.Lock()
+	a.draining = true
+	a.mu.Unlock()
+}
+
+// wait blocks until every admitted request has exited, or ctx dies
+// first; it reports whether the house emptied. Callers must beginDrain
+// first, otherwise new entries can keep the house occupied forever.
+func (a *admission) wait(ctx context.Context) bool {
+	done := make(chan struct{})
+	go func() {
+		a.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-ctx.Done():
+		// The waiter goroutine still exits the moment the house empties:
+		// wg.Wait returns and close(done) runs regardless of anyone
+		// listening.
+		return false
+	}
+}

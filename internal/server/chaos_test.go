@@ -1,0 +1,177 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bpagg/internal/faultinject"
+)
+
+// TestChaos is the acceptance gate of the robustness envelope: 64
+// concurrent clients hammer the server while faultinject drives slow
+// segments and worker panics, clients disconnect mid-request, and
+// per-request timeouts race the engine. The server must answer or shed
+// every request with a sensible status (no hangs, no unexplained 500s),
+// drain cleanly afterwards, and leak zero goroutines.
+func TestChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos suite is not -short")
+	}
+	baseline := runtime.NumGoroutine()
+	defer faultinject.Reset()
+
+	// Deterministic chaos: every 7th worker block is slow, every 29th
+	// worker start panics.
+	var ranges, starts atomic.Uint64
+	faultinject.Set(faultinject.SiteWorkerRange, func(...any) error {
+		if ranges.Add(1)%7 == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		return nil
+	})
+	faultinject.Set(faultinject.SiteWorkerStart, func(...any) error {
+		if starts.Add(1)%29 == 0 {
+			panic("chaos: injected worker fault")
+		}
+		return nil
+	})
+
+	const (
+		clients     = 64
+		perClient   = 12
+		maxParallel = 8
+	)
+	s, err := New(Config{
+		Catalog:          testCatalog(),
+		MaxConcurrent:    maxParallel,
+		MaxQueue:         24,
+		DefaultTimeout:   500 * time.Millisecond,
+		BatchWindow:      time.Millisecond,
+		BatchMinInflight: 4,
+		MaxBatch:         16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	queries := []string{
+		"SELECT SUM(qty), COUNT(*) WHERE region = 'EU'",      // batchable class A
+		"SELECT AVG(price) WHERE region = 'EU'",              // class A again
+		"SELECT SUM(price) WHERE qty >= 100",                 // batchable class B
+		"SELECT MIN(price), MAX(price) GROUP BY region",      // grouped: never batched
+		"SELECT MEDIAN(price) WHERE price BETWEEN 10 AND 90", // rendezvous-heavy
+		"SELECT SUM(nope)",                                   // bad query
+	}
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusBadRequest:          true,
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true, // injected worker panics
+		http.StatusGatewayTimeout:      true,
+		StatusClientClosedRequest:      true,
+	}
+
+	var (
+		sent      atomic.Uint64
+		answered  atomic.Uint64
+		aborted   atomic.Uint64 // client disconnected before the answer
+		badStatus sync.Map
+	)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := &http.Client{}
+			defer client.CloseIdleConnections()
+			for i := 0; i < perClient; i++ {
+				sql := queries[(c+i)%len(queries)]
+				url := ts.URL + "/query"
+				if (c+i)%5 == 0 {
+					url += "?timeout=3ms" // race the engine
+				}
+				ctx, cancel := context.WithCancel(context.Background())
+				if (c+i)%9 == 0 {
+					// Disconnect mid-request.
+					time.AfterFunc(2*time.Millisecond, cancel)
+				}
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url,
+					bytes.NewBufferString(sql))
+				if err != nil {
+					cancel()
+					t.Errorf("building request: %v", err)
+					continue
+				}
+				sent.Add(1)
+				resp, err := client.Do(req)
+				if err != nil {
+					// Only our own disconnects may abort a request.
+					if ctx.Err() == nil {
+						t.Errorf("client %d: transport error without disconnect: %v", c, err)
+					}
+					aborted.Add(1)
+					cancel()
+					continue
+				}
+				var body Response
+				decErr := json.NewDecoder(resp.Body).Decode(&body)
+				resp.Body.Close()
+				cancel()
+				if decErr != nil {
+					t.Errorf("client %d: undecodable response (status %d): %v", c, resp.StatusCode, decErr)
+					continue
+				}
+				if !allowed[resp.StatusCode] {
+					badStatus.Store(fmt.Sprintf("%d %s", resp.StatusCode, body.Kind), body.Error)
+				}
+				if resp.StatusCode == http.StatusInternalServerError && body.Kind != "panic" {
+					badStatus.Store("500 "+body.Kind, body.Error)
+				}
+				answered.Add(1)
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	badStatus.Range(func(k, v any) bool {
+		t.Errorf("unexpected response %v: %v", k, v)
+		return true
+	})
+	if got := answered.Load() + aborted.Load(); got != sent.Load() {
+		t.Errorf("sent %d, accounted %d (answered %d + aborted %d)",
+			sent.Load(), got, answered.Load(), aborted.Load())
+	}
+	if c := s.CountersSnapshot(); c.Panics == 0 {
+		t.Logf("note: no injected panic surfaced this run (counters %+v)", c)
+	}
+
+	// Graceful exit: drain must complete (faults are transient, nothing
+	// is stuck) and the process must hold zero residual goroutines.
+	faultinject.Reset()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(drainCtx); err != nil {
+		t.Errorf("drain after chaos: %v", err)
+	}
+	ts.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline+2 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak: %d > baseline %d\n%s", g, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}

@@ -1,0 +1,69 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+
+	"bpagg"
+	"bpagg/internal/sqlmini"
+)
+
+// StatusClientClosedRequest is nginx's non-standard 499: the client went
+// away before the answer existed. Distinct from 504 (the server's
+// deadline fired) so operators can tell impatient clients from slow
+// queries in status metrics.
+const StatusClientClosedRequest = 499
+
+// statusFor maps an execution error to its HTTP status and a stable
+// machine-readable kind. The mapping is purely errors.Is/As-driven — no
+// string sniffing — which is exactly what the error-contract table test
+// in the root package pins: every engine error type survives wrapping.
+//
+//	nil                        → 200 ok
+//	errShed                    → 429 shed        (Retry-After set)
+//	errDraining                → 503 draining
+//	*sqlmini.BadQueryError     → 400 bad_query
+//	*bpagg.OverflowError       → 422 overflow    (query valid, answer unrepresentable)
+//	bpagg.ErrGroupCardinality  → 422 cardinality
+//	*bpagg.PanicError          → 500 panic       (worker died; process did not)
+//	context.DeadlineExceeded   → 504 timeout
+//	context.Canceled           → 503 draining    (if drain hard-cancel fired)
+//	                           → 499 canceled    (client went away)
+//	anything else              → 500 internal
+func (s *Server) statusFor(err error) (int, string) {
+	if err == nil {
+		return http.StatusOK, "ok"
+	}
+	if errors.Is(err, errShed) {
+		return http.StatusTooManyRequests, "shed"
+	}
+	if errors.Is(err, errDraining) {
+		return http.StatusServiceUnavailable, "draining"
+	}
+	var bad *sqlmini.BadQueryError
+	if errors.As(err, &bad) {
+		return http.StatusBadRequest, "bad_query"
+	}
+	var of *bpagg.OverflowError
+	if errors.As(err, &of) {
+		return http.StatusUnprocessableEntity, "overflow"
+	}
+	if errors.Is(err, bpagg.ErrGroupCardinality) {
+		return http.StatusUnprocessableEntity, "cardinality"
+	}
+	var pe *bpagg.PanicError
+	if errors.As(err, &pe) {
+		return http.StatusInternalServerError, "panic"
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout, "timeout"
+	}
+	if errors.Is(err, context.Canceled) {
+		if s.stopCtx.Err() != nil {
+			return http.StatusServiceUnavailable, "draining"
+		}
+		return StatusClientClosedRequest, "canceled"
+	}
+	return http.StatusInternalServerError, "internal"
+}

@@ -1,0 +1,35 @@
+package sqlmini
+
+import "fmt"
+
+// BadQueryError marks failures caused by the query text itself — unknown
+// columns, aggregates that do not apply to the column's type, arguments
+// outside their domain. The request, not the engine, is at fault, so
+// serving layers map it to a client error (HTTP 400) with errors.As;
+// everything else that comes out of execution is either a typed engine
+// error (*bpagg.OverflowError, *bpagg.PanicError, context errors) or an
+// internal failure.
+type BadQueryError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *BadQueryError) Error() string { return e.Msg }
+
+// badf builds a *BadQueryError, mirroring fmt.Errorf.
+func badf(format string, a ...any) error {
+	return &BadQueryError{Msg: fmt.Sprintf(format, a...)}
+}
+
+// badQuery rewraps an error (typically a catalog binding failure over a
+// user-supplied literal or column name) as a *BadQueryError, preserving
+// its message.
+func badQuery(err error) error {
+	if err == nil {
+		return nil
+	}
+	if _, ok := err.(*BadQueryError); ok {
+		return err
+	}
+	return &BadQueryError{Msg: err.Error()}
+}

@@ -126,7 +126,7 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 
 	gspec := cat.Spec(q.GroupBy)
 	if gspec == nil {
-		return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
+		return nil, badf("sql: unknown GROUP BY column %q", q.GroupBy)
 	}
 	gcol := cat.Table.Column(q.GroupBy)
 	grouped, err := groupSelections(ctx, gcol, sel, o.Stats)
@@ -152,13 +152,13 @@ func validateSelects(cat *catalog.Catalog, q *Query) error {
 			continue
 		}
 		if cat.Spec(sel.Column) == nil {
-			return fmt.Errorf("sql: unknown column %q", sel.Column)
+			return badf("sql: unknown column %q", sel.Column)
 		}
 		if (sel.Func == Sum || sel.Func == Avg) && !cat.Summable(sel.Column) {
-			return fmt.Errorf("sql: %s over string column %q", sel.Func, sel.Column)
+			return badf("sql: %s over string column %q", sel.Func, sel.Column)
 		}
 		if sel.Func == Quantile && (sel.Arg < 0 || sel.Arg > 1 || sel.Arg != sel.Arg) {
-			return fmt.Errorf("sql: quantile %g outside [0,1]", sel.Arg)
+			return badf("sql: quantile %g outside [0,1]", sel.Arg)
 		}
 	}
 	return nil
@@ -210,65 +210,77 @@ func groupSelections(ctx context.Context, gcol *bpagg.Column, sel *bpagg.Bitmap,
 }
 
 func aggregateRow(ctx context.Context, cat *catalog.Catalog, sels []SelectExpr, sel *bpagg.Bitmap, o ExecOptions) ([]string, error) {
-	opts := o.opts()
 	row := make([]string, len(sels))
 	for i, s := range sels {
-		if s.Func == CountStar {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			row[i] = fmt.Sprintf("%d", sel.Count())
-			continue
+		cell, err := computeCell(ctx, cat, s, sel, o)
+		if err != nil {
+			return nil, err
 		}
-		col := cat.Table.Column(s.Column)
-		switch s.Func {
-		case Count:
-			cnt, err := col.CountContext(ctx, sel)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = fmt.Sprintf("%d", cnt)
-		case Sum:
-			sum, err := col.SumContext(ctx, sel, opts...)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = cat.FormatSum(s.Column, sum, col.Count(sel))
-		case Avg:
-			sum, err := col.SumContext(ctx, sel, opts...)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = cat.FormatAvg(s.Column, sum, col.Count(sel))
-		case Min:
-			v, ok, err := col.MinContext(ctx, sel, opts...)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = formatOpt(cat, s.Column, v, ok)
-		case Max:
-			v, ok, err := col.MaxContext(ctx, sel, opts...)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = formatOpt(cat, s.Column, v, ok)
-		case Median:
-			v, ok, err := col.MedianContext(ctx, sel, opts...)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = formatOpt(cat, s.Column, v, ok)
-		case Quantile:
-			v, ok, err := col.QuantileContext(ctx, sel, s.Arg, opts...)
-			if err != nil {
-				return nil, err
-			}
-			row[i] = formatOpt(cat, s.Column, v, ok)
-		default:
-			return nil, fmt.Errorf("sql: unsupported aggregate %v", s.Func)
-		}
+		row[i] = cell
 	}
 	return row, nil
+}
+
+// computeCell evaluates one SELECT expression against a selection and
+// renders the result cell. It is the per-aggregate unit both the
+// per-query path (aggregateRow) and the shared-scan batch executor
+// (ExecuteShared) call — the latter memoizes cells so N queries asking
+// the same aggregate over the same selection pay for it once.
+func computeCell(ctx context.Context, cat *catalog.Catalog, s SelectExpr, sel *bpagg.Bitmap, o ExecOptions) (string, error) {
+	if s.Func == CountStar {
+		if err := ctx.Err(); err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d", sel.Count()), nil
+	}
+	opts := o.opts()
+	col := cat.Table.Column(s.Column)
+	switch s.Func {
+	case Count:
+		cnt, err := col.CountContext(ctx, sel)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%d", cnt), nil
+	case Sum:
+		sum, err := col.SumContext(ctx, sel, opts...)
+		if err != nil {
+			return "", err
+		}
+		return cat.FormatSum(s.Column, sum, col.Count(sel)), nil
+	case Avg:
+		sum, err := col.SumContext(ctx, sel, opts...)
+		if err != nil {
+			return "", err
+		}
+		return cat.FormatAvg(s.Column, sum, col.Count(sel)), nil
+	case Min:
+		v, ok, err := col.MinContext(ctx, sel, opts...)
+		if err != nil {
+			return "", err
+		}
+		return formatOpt(cat, s.Column, v, ok), nil
+	case Max:
+		v, ok, err := col.MaxContext(ctx, sel, opts...)
+		if err != nil {
+			return "", err
+		}
+		return formatOpt(cat, s.Column, v, ok), nil
+	case Median:
+		v, ok, err := col.MedianContext(ctx, sel, opts...)
+		if err != nil {
+			return "", err
+		}
+		return formatOpt(cat, s.Column, v, ok), nil
+	case Quantile:
+		v, ok, err := col.QuantileContext(ctx, sel, s.Arg, opts...)
+		if err != nil {
+			return "", err
+		}
+		return formatOpt(cat, s.Column, v, ok), nil
+	default:
+		return "", badf("sql: unsupported aggregate %v", s.Func)
+	}
 }
 
 func formatOpt(cat *catalog.Catalog, col string, code uint64, ok bool) string {
@@ -306,7 +318,7 @@ func bindWhere(cat *catalog.Catalog, conds []Condition, rec *bpagg.StatsCollecto
 func bindCondition(cat *catalog.Catalog, cond Condition, rec *bpagg.StatsCollector) (*bpagg.Bitmap, error) {
 	col := cat.Table.Column(cond.Column)
 	if col == nil {
-		return nil, fmt.Errorf("sql: unknown column %q", cond.Column)
+		return nil, badf("sql: unknown column %q", cond.Column)
 	}
 	switch cond.Op {
 	case OpBetween:
@@ -340,7 +352,7 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition, rec *bpagg
 	if lit.IsString {
 		code, ok, err := cat.StrToCode(cond.Column, lit.Str)
 		if err != nil {
-			return nil, err
+			return nil, badQuery(err)
 		}
 		switch cond.Op {
 		case OpEq:
@@ -354,13 +366,13 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition, rec *bpagg
 			}
 			return col.ScanStats(bpagg.NotEqual(code), rec), nil
 		default:
-			return nil, fmt.Errorf("sql: only = and != apply to string column %q", cond.Column)
+			return nil, badf("sql: only = and != apply to string column %q", cond.Column)
 		}
 	}
 
 	cr, err := cat.NumToCode(cond.Column, lit.Num)
 	if err != nil {
-		return nil, err
+		return nil, badQuery(err)
 	}
 	all := func() (*bpagg.Bitmap, error) { return allNonNull(cat, col, cond.Column, rec) }
 	none := func() (*bpagg.Bitmap, error) { return col.None(), nil }
@@ -409,14 +421,14 @@ func bindOne(cat *catalog.Catalog, col *bpagg.Column, cond Condition, rec *bpagg
 		}
 		return col.ScanStats(bpagg.GreaterEq(cr.Ceil), rec), nil
 	}
-	return nil, fmt.Errorf("sql: unsupported operator %d", int(cond.Op))
+	return nil, badf("sql: unsupported operator %d", int(cond.Op))
 }
 
 // allNonNull selects every non-NULL row of the column.
 func allNonNull(cat *catalog.Catalog, col *bpagg.Column, name string, rec *bpagg.StatsCollector) (*bpagg.Bitmap, error) {
 	max, err := cat.MaxCode(name)
 	if err != nil {
-		return nil, err
+		return nil, badQuery(err)
 	}
 	return col.ScanStats(bpagg.LessEq(max), rec), nil
 }

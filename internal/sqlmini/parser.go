@@ -8,15 +8,17 @@ import (
 
 // Parse parses one aggregate query. See the package comment for the
 // accepted grammar.
+// Lex and parse failures are the caller's fault, not the engine's, so
+// they come back as *BadQueryError for errors.As classification.
 func Parse(input string) (*Query, error) {
 	toks, err := lex(input)
 	if err != nil {
-		return nil, err
+		return nil, badQuery(err)
 	}
 	p := &parser{toks: toks}
 	q, err := p.parseQuery()
 	if err != nil {
-		return nil, err
+		return nil, badQuery(err)
 	}
 	return q, nil
 }
