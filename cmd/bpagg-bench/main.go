@@ -4,7 +4,9 @@
 // style queries), plus a fused-pipeline A/B comparison ("fused") of the
 // scan→aggregate path against the two-phase scan-then-aggregate path,
 // and a grouped A/B comparison ("groupby") of the single-pass bit-sliced
-// GROUP BY engine against the legacy per-group walk across cardinalities.
+// GROUP BY engine against the legacy per-group walk across cardinalities,
+// with a high-cardinality extension ("groupby-hicard") that sweeps group
+// counts up to 2^20 through the hash-banked partition tier.
 //
 // Usage:
 //
@@ -32,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | groupby | concurrent-clients | oracle-soak | all")
+		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | groupby | groupby-hicard | concurrent-clients | oracle-soak | all")
 		n          = flag.Int("n", 4<<20, "tuples per micro-benchmark column")
 		k          = flag.Int("k", 25, "default value width in bits")
 		sel        = flag.Float64("sel", 0.1, "default filter selectivity")
@@ -105,6 +107,13 @@ func main() {
 			rows := bench.GroupBy(cfg)
 			bench.PrintGroupBy(os.Stdout, rows, cfg)
 			report.AddGroupBy(rows)
+		case "groupby-hicard":
+			// High-cardinality sweep into hash-tier territory; excluded
+			// from "all" — the largest points build multi-million-row
+			// tables and CI archives it as its own artifact.
+			rows := bench.GroupByHiCard(cfg)
+			bench.PrintGroupByHiCard(os.Stdout, rows, cfg)
+			report.AddGroupByHiCard(rows)
 		case "concurrent-clients":
 			rows, err := bench.ConcurrentClients(cfg)
 			if err != nil {

@@ -11,46 +11,88 @@ import (
 	"bpagg/internal/parallel"
 )
 
-// Grouped is a query partitioned by the distinct values of a grouping
-// column. Following the paper's wide-table approach (§III, [11], [12]),
-// grouping columns are materialized and dictionary-encoded, so GROUP BY
-// reduces to refining the query's filter into one selection bitmap per
-// distinct group value.
+// Grouped is a query partitioned by the distinct values of one or more
+// grouping columns. Following the paper's wide-table approach (§III,
+// [11], [12]), grouping columns are materialized and dictionary-encoded,
+// so GROUP BY reduces to refining the query's filter into one selection
+// per distinct group key. Multi-column keys pack each column's code into
+// one uint64 composite (first column in the high bits), so the columns'
+// combined width must fit 64 bits.
 //
-// Two execution strategies produce that partition (DESIGN.md §12):
+// Three execution strategies produce that partition (DESIGN.md §12):
 //
-//   - Single-pass: each 64-value segment is visited once, and the
-//     grouping column's bit-tree is descended to split the segment's
-//     filter word across all group keys simultaneously, discovering
-//     keys as a side effect. One traversal of the packed column serves
-//     every group; banked aggregate kernels then answer SUM/MIN/MAX for
-//     all groups in one traversal of the measure column too.
+//   - Direct (single column, key width ≤ core.DirectKeyBits): each
+//     64-value segment is visited once and the grouping column's
+//     bit-tree is descended to split the segment's filter word across
+//     all group keys simultaneously, banking into a direct-mapped dense
+//     bank. One traversal serves every group; banked aggregate kernels
+//     then answer SUM/MIN/MAX for all groups in one traversal of the
+//     measure column too.
+//   - Hash (wider or composite keys, up to MaxSinglePassGroups keys):
+//     the same one-traversal partition, banking into per-worker
+//     open-addressing hash tables with sparse per-key (segment, word)
+//     runs, merged by sorted key order. Selections stay sparse — counts
+//     and the banked aggregates come straight off the merged run list,
+//     and a dense bitmap is materialized per group only on demand.
 //   - Legacy per-group: repeated MIN walks the distinct values in
 //     ascending order, one BIT-PARALLEL-EQUAL scan per key intersected
-//     with the filter. Each step needs only the equality scan of the
-//     freshly found key — since that key is the minimum of the
-//     residual, removing its rows (AndNot) leaves exactly the
-//     strictly-greater residual the next step needs, so discovery costs
-//     G scans for G groups, not 2G.
+//     with the filter (nested per column for composite keys). Each step
+//     needs only the equality scan of the freshly found key — since that
+//     key is the minimum of the residual, removing its rows (AndNot)
+//     leaves exactly the strictly-greater residual the next step needs,
+//     so discovery costs G scans for G groups, not 2G.
 //
-// GroupBy picks single-pass when the query qualifies (same spirit as
-// the Query.Fused gate: no user bitmap, no NULLs on the grouping
-// column, bit-parallel 64-bit execution, cardinality within
-// MaxSinglePassGroups) and falls back to the legacy walk otherwise.
-// Results are bit-identical either way. Grouping suits low-cardinality
-// columns (dictionary codes, flags, dates at coarse granularity) — the
-// same regime the paper's materialization argument assumes.
+// GroupBy picks the strategy at plan time: direct or hash when the query
+// qualifies (same spirit as the Query.Fused gate: no user bitmap, no
+// NULLs on the grouping columns, bit-parallel 64-bit execution), legacy
+// otherwise or past MaxSinglePassGroups discovered keys. Results are
+// bit-identical across strategies and thread counts.
 type Grouped struct {
-	q          *Query
-	keys       []uint64
-	sels       []*Bitmap
-	singlePass bool
+	q        *Query
+	cols     []*Column
+	widths   []int
+	keys     []uint64
+	sels     []*Bitmap // dense selections (direct + legacy); nil for hash
+	counts   []uint64  // per-group row counts (hash); nil otherwise
+	hp       *parallel.HashPartition
+	strategy GroupStrategy
+}
+
+// GroupStrategy identifies which partition strategy built a Grouped.
+type GroupStrategy int
+
+const (
+	// GroupLegacy is the per-group MIN+equality walk.
+	GroupLegacy GroupStrategy = iota
+	// GroupDirect is the single-pass direct-mapped bank (key width ≤
+	// core.DirectKeyBits).
+	GroupDirect
+	// GroupHash is the single-pass hash-banked tier.
+	GroupHash
+)
+
+// String returns "legacy", "direct" or "hash".
+func (s GroupStrategy) String() string {
+	switch s {
+	case GroupDirect:
+		return "direct"
+	case GroupHash:
+		return "hash"
+	default:
+		return "legacy"
+	}
 }
 
 // MaxSinglePassGroups is the group-cardinality ceiling of the
-// single-pass partition path; queries grouping columns with more
-// distinct values fall back to the legacy per-group walk.
-const MaxSinglePassGroups = core.MaxGroups
+// single-pass partition path (the hash tier's key budget); queries
+// grouping columns with more distinct values fall back to the legacy
+// per-group walk.
+const MaxSinglePassGroups = core.MaxHashGroups
+
+// maxHashGroups is the hash tier's runtime key budget. It equals
+// MaxSinglePassGroups except in tests that lower it to exercise the
+// legacy fallback without building 2^20 distinct keys.
+var maxHashGroups = core.MaxHashGroups
 
 // ErrGroupCardinality reports that a single-pass GROUP BY partition
 // discovered more distinct keys than MaxSinglePassGroups. Inside the
@@ -65,87 +107,203 @@ var ErrGroupCardinality = core.ErrGroupCardinality
 // SinglePass reports whether this partition was built by the
 // single-pass engine (EXPLAIN support). Banked per-group aggregate
 // kernels are only available on single-pass partitions.
-func (g *Grouped) SinglePass() bool { return g.singlePass }
+func (g *Grouped) SinglePass() bool { return g.strategy != GroupLegacy }
 
-// groupSinglePass attempts the single-pass partition. ok is false when
-// the query does not qualify (pre-materialized or user-supplied
-// selection, NULLs on the grouping column, wide words, non-bit-parallel
-// access, or cardinality past MaxSinglePassGroups) — the caller then
-// runs the legacy walk. A returned error is a real execution failure
-// (cancellation, worker panic), never a fallback signal.
-func (q *Query) groupSinglePass(ctx context.Context, col *Column) (*Grouped, bool, error) {
-	if q.sel != nil || col.nulls != nil {
+// Strategy reports which partition strategy built this Grouped
+// (EXPLAIN ANALYZE support).
+func (g *Grouped) Strategy() GroupStrategy { return g.strategy }
+
+// groupSinglePass attempts the single-pass partition (direct or hash
+// tier). ok is false when the query does not qualify (pre-materialized
+// or user-supplied selection, NULLs on a grouping column, wide words,
+// non-bit-parallel access, or cardinality past the tier budget) — the
+// caller then runs the legacy walk. A returned error is a real execution
+// failure (cancellation, worker panic), never a fallback signal.
+func (q *Query) groupSinglePass(ctx context.Context, cols []*Column, widths []int) (*Grouped, bool, error) {
+	if q.sel != nil {
 		return nil, false, nil
+	}
+	for _, col := range cols {
+		if col.nulls != nil {
+			return nil, false, nil
+		}
 	}
 	o := execOptions(q.execs)
 	if o.access != BitParallel || o.par.Wide {
 		return nil, false, nil
 	}
 	base := q.Selection()
-	var (
-		keys []uint64
-		bs   []*bitvec.Bitmap
-		err  error
-	)
-	if col.layout == VBP {
-		keys, bs, err = parallel.VBPGroupPartitionCtx(ctx, col.v, base.b, o.par)
-	} else {
-		keys, bs, err = parallel.HBPGroupPartitionCtx(ctx, col.h, base.b, o.par)
+
+	if len(cols) == 1 && cols[0].k <= core.DirectKeyBits {
+		col := cols[0]
+		var (
+			keys []uint64
+			bs   []*bitvec.Bitmap
+			err  error
+		)
+		if col.layout == VBP {
+			keys, bs, err = parallel.VBPGroupPartitionCtx(ctx, col.v, base.b, o.par)
+		} else {
+			keys, bs, err = parallel.HBPGroupPartitionCtx(ctx, col.h, base.b, o.par)
+		}
+		if err != nil {
+			if errors.Is(err, core.ErrGroupCardinality) {
+				return nil, false, nil
+			}
+			return nil, false, wrapExecErr(err)
+		}
+		g := &Grouped{q: q, cols: cols, widths: widths, keys: keys, strategy: GroupDirect}
+		g.sels = make([]*Bitmap, len(bs))
+		for i, b := range bs {
+			g.sels[i] = &Bitmap{b: b}
+		}
+		return g, true, nil
 	}
+
+	gcols := make([]parallel.GroupCol, len(cols))
+	for i, col := range cols {
+		if col.layout == VBP {
+			gcols[i] = parallel.GroupCol{V: col.v}
+		} else {
+			gcols[i] = parallel.GroupCol{H: col.h}
+		}
+	}
+	hp, err := parallel.HashGroupPartitionCtx(ctx, gcols, base.b, cols[0].Len(), maxHashGroups, o.par)
 	if err != nil {
 		if errors.Is(err, core.ErrGroupCardinality) {
 			return nil, false, nil
 		}
 		return nil, false, wrapExecErr(err)
 	}
-	g := &Grouped{q: q, keys: keys, singlePass: true}
-	g.sels = make([]*Bitmap, len(bs))
-	for i, b := range bs {
-		g.sels[i] = &Bitmap{b: b}
-	}
-	return g, true, nil
+	return &Grouped{
+		q: q, cols: cols, widths: widths,
+		keys: hp.Keys, counts: hp.Counts, hp: hp,
+		strategy: GroupHash,
+	}, true, nil
 }
 
-// GroupBy partitions the query's current selection by the named column's
-// distinct values.
-func (q *Query) GroupBy(column string) *Grouped {
-	col := q.t.cols[column]
-	if col == nil {
-		panic(fmt.Sprintf("bpagg: unknown column %q", column))
+// groupByCols is the strategy selector shared by GroupBy and
+// GroupByContext: composite width check, single-pass attempt (direct or
+// hash tier), legacy walk fallback.
+func (q *Query) groupByCols(ctx context.Context, cols []*Column) (*Grouped, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("bpagg: GROUP BY needs at least one column")
 	}
-	g, ok, err := q.groupSinglePass(context.Background(), col)
-	fusedMust(err)
-	if ok {
-		return g
+	widths := make([]int, len(cols))
+	total := 0
+	for i, col := range cols {
+		widths[i] = col.k
+		total += col.k
 	}
-	g = &Grouped{q: q}
-	base := q.Selection()
-	rest := base.Clone()
-	for {
-		v, ok := col.Min(rest, q.execs...)
-		if !ok {
-			break
+	if total > 64 {
+		return nil, fmt.Errorf("bpagg: composite group key is %d bits wide — keys must pack into 64 bits", total)
+	}
+	if g, ok, err := q.groupSinglePass(ctx, cols, widths); err != nil {
+		return nil, err
+	} else if ok {
+		return g, nil
+	}
+	return q.legacyGroupWalk(ctx, cols, widths)
+}
+
+// legacyGroupWalk runs the per-group MIN+equality walk, nesting one walk
+// per grouping column for composite keys: each discovered value of
+// column j refines its parent group's selection before recursing on
+// column j+1, so keys come out in ascending packed order. Rows NULL in
+// any grouping column never match an equality scan and drop out, the
+// same semantics as the single-pass tiers' NULL gate.
+func (q *Query) legacyGroupWalk(ctx context.Context, cols []*Column, widths []int) (*Grouped, error) {
+	g := &Grouped{q: q, cols: cols, widths: widths, strategy: GroupLegacy}
+	var walk func(sel *Bitmap, depth int, prefix uint64) error
+	walk = func(sel *Bitmap, depth int, prefix uint64) error {
+		col := cols[depth]
+		rest := sel.Clone()
+		for {
+			v, ok, err := col.MinContext(ctx, rest, q.execs...)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			eq := col.ScanStats(Equal(v), q.stats)
+			sub := sel.Clone().And(eq)
+			key := prefix<<uint(widths[depth]) | v
+			if depth == len(cols)-1 {
+				g.keys = append(g.keys, key)
+				g.sels = append(g.sels, sub)
+			} else if err := walk(sub, depth+1, key); err != nil {
+				return err
+			}
+			rest.AndNot(eq)
 		}
-		eq := col.ScanStats(Equal(v), q.stats)
-		g.keys = append(g.keys, v)
-		g.sels = append(g.sels, base.Clone().And(eq))
-		rest.AndNot(eq)
 	}
+	if err := walk(q.Selection(), 0, 0); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// GroupBy partitions the query's current selection by the distinct
+// values of the named columns. With several columns the group key is the
+// packed composite of the columns' codes (see Keys/KeyParts); the
+// combined key width must fit 64 bits.
+func (q *Query) GroupBy(columns ...string) *Grouped {
+	cols := make([]*Column, len(columns))
+	for i, column := range columns {
+		col := q.t.cols[column]
+		if col == nil {
+			panic(fmt.Sprintf("bpagg: unknown column %q", column))
+		}
+		cols[i] = col
+	}
+	g, err := q.groupByCols(context.Background(), cols)
+	fusedMust(err)
 	return g
 }
 
 // Len returns the number of groups.
 func (g *Grouped) Len() int { return len(g.keys) }
 
-// Keys returns the distinct group values in ascending order. All per-group
-// result slices below are parallel to it.
+// Keys returns the distinct group keys in ascending order. With one
+// grouping column a key is the column's code; with several it is the
+// packed composite (first column in the high bits). All per-group result
+// slices below are parallel to it.
 func (g *Grouped) Keys() []uint64 {
 	return append([]uint64(nil), g.keys...)
 }
 
+// KeyParts unpacks group i's key into one code per grouping column.
+func (g *Grouped) KeyParts(i int) []uint64 {
+	parts := make([]uint64, len(g.widths))
+	key := g.keys[i]
+	for j := len(g.widths) - 1; j >= 0; j-- {
+		w := uint(g.widths[j])
+		parts[j] = key & (1<<w - 1)
+		key >>= w
+	}
+	return parts
+}
+
 // Selection returns group i's row bitmap (the query filter intersected
-// with key equality).
-func (g *Grouped) Selection(i int) *Bitmap { return g.sels[i] }
+// with key equality). The hash tier keeps selections sparse, so there it
+// materializes a fresh bitmap per call; prefer the bulk aggregates,
+// which never materialize.
+func (g *Grouped) Selection(i int) *Bitmap {
+	if g.sels != nil {
+		return g.sels[i]
+	}
+	return &Bitmap{b: g.hp.Materialize(i)}
+}
+
+// groupCount returns group i's row count without materializing the hash
+// tier's selection.
+func (g *Grouped) groupCount(i int) uint64 {
+	if g.counts != nil {
+		return g.counts[i]
+	}
+	return uint64(g.sels[i].Count())
+}
 
 // banked reports whether a per-group aggregate over col can run the
 // banked single-pass kernels, and resolves the execution options if so.
@@ -153,7 +311,7 @@ func (g *Grouped) Selection(i int) *Bitmap { return g.sels[i] }
 // partition itself must be single-pass, the measure column NULL-free,
 // and execution bit-parallel with 64-bit words.
 func (g *Grouped) banked(col *Column) (execConfig, bool) {
-	if !g.singlePass || col.nulls != nil {
+	if !g.SinglePass() || col.nulls != nil {
 		return execConfig{}, false
 	}
 	o := execOptions(g.q.execs)
@@ -163,7 +321,8 @@ func (g *Grouped) banked(col *Column) (execConfig, bool) {
 	return o, true
 }
 
-// rawSels unwraps the group selections for the internal drivers.
+// rawSels unwraps the group selections for the internal drivers (direct
+// tier only).
 func (g *Grouped) rawSels() []*bitvec.Bitmap {
 	bs := make([]*bitvec.Bitmap, len(g.sels))
 	for i, s := range g.sels {
@@ -172,15 +331,27 @@ func (g *Grouped) rawSels() []*bitvec.Bitmap {
 	return bs
 }
 
+// measureGroupCol wraps a measure column for the hash drivers.
+func measureGroupCol(col *Column) parallel.GroupCol {
+	if col.layout == VBP {
+		return parallel.GroupCol{V: col.v}
+	}
+	return parallel.GroupCol{H: col.h}
+}
+
 // bankedSum runs the single-pass grouped SUM over all groups at once.
 // The kernels accumulate 128 bits per group; any hi != 0 surfaces as an
-// *OverflowError, honoring the same overflow contract as Column.Sum.
+// *OverflowError carrying the offending group's key, honoring the same
+// overflow contract as Column.Sum.
 func (g *Grouped) bankedSum(ctx context.Context, col *Column, o execConfig) ([]uint64, error) {
 	var his, los []uint64
 	var err error
-	if col.layout == VBP {
+	switch {
+	case g.hp != nil:
+		his, los, err = parallel.HashGroupSumCtx(ctx, measureGroupCol(col), g.hp, o.par)
+	case col.layout == VBP:
 		his, los, err = parallel.VBPGroupSumCtx(ctx, col.v, g.rawSels(), o.par)
-	} else {
+	default:
 		his, los, err = parallel.HBPGroupSumCtx(ctx, col.h, g.rawSels(), o.par)
 	}
 	if err != nil {
@@ -188,7 +359,7 @@ func (g *Grouped) bankedSum(ctx context.Context, col *Column, o execConfig) ([]u
 	}
 	for i, hi := range his {
 		if hi != 0 {
-			return nil, &OverflowError{Hi: hi, Lo: los[i]}
+			return nil, &OverflowError{Hi: hi, Lo: los[i], Group: g.KeyParts(i)}
 		}
 	}
 	return los, nil
@@ -201,9 +372,12 @@ func (g *Grouped) bankedExtreme(ctx context.Context, col *Column, o execConfig, 
 	var vals []uint64
 	var anys []bool
 	var err error
-	if col.layout == VBP {
+	switch {
+	case g.hp != nil:
+		vals, anys, err = parallel.HashGroupExtremeCtx(ctx, measureGroupCol(col), g.hp, wantMin, o.par)
+	case col.layout == VBP:
 		vals, anys, err = parallel.VBPGroupExtremeCtx(ctx, col.v, g.rawSels(), wantMin, o.par)
-	} else {
+	default:
 		vals, anys, err = parallel.HBPGroupExtremeCtx(ctx, col.h, g.rawSels(), wantMin, o.par)
 	}
 	if err != nil {
@@ -212,27 +386,39 @@ func (g *Grouped) bankedExtreme(ctx context.Context, col *Column, o execConfig, 
 	return vals, anys, nil
 }
 
-// Count returns each group's row count. The popcounts are recorded into
+// Count returns each group's row count. The counts are recorded into
 // the query's stats collector as one aggregate per group, matching the
-// other per-group aggregates.
+// other per-group aggregates; the hash tier serves them from the counts
+// tallied during partitioning.
 func (g *Grouped) Count() []uint64 {
 	start := time.Now()
 	out := make([]uint64, len(g.keys))
-	for i, sel := range g.sels {
-		out[i] = uint64(sel.Count())
+	for i := range g.keys {
+		out[i] = g.groupCount(i)
 	}
 	g.q.stats.Record(ExecStats{
-		Aggregates: uint64(len(g.sels)),
+		Aggregates: uint64(len(g.keys)),
 		AggNanos:   time.Since(start).Nanoseconds(),
 	})
 	return out
 }
 
+// decorateOverflow attaches group i's key to an *OverflowError bubbling
+// out of a per-group aggregate, so the grouped overflow contract (the
+// error names the offending group) holds on every path.
+func (g *Grouped) decorateOverflow(err error, i int) error {
+	var ov *OverflowError
+	if errors.As(err, &ov) && ov.Group == nil {
+		ov.Group = g.KeyParts(i)
+	}
+	return err
+}
+
 // Sum aggregates SUM of the named column per group: banked single-pass
 // over the measure column when the partition and column qualify, one
 // Column.Sum per group otherwise. Either path panics with an
-// *OverflowError when a group's sum exceeds uint64 (use SumContext to
-// receive it as an error).
+// *OverflowError naming the offending group when a group's sum exceeds
+// uint64 (use SumContext to receive it as an error).
 func (g *Grouped) Sum(column string) []uint64 {
 	col := g.q.col(column)
 	if o, ok := g.banked(col); ok {
@@ -241,8 +427,10 @@ func (g *Grouped) Sum(column string) []uint64 {
 		return out
 	}
 	out := make([]uint64, len(g.keys))
-	for i, sel := range g.sels {
-		out[i] = col.Sum(sel, g.q.execs...)
+	for i := range g.keys {
+		v, err := col.SumContext(context.Background(), g.Selection(i), g.q.execs...)
+		fusedMust(g.decorateOverflow(err, i))
+		out[i] = v
 	}
 	return out
 }
@@ -292,8 +480,8 @@ func (g *Grouped) Avg(column string) []float64 {
 		return out
 	}
 	out := make([]float64, len(g.keys))
-	for i, sel := range g.sels {
-		v, _ := col.Avg(sel, g.q.execs...)
+	for i := range g.keys {
+		v, _ := col.Avg(g.Selection(i), g.q.execs...)
 		out[i] = v
 	}
 	return out
@@ -310,7 +498,7 @@ func (g *Grouped) bankedAvg(ctx context.Context, col *Column, o execConfig) ([]f
 	}
 	out := make([]float64, len(sums))
 	for i, s := range sums {
-		if cnt := g.sels[i].Count(); cnt > 0 {
+		if cnt := g.groupCount(i); cnt > 0 {
 			out[i] = float64(s) / float64(cnt)
 		}
 	}
@@ -320,8 +508,8 @@ func (g *Grouped) bankedAvg(ctx context.Context, col *Column, o execConfig) ([]f
 func (g *Grouped) each(column string, agg func(*Column, *Bitmap, ...ExecOption) (uint64, bool)) []uint64 {
 	col := g.q.col(column)
 	out := make([]uint64, len(g.keys))
-	for i, sel := range g.sels {
-		v, ok := agg(col, sel, g.q.execs...)
+	for i := range g.keys {
+		v, ok := agg(col, g.Selection(i), g.q.execs...)
 		if !ok {
 			panic("bpagg: empty group selection — grouping invariant violated")
 		}

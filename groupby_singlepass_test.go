@@ -112,11 +112,15 @@ func TestGroupSinglePassMatchesLegacy(t *testing.T) {
 	}
 }
 
-// TestGroupSinglePassCardinalityFallback pins the high-cardinality gate:
-// a grouping column with more than MaxSinglePassGroups distinct values
-// silently falls back to the legacy walk and still answers correctly.
+// TestGroupSinglePassCardinalityFallback pins the strategy ladder around
+// the direct tier's budget: a grouping column just past the 10-bit direct
+// key width stays single-pass on the hash tier (the PR 7 contract — no
+// legacy fallback below MaxSinglePassGroups), and a cardinality past the
+// hash budget silently falls back to the legacy walk with identical
+// answers. The hash budget is lowered through the unexported test hook so
+// the fallback is exercised without building 2^20 distinct keys.
 func TestGroupSinglePassCardinalityFallback(t *testing.T) {
-	n := MaxSinglePassGroups + 300
+	n := 1324 // past the direct tier's 1024-key budget, kG=11 > DirectKeyBits
 	keys := make([]uint64, n)
 	vals := make([]uint64, n)
 	for i := range keys {
@@ -124,20 +128,38 @@ func TestGroupSinglePassCardinalityFallback(t *testing.T) {
 		vals[i] = uint64(i % 97)
 	}
 	tbl := buildGroupTable(t, VBP, VBP, 11, 7, keys, vals)
-	g := tbl.Query().GroupBy("g")
-	if g.SinglePass() {
-		t.Fatalf("%d groups exceed MaxSinglePassGroups=%d; expected legacy fallback",
-			n, MaxSinglePassGroups)
-	}
-	if g.Len() != n {
-		t.Fatalf("groups = %d, want %d", g.Len(), n)
-	}
-	sums := g.Sum("v")
-	for i := range sums {
-		if sums[i] != uint64(i%97) {
-			t.Fatalf("group %d sum = %d, want %d", i, sums[i], i%97)
+
+	check := func(g *Grouped, want GroupStrategy) {
+		t.Helper()
+		if g.Strategy() != want {
+			t.Fatalf("strategy = %v, want %v", g.Strategy(), want)
+		}
+		if g.Len() != n {
+			t.Fatalf("groups = %d, want %d", g.Len(), n)
+		}
+		sums := g.Sum("v")
+		for i := range sums {
+			if sums[i] != uint64(i%97) {
+				t.Fatalf("group %d sum = %d, want %d", i, sums[i], i%97)
+			}
 		}
 	}
+
+	g := tbl.Query().GroupBy("g")
+	if !g.SinglePass() {
+		t.Fatalf("%d groups within MaxSinglePassGroups=%d must stay single-pass",
+			n, MaxSinglePassGroups)
+	}
+	check(g, GroupHash)
+
+	defer func(old int) { maxHashGroups = old }(maxHashGroups)
+	maxHashGroups = 1000
+	lg := tbl.Query().GroupBy("g")
+	if lg.SinglePass() {
+		t.Fatalf("%d groups exceed the lowered hash budget %d; expected legacy fallback",
+			n, maxHashGroups)
+	}
+	check(lg, GroupLegacy)
 }
 
 // TestGroupSinglePassStats asserts the single-pass counters: one
@@ -300,7 +322,7 @@ func FuzzGroupSinglePass(f *testing.F) {
 		if n == 0 {
 			return
 		}
-		kGi := 1 + int(kG)%10 // cardinality cap 2^10 = MaxSinglePassGroups
+		kGi := 1 + int(kG)%10 // ≤ 2^10 keys: covers both direct and hash-adjacent widths cheaply
 		kVi := 1 + int(kV)%64
 		rng := rand.New(rand.NewSource(seed))
 		keys := make([]uint64, n)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sort"
+	"time"
 
 	"bpagg"
 	"bpagg/internal/word"
@@ -86,6 +88,125 @@ func GroupBy(cfg Config) []GroupByRow {
 		}
 	}
 	return rows
+}
+
+// GroupByHiCard sweeps group cardinality into hash-tier territory:
+// G ∈ {1k, 4k, 16k, 64k, 256k, 1M} with the table scaled as n = 8·G
+// (clamped to [2^17, 2^21]) so every group stays populated. SUM only —
+// the aggregate whose banked kernel shares one measure traversal across
+// all groups. The legacy side runs only up to hiCardLegacyCap: its
+// per-group walk is O(G) full scans, minutes of wall clock at G = 256k,
+// and the asymmetry is already unambiguous at 16k (the skip prints in
+// the table and zeroes the JSON fields — never silently).
+
+// hiCardLegacyCap is the largest G the legacy comparison side runs at.
+const hiCardLegacyCap = 16384
+
+// GroupByHiCardRow is one high-cardinality grouped measurement.
+type GroupByHiCardRow struct {
+	Layout   string  // "VBP" | "HBP"
+	G        int     // group cardinality
+	N        int     // table rows
+	Tier     string  // partition tier of the single-pass side ("direct" | "hash")
+	LegacyNs float64 // legacy ns/tuple; 0 when skipped (G > hiCardLegacyCap)
+	SingleNs float64 // single-pass ns/tuple
+	Speedup  float64 // LegacyNs / SingleNs; 0 when legacy skipped
+}
+
+// measure1 is the single-sided twin of measureAB: median ns/tuple of
+// fusedRounds rounds, for points whose comparison side is skipped.
+func measure1(n int, minTime time.Duration, fn func()) float64 {
+	fn() // warm caches and one-time allocations
+	per := minTime / fusedRounds
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	xs := make([]float64, fusedRounds)
+	for r := range xs {
+		xs[r] = measureOnce(n, per, fn)
+	}
+	sort.Float64s(xs)
+	return xs[fusedRounds/2]
+}
+
+// GroupByHiCard runs the high-cardinality sweep: layout × G, full
+// grouped SUM (partition + aggregate) per iteration, single-threaded.
+func GroupByHiCard(cfg Config) []GroupByHiCardRow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	max := word.LowMask(cfg.K)
+
+	var rows []GroupByHiCardRow
+	for _, layout := range []bpagg.Layout{bpagg.VBP, bpagg.HBP} {
+		for _, G := range []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18, 1 << 20} {
+			n := 8 * G
+			if n < 1<<17 {
+				n = 1 << 17
+			}
+			if n > 1<<21 {
+				n = 1 << 21
+			}
+			kg := 1
+			for 1<<kg < G {
+				kg++
+			}
+			keys := make([]uint64, n)
+			vals := make([]uint64, n)
+			for i := range keys {
+				keys[i] = uint64(rng.Intn(G))
+				vals[i] = rng.Uint64() & max
+			}
+			tbl := bpagg.NewTableFromColumns(
+				[]string{"g", "x"},
+				[]*bpagg.Column{
+					bpagg.FromValues(layout, kg, keys),
+					bpagg.FromValues(layout, cfg.K, vals),
+				},
+			)
+			probe := tbl.Query().GroupBy("g")
+			if !probe.SinglePass() {
+				panic(fmt.Sprintf("bench: G=%d %s grouped query did not take the single-pass path", G, layout))
+			}
+			tier := probe.Strategy().String()
+
+			single := func() { tbl.Query().GroupBy("g").Sum("x") }
+			row := GroupByHiCardRow{Layout: layout.String(), G: G, N: n, Tier: tier}
+			if G <= hiCardLegacyCap {
+				legacy := func() {
+					q := tbl.Query()
+					q.Selection() // materialize: forces the per-group walk
+					q.GroupBy("g").Sum("x")
+				}
+				row.LegacyNs, row.SingleNs = measureAB(n, cfg.MinTime, legacy, single)
+				row.Speedup = row.LegacyNs / row.SingleNs
+			} else {
+				row.SingleNs = measure1(n, cfg.MinTime, single)
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// PrintGroupByHiCard renders the high-cardinality sweep.
+func PrintGroupByHiCard(w io.Writer, rows []GroupByHiCardRow, cfg Config) {
+	fmt.Fprintln(w, "GroupByHiCard — hash-banked single-pass vs legacy per-group walk at high cardinality")
+	fmt.Fprintf(w, "(SUM; k=%d; no filter; single thread; partition + aggregate per iteration; interleaved medians of %d rounds)\n",
+		cfg.K, fusedRounds)
+	fmt.Fprintf(w, "%-7s %9s %9s %-7s %14s %14s %9s\n",
+		"layout", "G", "n", "tier", "legacy ns/t", "single ns/t", "speedup")
+	skipped := false
+	for _, r := range rows {
+		leg, sp := fmt.Sprintf("%14.3f", r.LegacyNs), fmt.Sprintf("%8.2fx", r.Speedup)
+		if r.LegacyNs == 0 {
+			leg, sp = fmt.Sprintf("%14s", "-"), fmt.Sprintf("%9s", "-")
+			skipped = true
+		}
+		fmt.Fprintf(w, "%-7s %9d %9d %-7s %s %14.3f %s\n",
+			r.Layout, r.G, r.N, r.Tier, leg, r.SingleNs, sp)
+	}
+	if skipped {
+		fmt.Fprintf(w, "(legacy side skipped for G > %d: the per-group walk is O(G) full scans)\n", hiCardLegacyCap)
+	}
 }
 
 // PrintGroupBy renders the grouped A/B grid.

@@ -19,18 +19,19 @@ const ReportSchema = "bpagg-bench/v1"
 
 // Report is the machine-readable form of one benchmark run.
 type Report struct {
-	Schema    string        `json:"schema"`
-	Timestamp string        `json:"timestamp"` // RFC 3339, UTC
-	Host      ReportHost    `json:"host"`
-	Config    ReportConfig  `json:"config"`
-	Fig5      []MicroJSON   `json:"fig5,omitempty"`
-	Fig6      []MicroJSON   `json:"fig6,omitempty"`
-	Fig7      []MicroJSON   `json:"fig7,omitempty"`
-	Fig8      []Fig8JSON    `json:"fig8,omitempty"`
-	Table2    []Table2JSON  `json:"table2,omitempty"`
-	Fused     []FusedJSON   `json:"fused,omitempty"`
-	GroupBy   []GroupByJSON `json:"groupby,omitempty"`
-	Server    []ServerJSON  `json:"concurrent_clients,omitempty"`
+	Schema        string              `json:"schema"`
+	Timestamp     string              `json:"timestamp"` // RFC 3339, UTC
+	Host          ReportHost          `json:"host"`
+	Config        ReportConfig        `json:"config"`
+	Fig5          []MicroJSON         `json:"fig5,omitempty"`
+	Fig6          []MicroJSON         `json:"fig6,omitempty"`
+	Fig7          []MicroJSON         `json:"fig7,omitempty"`
+	Fig8          []Fig8JSON          `json:"fig8,omitempty"`
+	Table2        []Table2JSON        `json:"table2,omitempty"`
+	Fused         []FusedJSON         `json:"fused,omitempty"`
+	GroupBy       []GroupByJSON       `json:"groupby,omitempty"`
+	GroupByHiCard []GroupByHiCardJSON `json:"groupby_hicard,omitempty"`
+	Server        []ServerJSON        `json:"concurrent_clients,omitempty"`
 }
 
 // ReportHost records the machine the run happened on — enough to know
@@ -208,6 +209,32 @@ func (r *Report) AddGroupBy(rows []GroupByRow) {
 	for _, row := range rows {
 		r.GroupBy = append(r.GroupBy, GroupByJSON{
 			Layout: row.Layout, Agg: row.Agg, G: row.G,
+			LegacyNs: row.LegacyNs, SingleNs: row.SingleNs, Speedup: row.Speedup,
+		})
+	}
+}
+
+// GroupByHiCardJSON is a GroupByHiCardRow in the report. Zero legacy/
+// speedup fields mean the legacy side was skipped at that cardinality
+// (printed in the text table), not measured as instant.
+type GroupByHiCardJSON struct {
+	Layout   string  `json:"layout"`
+	G        int     `json:"groups"`
+	N        int     `json:"n"`
+	Tier     string  `json:"tier"`
+	LegacyNs float64 `json:"legacy_ns_per_tuple,omitempty"`
+	SingleNs float64 `json:"single_pass_ns_per_tuple"`
+	Speedup  float64 `json:"speedup,omitempty"`
+}
+
+// AddGroupByHiCard records the high-cardinality grouped sweep.
+func (r *Report) AddGroupByHiCard(rows []GroupByHiCardRow) {
+	if r == nil {
+		return
+	}
+	for _, row := range rows {
+		r.GroupByHiCard = append(r.GroupByHiCard, GroupByHiCardJSON{
+			Layout: row.Layout, G: row.G, N: row.N, Tier: row.Tier,
 			LegacyNs: row.LegacyNs, SingleNs: row.SingleNs, Speedup: row.Speedup,
 		})
 	}

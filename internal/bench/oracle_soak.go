@@ -29,9 +29,16 @@ func OracleSoak(w io.Writer, startSeed int64, seeds int) int {
 				fmt.Fprintf(w, "DIVERGENCE %s:\n  %v\n", c.Name, err)
 			}
 		}
+		hicard := diff.HighCardCases(diff.GenConfig{Seed: seed, Deep: true})
+		for _, c := range hicard {
+			if err := diff.CheckGrouped(c); err != nil {
+				bad++
+				fmt.Fprintf(w, "DIVERGENCE %s:\n  %v\n", c.Name, err)
+			}
+		}
 		total += bad
-		fmt.Fprintf(w, "oracle-soak seed %d: %d cases, %d divergences [%v]\n",
-			seed, len(cases), bad, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(w, "oracle-soak seed %d: %d cases (%d high-card grouped), %d divergences [%v]\n",
+			seed, len(cases)+len(hicard), len(hicard), bad, time.Since(start).Round(time.Millisecond))
 	}
 	return total
 }

@@ -1,0 +1,292 @@
+package core
+
+import (
+	"math/bits"
+
+	"bpagg/internal/hbp"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+// Banked aggregates over a hash partition. The parallel driver merges the
+// per-worker hash banks into one canonical SegEntries list — segment-major
+// runs of (group index, selection word), deterministic for any thread
+// count — and the kernels below aggregate straight off it. Unlike the
+// direct tier's kernels they never scan a per-group array to find the
+// live groups of a segment (O(G) per segment is exactly what a 10^5-group
+// partition cannot afford): the run list is the live set. Per-group state
+// is two words (the 128-bit accumulator or the running extreme), so
+// memory stays O(G + banked words) rather than the direct tier's
+// O(G × segments).
+
+// SegEntries is a segment-major run list over one column segmentation:
+// run r covers window Segs[r] and spans entries [Start[r], Start[r+1]),
+// each entry pairing a group index GI[e] with its selection word W[e].
+// Runs ascend by segment and entries within a run ascend by group index.
+type SegEntries struct {
+	Segs  []int32
+	Start []int32
+	GI    []int32
+	W     []uint64
+}
+
+// NumRuns returns the number of live segments.
+func (se *SegEntries) NumRuns() int { return len(se.Segs) }
+
+// VBPHashSumRuns accumulates each group's 128-bit SUM over runs
+// [runLo, runHi) of the measure column. A run whose single entry covers
+// the whole segment is served from the exact segment-sum cache. For
+// k ≤ 57 a segment's per-entry sum fits uint64 (≤ 64 values of 2^k−1 <
+// 2^63), so the plane loop accumulates shifted popcounts into a local
+// bank and pays one 128-bit add per entry; wider codes take the checked
+// 128-bit shift-add per plane. Stats follow the DESIGN.md §8 analytic
+// conventions, so the counters are thread-invariant.
+func VBPHashSumRuns(col *vbp.Column, se *SegEntries, runLo, runHi int, his, los []uint64, st *GroupStats) {
+	k := col.K()
+	pl := newVBPPlanes(col)
+	cacheOK := k <= sumCacheExactK
+	small := k <= 57
+	var esum [64]uint64
+	for r := runLo; r < runHi; r++ {
+		seg := int(se.Segs[r])
+		lo, hi := int(se.Start[r]), int(se.Start[r+1])
+		if cacheOK && hi == lo+1 && se.W[lo] == word.LowMask(col.SegmentValues(seg)) {
+			if zs, ok := col.SegmentSum(seg); ok {
+				gi := se.GI[lo]
+				his[gi], los[gi] = add128(his[gi], los[gi], zs)
+				st.CacheServed++
+				continue
+			}
+		}
+		st.Segments++
+		st.Words += uint64(k)
+		if small {
+			ne := hi - lo
+			for i := 0; i < ne; i++ {
+				esum[i] = 0
+			}
+			for p := 0; p < k; p++ {
+				x := pl.word(p, seg)
+				if x == 0 {
+					continue
+				}
+				s := uint(k - 1 - p)
+				for i := 0; i < ne; i++ {
+					esum[i] += uint64(bits.OnesCount64(x&se.W[lo+i])) << s
+				}
+			}
+			for i := 0; i < ne; i++ {
+				if v := esum[i]; v != 0 {
+					gi := se.GI[lo+i]
+					his[gi], los[gi] = add128(his[gi], los[gi], v)
+				}
+			}
+			continue
+		}
+		for p := 0; p < k; p++ {
+			x := pl.word(p, seg)
+			if x == 0 {
+				continue
+			}
+			s := uint(k - 1 - p)
+			for e := lo; e < hi; e++ {
+				if c := uint64(bits.OnesCount64(x & se.W[e])); c != 0 {
+					gi := se.GI[e]
+					his[gi], los[gi] = addShift128(his[gi], los[gi], c, s)
+				}
+			}
+		}
+	}
+}
+
+// HBPHashSumRuns is the HBP twin of VBPHashSumRuns: per entry the
+// selection word moves onto the delimiter lanes, each word-group's masked
+// word folds by the hoisted Gilles–Miller IN-WORD-SUM, and the weighted
+// bit-group partials combine in 128 bits before one add into the entry's
+// group. The per-bit-group partial fits uint64 (≤ 64 values of 2^tau−1),
+// and (b−1)·tau < k ≤ 64 keeps the combine shift in range.
+func HBPHashSumRuns(col *hbp.Column, se *SegEntries, runLo, runHi int, his, los []uint64, st *GroupStats) {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	summer := word.NewSummer(tau, col.FieldsPerWord())
+	gws := groupSlices(col)
+	cacheOK := col.K() <= sumCacheExactK
+	fast := summer.Fast()
+	flush, fw2, fin, keep, mul := summer.Consts()
+	peelV, peelF := summer.PeelMasks()
+	var masks [word.MaxTau + 1]uint64
+	for r := runLo; r < runHi; r++ {
+		seg := int(se.Segs[r])
+		lo, hi := int(se.Start[r]), int(se.Start[r+1])
+		if cacheOK && hi == lo+1 && se.W[lo] == word.LowMask(col.SegmentValues(seg)) {
+			if zs, ok := col.SegmentSum(seg); ok {
+				gi := se.GI[lo]
+				his[gi], los[gi] = add128(his[gi], los[gi], zs)
+				st.CacheServed++
+				continue
+			}
+		}
+		st.Segments++
+		base := seg * subs
+		for e := lo; e < hi; e++ {
+			fw := se.W[e]
+			var active uint64
+			for t := 0; t < subs; t++ {
+				m := word.SpreadDelims(col.SubSegmentDelims(fw, t), tau)
+				masks[t] = m
+				if m != 0 {
+					active |= 1 << uint(t)
+				}
+			}
+			st.Words += uint64(bits.OnesCount64(active)) * uint64(b)
+			var ehi, elo uint64
+			for g := 0; g < b; g++ {
+				run := gws[g][base : base+subs]
+				var part uint64
+				if fast {
+					for a := active; a != 0; a &= a - 1 {
+						t := bits.TrailingZeros64(a)
+						w := run[t] & masks[t]
+						x := (w &^ peelF) << flush
+						x += x >> fw2
+						x &= keep
+						part += (x*mul)>>fin + w&peelV
+					}
+				} else {
+					for a := active; a != 0; a &= a - 1 {
+						t := bits.TrailingZeros64(a)
+						part += summer.Sum(run[t] & masks[t])
+					}
+				}
+				ehi, elo = addShift128(ehi, elo, part, uint((b-1-g)*tau))
+			}
+			gi := se.GI[e]
+			nl, carry := bits.Add64(los[gi], elo, 0)
+			his[gi] += ehi + carry
+			los[gi] = nl
+		}
+	}
+}
+
+// VBPHashExtremeRuns folds MIN (or MAX) candidates over runs
+// [runLo, runHi): each entry's selection word descends the planes as a
+// scalar bit-descent. A lone whole-segment entry is served from the exact
+// zone range, and the segment zone range gates entries that cannot
+// improve their group's running best (perf-only; the analytic counters
+// ignore it, as in the direct kernels).
+func VBPHashExtremeRuns(col *vbp.Column, se *SegEntries, wantMin bool, runLo, runHi int, bests []uint64, anys []bool, st *GroupStats) {
+	k := col.K()
+	pl := newVBPPlanes(col)
+	for r := runLo; r < runHi; r++ {
+		seg := int(se.Segs[r])
+		lo, hi := int(se.Start[r]), int(se.Start[r+1])
+		zlo, zhi, zok := col.ZoneRange(seg)
+		if hi == lo+1 && se.W[lo] == word.LowMask(col.SegmentValues(seg)) {
+			if l, h, ok := col.SegmentRangeExact(seg); ok {
+				v := l
+				if !wantMin {
+					v = h
+				}
+				gi := se.GI[lo]
+				if !anys[gi] || wantMin && v < bests[gi] || !wantMin && v > bests[gi] {
+					bests[gi] = v
+				}
+				anys[gi] = true
+				st.CacheServed++
+				continue
+			}
+		}
+		st.Segments++
+		st.Words += uint64(k)
+		for e := lo; e < hi; e++ {
+			gi := se.GI[e]
+			if zok && anys[gi] {
+				if wantMin && zlo >= bests[gi] || !wantMin && zhi <= bests[gi] {
+					continue
+				}
+			}
+			m := se.W[e]
+			var v uint64
+			if wantMin {
+				for p := 0; p < k; p++ {
+					if z := m &^ pl.word(p, seg); z != 0 {
+						m = z
+					} else {
+						v |= 1 << uint(k-1-p)
+					}
+				}
+			} else {
+				for p := 0; p < k; p++ {
+					if z := m & pl.word(p, seg); z != 0 {
+						m = z
+						v |= 1 << uint(k-1-p)
+					}
+				}
+			}
+			if !anys[gi] || wantMin && v < bests[gi] || !wantMin && v > bests[gi] {
+				bests[gi] = v
+			}
+			anys[gi] = true
+		}
+	}
+}
+
+// HBPHashExtremeRuns is the HBP twin of VBPHashExtremeRuns: selected
+// tuples peel off each entry's sub-segment windows and reconstruct from
+// the word-group fields.
+func HBPHashExtremeRuns(col *hbp.Column, se *SegEntries, wantMin bool, runLo, runHi int, bests []uint64, anys []bool, st *GroupStats) {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	fWidth := col.FieldWidth()
+	gws := groupSlices(col)
+	for r := runLo; r < runHi; r++ {
+		seg := int(se.Segs[r])
+		lo, hi := int(se.Start[r]), int(se.Start[r+1])
+		zlo, zhi, zok := col.ZoneRange(seg)
+		if hi == lo+1 && se.W[lo] == word.LowMask(col.SegmentValues(seg)) {
+			if l, h, ok := col.SegmentRangeExact(seg); ok {
+				v := l
+				if !wantMin {
+					v = h
+				}
+				gi := se.GI[lo]
+				if !anys[gi] || wantMin && v < bests[gi] || !wantMin && v > bests[gi] {
+					bests[gi] = v
+				}
+				anys[gi] = true
+				st.CacheServed++
+				continue
+			}
+		}
+		st.Segments++
+		base := seg * subs
+		for e := lo; e < hi; e++ {
+			fw := se.W[e]
+			gi := se.GI[e]
+			st.Words += hbpLiveSubs(col, fw) * uint64(b)
+			if zok && anys[gi] {
+				if wantMin && zlo >= bests[gi] || !wantMin && zhi <= bests[gi] {
+					continue
+				}
+			}
+			best, any := bests[gi], anys[gi]
+			for t := 0; t < subs; t++ {
+				md := col.SubSegmentDelims(fw, t)
+				for ; md != 0; md &= md - 1 {
+					s := bits.TrailingZeros64(md) / fWidth
+					var v uint64
+					for g := 0; g < b; g++ {
+						v = v<<uint(tau) | word.Field(gws[g][base+t], tau, s)
+					}
+					if !any || wantMin && v < best || !wantMin && v > best {
+						best = v
+					}
+					any = true
+				}
+			}
+			bests[gi], anys[gi] = best, any
+		}
+	}
+}

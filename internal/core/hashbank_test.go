@@ -1,0 +1,127 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestHashBankBudget pins the cardinality refusal: a bank built with a
+// tiny limit accepts exactly limit distinct keys and refuses the next,
+// while repeat bankings of known keys keep succeeding.
+func TestHashBankBudget(t *testing.T) {
+	b := NewHashBank(4)
+	for k := uint64(0); k < 4; k++ {
+		if !b.Bank(k*1000, 0, 1) {
+			t.Fatalf("key %d refused inside the budget", k*1000)
+		}
+	}
+	if b.Bank(9999, 0, 1) {
+		t.Fatal("5th distinct key accepted past limit=4")
+	}
+	if !b.Bank(2000, 5, 1<<7) {
+		t.Fatal("repeat banking of a known key refused at the budget")
+	}
+	if len(b.Keys) != 4 {
+		t.Fatalf("Keys = %d, want 4", len(b.Keys))
+	}
+}
+
+// TestHashBankCounters asserts the analytic counters: every Bank call
+// probes at least one slot, growing past 50% load doubles the table, and
+// BankWords counts distinct (key, segment) words — an OR into the last
+// run is not a new word.
+func TestHashBankCounters(t *testing.T) {
+	b := NewHashBank(MaxHashGroups)
+	if !b.Bank(7, 0, 1) || b.Probes == 0 {
+		t.Fatalf("Probes = %d after first Bank, want > 0", b.Probes)
+	}
+	if b.BankWords != 1 {
+		t.Fatalf("BankWords = %d, want 1", b.BankWords)
+	}
+	if !b.Bank(7, 0, 2) {
+		t.Fatal("repeat banking refused")
+	}
+	if b.BankWords != 1 {
+		t.Fatalf("BankWords = %d after same-segment OR, want still 1", b.BankWords)
+	}
+	if !b.Bank(7, 1, 4) || b.BankWords != 2 {
+		t.Fatalf("BankWords = %d after new segment, want 2", b.BankWords)
+	}
+	if es, ok := b.Lookup(7); !ok || len(es) != 2 || es[0].W != 3 || es[1].W != 4 {
+		t.Fatalf("Lookup(7) = %v, %v; want two runs with ORed first word", es, ok)
+	}
+
+	// hashBankMinCap slots grow at 50% load: the 33rd key must have
+	// doubled the table at least once.
+	for k := uint64(0); k < 40; k++ {
+		b.Bank(100+k, 0, 1)
+	}
+	if b.Growths == 0 {
+		t.Fatalf("Growths = 0 after %d keys in a %d-slot table", len(b.Keys), hashBankMinCap)
+	}
+	// Every key must survive the rehash.
+	for k := uint64(0); k < 40; k++ {
+		if _, ok := b.Lookup(100 + k); !ok {
+			t.Fatalf("key %d lost across growth", 100+k)
+		}
+	}
+}
+
+// TestRewindowSegWordsRoundTrip checks that re-windowing a run list
+// preserves exactly the set of global row bits, both across a coarse→fine
+// →coarse round trip and against a direct bit-level recomputation for
+// random vps pairs (including HBP-style non-power-of-two windows).
+func TestRewindowSegWordsRoundTrip(t *testing.T) {
+	expand := func(es []SegWord, vps int) map[int]bool {
+		rows := map[int]bool{}
+		for _, e := range es {
+			for i := 0; i < vps; i++ {
+				if e.W>>uint(i)&1 != 0 {
+					rows[int(e.Seg)*vps+i] = true
+				}
+			}
+		}
+		return rows
+	}
+	rng := rand.New(rand.NewSource(74))
+	for _, pair := range [][2]int{{64, 20}, {64, 33}, {20, 64}, {48, 36}, {64, 64}} {
+		from, to := pair[0], pair[1]
+		var es []SegWord
+		seg := int32(0)
+		for len(es) < 12 {
+			seg += int32(1 + rng.Intn(3)) // gaps between runs
+			w := rng.Uint64() & ((1 << uint(from)) - 1)
+			if from == 64 {
+				w = rng.Uint64()
+			}
+			if w == 0 {
+				continue
+			}
+			es = append(es, SegWord{Seg: seg, W: w})
+		}
+		want := expand(es, from)
+
+		re := RewindowSegWords(es, from, to)
+		if got := expand(re, to); len(got) != len(want) {
+			t.Fatalf("%d→%d: %d rows, want %d", from, to, len(got), len(want))
+		} else {
+			for r := range want {
+				if !got[r] {
+					t.Fatalf("%d→%d: row %d lost", from, to, r)
+				}
+			}
+		}
+		// Output runs must ascend by segment with no duplicates — the
+		// invariant the banked kernels rely on.
+		for i := 1; i < len(re); i++ {
+			if re[i].Seg <= re[i-1].Seg {
+				t.Fatalf("%d→%d: runs not strictly ascending: %v", from, to, re)
+			}
+		}
+
+		back := RewindowSegWords(re, to, from)
+		if got := expand(back, from); len(got) != len(want) {
+			t.Fatalf("%d→%d→%d: %d rows, want %d", from, to, from, len(got), len(want))
+		}
+	}
+}

@@ -64,6 +64,12 @@ import (
 //   - GroupBankWords: non-zero (group, segment) selection words banked
 //     by single-pass group partitioning — the memory footprint of the
 //     per-group selection banks.
+//   - HashProbes: hash-table slot inspections by the hash-banked group
+//     tier (per-worker open-addressing tables). Probe order depends on
+//     which keys each worker sees, so unlike the analytic counters this
+//     one may vary with thread count.
+//   - HashGrowths: hash-table capacity doublings by the hash-banked
+//     group tier.
 //
 // Timers (nanoseconds, summed):
 //
@@ -87,6 +93,8 @@ type ExecStats struct {
 	ReconstructedRows   uint64
 	GroupsDiscovered    uint64
 	GroupBankWords      uint64
+	HashProbes          uint64
+	HashGrowths         uint64
 	AggNanos            int64
 	WorkerBusyNanos     int64
 }
@@ -107,6 +115,8 @@ func (s ExecStats) Add(o ExecStats) ExecStats {
 	s.ReconstructedRows += o.ReconstructedRows
 	s.GroupsDiscovered += o.GroupsDiscovered
 	s.GroupBankWords += o.GroupBankWords
+	s.HashProbes += o.HashProbes
+	s.HashGrowths += o.HashGrowths
 	s.AggNanos += o.AggNanos
 	s.WorkerBusyNanos += o.WorkerBusyNanos
 	return s
@@ -130,6 +140,8 @@ func (s ExecStats) Sub(o ExecStats) ExecStats {
 	s.ReconstructedRows -= o.ReconstructedRows
 	s.GroupsDiscovered -= o.GroupsDiscovered
 	s.GroupBankWords -= o.GroupBankWords
+	s.HashProbes -= o.HashProbes
+	s.HashGrowths -= o.HashGrowths
 	s.AggNanos -= o.AggNanos
 	s.WorkerBusyNanos -= o.WorkerBusyNanos
 	return s
@@ -186,6 +198,8 @@ type Collector struct {
 	reconstructedRows   atomic.Uint64
 	groupsDiscovered    atomic.Uint64
 	groupBankWords      atomic.Uint64
+	hashProbes          atomic.Uint64
+	hashGrowths         atomic.Uint64
 	aggNanos            atomic.Int64
 	workerBusyNanos     atomic.Int64
 }
@@ -242,6 +256,12 @@ func (c *Collector) Record(s ExecStats) {
 	if s.GroupBankWords != 0 {
 		c.groupBankWords.Add(s.GroupBankWords)
 	}
+	if s.HashProbes != 0 {
+		c.hashProbes.Add(s.HashProbes)
+	}
+	if s.HashGrowths != 0 {
+		c.hashGrowths.Add(s.HashGrowths)
+	}
 	if s.AggNanos != 0 {
 		c.aggNanos.Add(s.AggNanos)
 	}
@@ -273,6 +293,8 @@ func (c *Collector) Snapshot() ExecStats {
 		ReconstructedRows:   c.reconstructedRows.Load(),
 		GroupsDiscovered:    c.groupsDiscovered.Load(),
 		GroupBankWords:      c.groupBankWords.Load(),
+		HashProbes:          c.hashProbes.Load(),
+		HashGrowths:         c.hashGrowths.Load(),
 		AggNanos:            c.aggNanos.Load(),
 		WorkerBusyNanos:     c.workerBusyNanos.Load(),
 	}
@@ -298,6 +320,8 @@ func (c *Collector) Reset() {
 	c.reconstructedRows.Store(0)
 	c.groupsDiscovered.Store(0)
 	c.groupBankWords.Store(0)
+	c.hashProbes.Store(0)
+	c.hashGrowths.Store(0)
 	c.aggNanos.Store(0)
 	c.workerBusyNanos.Store(0)
 }

@@ -42,29 +42,55 @@ type PredSpec struct {
 
 // Case is one differential scenario. A is the aggregate column ("a");
 // B and G, when non-nil, add a second predicate column ("b") and a
-// grouping column ("g") of the same length, bit width, and τ. ExtraA/B/G
-// are appended after each state's cache treatment (rebuild, reload), so
-// they land mid-segment on warmed caches — the append-path invalidation
-// scenario. RowAppend forces one-value-at-a-time appends (the appendOne
-// cache-maintenance path) instead of bulk packing.
+// grouping column ("g") of the same length and τ. G2 adds a second
+// grouping column ("g2"): GROUP BY then uses the composite (g, g2) key.
+// Columns share the case's bit width K unless GK/G2K override the
+// grouping columns' widths (0 = K) — high-cardinality grouped cases need
+// a wide key next to a narrow measure. GNulls marks NULL rows of the
+// grouping column; rows NULL in any grouping column belong to no group.
+// ExtraA/B/G/G2 are appended after each state's cache treatment
+// (rebuild, reload), so they land mid-segment on warmed caches — the
+// append-path invalidation scenario. RowAppend forces
+// one-value-at-a-time appends (the appendOne cache-maintenance path)
+// instead of bulk packing.
 type Case struct {
 	Name   string
 	Layout bpagg.Layout
 	K      int
 	Tau    int // 0 = library default
+	GK     int // grouping-column width; 0 = K
+	G2K    int // second grouping-column width; 0 = K
 
 	A      []uint64
 	ANulls []bool
 	B      []uint64
 	G      []uint64
+	GNulls []bool
+	G2     []uint64
 
-	ExtraA []uint64
-	ExtraB []uint64
-	ExtraG []uint64
+	ExtraA  []uint64
+	ExtraB  []uint64
+	ExtraG  []uint64
+	ExtraG2 []uint64
 
 	Preds     []PredSpec
 	Threads   []int // nil = {1, 8}
 	RowAppend bool
+}
+
+// gk and g2k resolve the grouping-column widths.
+func (c *Case) gk() int {
+	if c.GK != 0 {
+		return c.GK
+	}
+	return c.K
+}
+
+func (c *Case) g2k() int {
+	if c.G2K != 0 {
+		return c.G2K
+	}
+	return c.K
 }
 
 // valOK is a (value, found) aggregate result.
@@ -76,6 +102,7 @@ type valOK struct {
 // expectation is the oracle's verdict for a case, computed once.
 type expectation struct {
 	oa, ob, og *oracle.Column
+	og2        *oracle.Column
 	sel        []bool
 
 	countRows uint64
@@ -185,11 +212,20 @@ func validate(c *Case) error {
 	if c.G != nil && len(c.G) != n {
 		return fmt.Errorf("case %s: G length %d != %d", c.Name, len(c.G), n)
 	}
+	if c.GNulls != nil && (c.G == nil || len(c.GNulls) != n) {
+		return fmt.Errorf("case %s: GNulls length %d != G length %d", c.Name, len(c.GNulls), len(c.G))
+	}
+	if c.G2 != nil && (c.G == nil || len(c.G2) != n) {
+		return fmt.Errorf("case %s: G2 requires G and length %d, got %d", c.Name, n, len(c.G2))
+	}
 	if c.B != nil && len(c.ExtraB) != len(c.ExtraA) {
 		return fmt.Errorf("case %s: ExtraB length %d != ExtraA %d", c.Name, len(c.ExtraB), len(c.ExtraA))
 	}
 	if c.G != nil && len(c.ExtraG) != len(c.ExtraA) {
 		return fmt.Errorf("case %s: ExtraG length %d != ExtraA %d", c.Name, len(c.ExtraG), len(c.ExtraA))
+	}
+	if c.G2 != nil && len(c.ExtraG2) != len(c.ExtraA) {
+		return fmt.Errorf("case %s: ExtraG2 length %d != ExtraA %d", c.Name, len(c.ExtraG2), len(c.ExtraA))
 	}
 	return nil
 }
@@ -207,7 +243,14 @@ func expected(c *Case) *expectation {
 		e.ob = oracle.New(concat(c.B, c.ExtraB))
 	}
 	if c.G != nil {
-		e.og = oracle.New(concat(c.G, c.ExtraG))
+		var gNulls []bool
+		if c.GNulls != nil {
+			gNulls = append(append([]bool(nil), c.GNulls...), make([]bool, len(c.ExtraG))...)
+		}
+		e.og = &oracle.Column{Vals: concat(c.G, c.ExtraG), Nulls: gNulls}
+	}
+	if c.G2 != nil {
+		e.og2 = oracle.New(concat(c.G2, c.ExtraG2))
 	}
 
 	e.sel = e.oa.All()
@@ -262,6 +305,8 @@ func (e *expectation) oracleCol(name string) *oracle.Column {
 		return e.ob
 	case "g":
 		return e.og
+	case "g2":
+		return e.og2
 	}
 	panic(fmt.Sprintf("diff: unknown column %q", name))
 }
@@ -276,24 +321,28 @@ func concat(a, b []uint64) []uint64 {
 // buildTable packs the case's base data into a fresh engine table.
 func buildTable(c *Case) *bpagg.Table {
 	names := []string{"a"}
-	cols := []*bpagg.Column{buildColumn(c, c.A, c.ANulls)}
+	cols := []*bpagg.Column{buildColumn(c, c.K, c.A, c.ANulls)}
 	if c.B != nil {
 		names = append(names, "b")
-		cols = append(cols, buildColumn(c, c.B, nil))
+		cols = append(cols, buildColumn(c, c.K, c.B, nil))
 	}
 	if c.G != nil {
 		names = append(names, "g")
-		cols = append(cols, buildColumn(c, c.G, nil))
+		cols = append(cols, buildColumn(c, c.gk(), c.G, c.GNulls))
+	}
+	if c.G2 != nil {
+		names = append(names, "g2")
+		cols = append(cols, buildColumn(c, c.g2k(), c.G2, nil))
 	}
 	return bpagg.NewTableFromColumns(names, cols)
 }
 
-func buildColumn(c *Case, vals []uint64, nulls []bool) *bpagg.Column {
+func buildColumn(c *Case, k int, vals []uint64, nulls []bool) *bpagg.Column {
 	var opts []bpagg.ColumnOption
 	if c.Tau != 0 {
 		opts = append(opts, bpagg.WithGroupBits(c.Tau))
 	}
-	col := bpagg.NewColumn(c.Layout, c.K, opts...)
+	col := bpagg.NewColumn(c.Layout, k, opts...)
 	switch {
 	case nulls != nil:
 		for i, v := range vals {
@@ -325,6 +374,9 @@ func appendExtras(t *bpagg.Table, c *Case) {
 	}
 	if c.G != nil {
 		m["g"] = c.ExtraG
+	}
+	if c.G2 != nil {
+		m["g2"] = c.ExtraG2
 	}
 	t.AppendColumnar(m)
 }
@@ -543,17 +595,32 @@ func checkColumn(c *Case, exp *expectation, state string, tbl *bpagg.Table, th i
 
 // checkGroupBy compares GROUP BY keys and per-group aggregates. route
 // selects the partition engine: "singlepass" leaves the query lazy so
-// GroupBy takes the single-pass bit-sliced path, "legacy" materializes
-// the selection first, which gates it off and forces the per-group
-// MIN/Equal walk. Both must agree with the naive oracle bit for bit.
+// GroupBy takes the single-pass bit-sliced path (direct or hash tier),
+// "legacy" materializes the selection first, which gates it off and
+// forces the per-group MIN/Equal walk. Both must agree with the naive
+// oracle bit for bit. When the case has a second grouping column the
+// engine groups by the packed (g, g2) composite and the oracle by
+// GroupByComposite with the same per-column widths.
 func checkGroupBy(c *Case, exp *expectation, state string, tbl *bpagg.Table, th int, route string) error {
 	e := tag{c, state, "groupby-" + route, th}
-	keys, groups := exp.og.GroupBy(exp.sel)
+	var keys []uint64
+	var groups [][]bool
+	if c.G2 != nil {
+		keys, groups = oracle.GroupByComposite(
+			[]*oracle.Column{exp.og, exp.og2},
+			[]int{c.gk(), c.g2k()},
+			exp.sel)
+	} else {
+		keys, groups = exp.og.GroupBy(exp.sel)
+	}
 
 	g, err := capture1(func() *bpagg.Grouped {
 		q := newQuery(c, tbl, th)
 		if route == "legacy" {
 			q.Selection()
+		}
+		if c.G2 != nil {
+			return q.GroupBy("g", "g2")
 		}
 		return q.GroupBy("g")
 	})
@@ -563,7 +630,9 @@ func checkGroupBy(c *Case, exp *expectation, state string, tbl *bpagg.Table, th 
 	switch {
 	case route == "legacy" && g.SinglePass():
 		return e.fail("GROUPBY", "materialized selection must force the legacy walk")
-	case route == "singlepass" && !g.SinglePass() && len(keys) <= bpagg.MaxSinglePassGroups:
+	case route == "singlepass" && !g.SinglePass() &&
+		c.GNulls == nil && // NULLs in a grouping column legitimately force legacy
+		len(keys) <= bpagg.MaxSinglePassGroups:
 		return e.fail("GROUPBY", "lazy query should take the single-pass path (%d keys)", len(keys))
 	}
 	if ferr := cmpSlice(e, "KEYS", g.Keys(), keys); ferr != nil {

@@ -315,6 +315,33 @@ func craftedCases(rng *rand.Rand, cfg GenConfig) []Case {
 			A: genValues(rng, "nearmax", n, 64), G: genValues(rng, "duo", n, 64),
 		})
 
+		// Multi-column GROUP BY: composite (g, g2) keys with mixed widths —
+		// one narrow pair that fits the direct tier's 10 bits, one wider
+		// pair that forces the hash tier, and an appended-tail variant.
+		g2 := genValues(rng, "small", n, 16)
+		wideG := genValues(rng, "uniform", n, 7)
+		out = append(out,
+			Case{Name: l + "-groupby-multi", Layout: layout, K: 16, GK: 4, G2K: 4,
+				A: vals, G: g, G2: g2,
+				Preds: []PredSpec{{Col: "a", Pred: oracle.Pred{Op: oracle.GE, A: v1}}}},
+			Case{Name: l + "-groupby-multi-hash", Layout: layout, K: 16, GK: 7, G2K: 7,
+				A: vals, G: wideG, G2: genValues(rng, "uniform", n, 7)},
+			Case{Name: l + "-groupby-multi-extra", Layout: layout, K: 16, GK: 4, G2K: 4,
+				A: vals, G: g, G2: g2,
+				ExtraA: genValues(rng, "uniform", 37, 16),
+				ExtraG: genValues(rng, "small", 37, 16), ExtraG2: genValues(rng, "small", 37, 16)},
+		)
+
+		// NULLs in the grouping column itself: those rows belong to no
+		// group, and the engine must fall back to the legacy walk.
+		gNulls := make([]bool, n)
+		for i := range gNulls {
+			gNulls[i] = rng.Intn(4) == 0
+		}
+		out = append(out, Case{
+			Name: l + "-groupby-gnulls", Layout: layout, K: 16, A: vals, G: g, GNulls: gNulls,
+		})
+
 		// Exact overflow boundaries: the largest sums that still fit and
 		// the smallest that don't, around full and partial segments.
 		out = append(out,

@@ -301,6 +301,47 @@ func (c *Column) GroupBy(sel []bool) (keys []uint64, groups [][]bool) {
 	return outK, outG
 }
 
+// GroupByComposite partitions the selection by the distinct composite
+// keys of several grouping columns, packing column i's value into the
+// key at widths[i] bits (first column in the high bits) — exactly the
+// engine's multi-column GroupBy contract. Rows NULL in any grouping
+// column are dropped. Keys ascend in packed order.
+func GroupByComposite(cols []*Column, widths []int, sel []bool) (keys []uint64, groups [][]bool) {
+	seen := map[uint64]int{}
+rows:
+	for i, s := range sel {
+		if !s {
+			continue
+		}
+		var k uint64
+		for j, c := range cols {
+			if c.IsNull(i) {
+				continue rows
+			}
+			k = k<<uint(widths[j]) | c.Vals[i]
+		}
+		gi, ok := seen[k]
+		if !ok {
+			gi = len(keys)
+			seen[k] = gi
+			keys = append(keys, k)
+			groups = append(groups, make([]bool, len(sel)))
+		}
+		groups[gi][i] = true
+	}
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return keys[idx[a]] < keys[idx[b]] })
+	outK := make([]uint64, len(keys))
+	outG := make([][]bool, len(keys))
+	for i, j := range idx {
+		outK[i], outG[i] = keys[j], groups[j]
+	}
+	return outK, outG
+}
+
 // TopK returns the k largest selected values in descending order and
 // BottomK the k smallest in ascending order, both with the engine's
 // tie-filling semantics (at most k values, padded with the threshold).

@@ -1,0 +1,400 @@
+package parallel
+
+import (
+	"context"
+	"math/bits"
+	"sort"
+	"sync"
+	"time"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/core"
+	"bpagg/internal/hbp"
+	"bpagg/internal/metrics"
+	"bpagg/internal/vbp"
+)
+
+// Hash-banked grouped drivers (DESIGN.md §12). The partition driver
+// splits the first grouping column's segments across workers, each of
+// which banks per-key selection words into its own open-addressing
+// core.HashBank; further grouping columns refine each worker's bank into
+// composite keys (re-windowing the entries when the columns' segment
+// sizes differ). The per-worker banks then merge into one sorted key list
+// and one canonical segment-major run list, deterministic for any thread
+// count: worker ranges are disjoint, the key union is sorted, and runs
+// sort by (segment, group). Aggregates run straight off the run list, so
+// nothing is ever O(groups × segments) — the tier that carries GROUP BY
+// from the direct bank's 1024-key budget to core.MaxHashGroups.
+
+// GroupCol is one grouping or measure column handed to the hash drivers:
+// exactly one of V and H is non-nil.
+type GroupCol struct {
+	V *vbp.Column
+	H *hbp.Column
+}
+
+func (c GroupCol) vps() int {
+	if c.V != nil {
+		return 64
+	}
+	return c.H.ValuesPerSegment()
+}
+
+func (c GroupCol) nseg() int {
+	if c.V != nil {
+		return c.V.NumSegments()
+	}
+	return c.H.NumSegments()
+}
+
+// Width returns the column's key width in bits (its packed-code shift
+// metadata for composite keys).
+func (c GroupCol) Width() int {
+	if c.V != nil {
+		return c.V.K()
+	}
+	return c.H.K()
+}
+
+// HashPartition is the result of a hash-banked grouped partition: the
+// sorted composite keys, per-group row counts, and the canonical run list
+// the banked aggregate kernels consume. Vps is the window size of the
+// canonical entries (the last grouping column's segmentation); aggregates
+// over a measure column with a different window size re-window lazily and
+// cache per size.
+type HashPartition struct {
+	Keys   []uint64
+	Counts []uint64
+	N      int
+	Vps    int
+
+	se     core.SegEntries
+	gStart []int32
+	gEnt   []core.SegWord
+
+	mu    sync.Mutex
+	reVps map[int]*core.SegEntries
+}
+
+// hashTriple is one (segment, group, word) entry during merge.
+type hashTriple struct {
+	seg int32
+	gi  int32
+	w   uint64
+}
+
+// mergeTriples sorts by (segment, group), ORs duplicate (segment, group)
+// pairs (worker-boundary spill after re-windowing), and returns the
+// segment-major run list.
+func mergeTriples(trs []hashTriple) core.SegEntries {
+	sort.Slice(trs, func(i, j int) bool {
+		if trs[i].seg != trs[j].seg {
+			return trs[i].seg < trs[j].seg
+		}
+		return trs[i].gi < trs[j].gi
+	})
+	var se core.SegEntries
+	for _, t := range trs {
+		if n := len(se.GI); n > 0 && se.Segs[len(se.Segs)-1] == t.seg {
+			if se.GI[n-1] == t.gi {
+				se.W[n-1] |= t.w
+				continue
+			}
+		} else {
+			se.Segs = append(se.Segs, t.seg)
+			se.Start = append(se.Start, int32(len(se.GI)))
+		}
+		se.GI = append(se.GI, t.gi)
+		se.W = append(se.W, t.w)
+	}
+	se.Start = append(se.Start, int32(len(se.GI)))
+	return se
+}
+
+// HashGroupPartitionCtx partitions the filter across the composite keys
+// of one or more grouping columns in one traversal, or returns
+// core.ErrGroupCardinality past limit distinct keys. n is the table's row
+// count; limit is core.MaxHashGroups in production (tests pass tiny
+// budgets to exercise the fallback).
+func HashGroupPartitionCtx(ctx context.Context, cols []GroupCol, f *bitvec.Bitmap, n, limit int, o Options) (*HashPartition, error) {
+	var start time.Time
+	if o.Stats != nil {
+		start = time.Now()
+	}
+	nseg := cols[0].nseg()
+	parts := partition(nseg, o.threads())
+	banks := make([]*core.HashBank, len(parts))
+	gsts := make([]core.GroupStats, len(parts))
+	busy := make([]int64, len(parts))
+	probes := make([]uint64, len(parts))
+	growths := make([]uint64, len(parts))
+	for i := range parts {
+		banks[i] = core.NewHashBank(limit)
+	}
+	if _, err := forEachRangeErr(ctx, nseg, o.threads(), func(w, lo, hi int) error {
+		var t0 time.Time
+		if o.Stats != nil {
+			t0 = time.Now()
+		}
+		var err error
+		if c := cols[0]; c.V != nil {
+			err = core.VBPHashPartitionRange(c.V, f, banks[w], lo, hi, &gsts[w])
+		} else {
+			err = core.HBPHashPartitionRange(c.H, f, banks[w], lo, hi, &gsts[w])
+		}
+		if o.Stats != nil {
+			busy[w] += time.Since(t0).Nanoseconds()
+		}
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	// Composite refinement: each worker independently re-partitions its
+	// own bank by the next column, keeping the disjoint-rows invariant.
+	vps := cols[0].vps()
+	for _, c := range cols[1:] {
+		cvps := c.vps()
+		if _, err := forEachRangeErr(ctx, len(banks), len(banks), func(_, lo, hi int) error {
+			for i := lo; i < hi; i++ {
+				var t0 time.Time
+				if o.Stats != nil {
+					t0 = time.Now()
+				}
+				src := banks[i]
+				if cvps != vps {
+					for ki := range src.Ents {
+						src.Ents[ki] = core.RewindowSegWords(src.Ents[ki], vps, cvps)
+					}
+				}
+				dst := core.NewHashBank(limit)
+				var err error
+				if c.V != nil {
+					err = core.VBPHashRefineRange(c.V, src.Keys, src.Ents, uint(c.Width()), dst, &gsts[i])
+				} else {
+					err = core.HBPHashRefineRange(c.H, src.Keys, src.Ents, uint(c.Width()), dst, &gsts[i])
+				}
+				probes[i] += src.Probes
+				growths[i] += src.Growths
+				banks[i] = dst
+				if o.Stats != nil {
+					busy[i] += time.Since(t0).Nanoseconds()
+				}
+				if err != nil {
+					return err
+				}
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		vps = cvps
+	}
+
+	// Union the per-worker key sets, sorted ascending — the merge order
+	// that keeps results bit-identical across thread counts.
+	var keys []uint64
+	for _, b := range banks {
+		keys = append(keys, b.Keys...)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	dedup := keys[:0]
+	for i, k := range keys {
+		if i == 0 || k != dedup[len(dedup)-1] {
+			dedup = append(dedup, k)
+		}
+	}
+	keys = dedup
+	if len(keys) > limit {
+		return nil, core.ErrGroupCardinality
+	}
+
+	var total int
+	for _, b := range banks {
+		total += int(b.BankWords)
+	}
+	trs := make([]hashTriple, 0, total)
+	for _, b := range banks {
+		for ki, key := range b.Keys {
+			gi := int32(sort.Search(len(keys), func(j int) bool { return keys[j] >= key }))
+			for _, e := range b.Ents[ki] {
+				trs = append(trs, hashTriple{seg: e.Seg, gi: gi, w: e.W})
+			}
+		}
+	}
+	hp := &HashPartition{Keys: keys, N: n, Vps: vps, se: mergeTriples(trs)}
+	hp.Counts = make([]uint64, len(keys))
+	hp.gStart = make([]int32, len(keys)+1)
+	for e := range hp.se.GI {
+		gi := hp.se.GI[e]
+		hp.Counts[gi] += uint64(bits.OnesCount64(hp.se.W[e]))
+		hp.gStart[gi+1]++
+	}
+	for i := 1; i <= len(keys); i++ {
+		hp.gStart[i] += hp.gStart[i-1]
+	}
+	hp.gEnt = make([]core.SegWord, len(hp.se.GI))
+	pos := append([]int32(nil), hp.gStart...)
+	for r := 0; r < hp.se.NumRuns(); r++ {
+		for e := hp.se.Start[r]; e < hp.se.Start[r+1]; e++ {
+			gi := hp.se.GI[e]
+			hp.gEnt[pos[gi]] = core.SegWord{Seg: hp.se.Segs[r], W: hp.se.W[e]}
+			pos[gi]++
+		}
+	}
+
+	if o.Stats != nil {
+		var gs core.GroupStats
+		var bankWords, pr, gr uint64
+		var busyTotal int64
+		for i := range banks {
+			gs = gs.Add(gsts[i])
+			bankWords += banks[i].BankWords
+			pr += probes[i] + banks[i].Probes
+			gr += growths[i] + banks[i].Growths
+			busyTotal += busy[i]
+		}
+		o.Stats.Record(metrics.ExecStats{
+			Scans:               1,
+			SegmentsScanned:     gs.Segments,
+			SegmentsCacheServed: gs.CacheServed,
+			WordsCompared:       gs.Words,
+			GroupsDiscovered:    uint64(len(keys)),
+			GroupBankWords:      bankWords,
+			HashProbes:          pr,
+			HashGrowths:         gr,
+			ScanNanos:           time.Since(start).Nanoseconds(),
+			WorkerBusyNanos:     busyTotal,
+		})
+	}
+	return hp, nil
+}
+
+// entriesFor returns the run list in vps-value windows, re-windowing the
+// canonical list lazily and caching per window size (an HBP measure
+// column's segmentation need not match the grouping column's).
+func (hp *HashPartition) entriesFor(vps int) *core.SegEntries {
+	if vps == hp.Vps {
+		return &hp.se
+	}
+	hp.mu.Lock()
+	defer hp.mu.Unlock()
+	if se, ok := hp.reVps[vps]; ok {
+		return se
+	}
+	var trs []hashTriple
+	for r := 0; r < hp.se.NumRuns(); r++ {
+		for e := hp.se.Start[r]; e < hp.se.Start[r+1]; e++ {
+			ws := core.RewindowSegWords([]core.SegWord{{Seg: hp.se.Segs[r], W: hp.se.W[e]}}, hp.Vps, vps)
+			for _, sw := range ws {
+				trs = append(trs, hashTriple{seg: sw.Seg, gi: hp.se.GI[e], w: sw.W})
+			}
+		}
+	}
+	se := mergeTriples(trs)
+	if hp.reVps == nil {
+		hp.reVps = map[int]*core.SegEntries{}
+	}
+	hp.reVps[vps] = &se
+	return &se
+}
+
+// Materialize builds group i's dense selection bitmap from its banked
+// words. The hash tier keeps selections sparse — 10^5 dense bitmaps is
+// exactly the memory wall the tier exists to avoid — so per-group bitmap
+// consumers (MEDIAN, NULL-aware per-group fallbacks) materialize one
+// group at a time.
+func (hp *HashPartition) Materialize(i int) *bitvec.Bitmap {
+	bm := bitvec.New(hp.N)
+	for _, e := range hp.gEnt[hp.gStart[i]:hp.gStart[i+1]] {
+		if hp.Vps == 64 {
+			bm.SetWord(int(e.Seg), e.W)
+		} else {
+			bm.Deposit(int(e.Seg)*hp.Vps, hp.Vps, e.W)
+		}
+	}
+	return bm
+}
+
+// HashGroupSumCtx computes the 128-bit SUM of every group in one pass
+// over the measure column, indexed like Keys; hi != 0 marks a uint64
+// overflow the caller surfaces. Workers split the live runs; partials
+// merge in ascending worker order.
+func HashGroupSumCtx(ctx context.Context, col GroupCol, hp *HashPartition, o Options) ([]uint64, []uint64, error) {
+	se := hp.entriesFor(col.vps())
+	nG := len(hp.Keys)
+	ws, start := o.statsBegin()
+	parts := partition(se.NumRuns(), o.threads())
+	his := make([][]uint64, len(parts))
+	los := make([][]uint64, len(parts))
+	gsts := make([]core.GroupStats, len(parts))
+	for w := range parts {
+		his[w] = make([]uint64, nG)
+		los[w] = make([]uint64, nG)
+	}
+	if _, err := forEachRangeErr(ctx, se.NumRuns(), o.threads(), func(w, lo, hi int) error {
+		t0 := statsNow(ws)
+		if col.V != nil {
+			core.VBPHashSumRuns(col.V, se, lo, hi, his[w], los[w], &gsts[w])
+		} else {
+			core.HBPHashSumRuns(col.H, se, lo, hi, his[w], los[w], &gsts[w])
+		}
+		if ws != nil {
+			busyOnly(ws, w, t0)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for w := 1; w < len(parts); w++ {
+		core.Add128Pairs(his[0], los[0], his[w], los[w])
+	}
+	o.statsEnd(ws, start, groupStatsExtra(gsts))
+	return his[0], los[0], nil
+}
+
+// HashGroupExtremeCtx computes MIN (or MAX) of every group in one pass
+// over the measure column. anys[i] is false only for a group with no
+// selected rows on this column — impossible for partitions built by
+// HashGroupPartitionCtx.
+func HashGroupExtremeCtx(ctx context.Context, col GroupCol, hp *HashPartition, wantMin bool, o Options) ([]uint64, []bool, error) {
+	se := hp.entriesFor(col.vps())
+	nG := len(hp.Keys)
+	ws, start := o.statsBegin()
+	parts := partition(se.NumRuns(), o.threads())
+	bests := make([][]uint64, len(parts))
+	anys := make([][]bool, len(parts))
+	gsts := make([]core.GroupStats, len(parts))
+	for w := range parts {
+		bests[w] = make([]uint64, nG)
+		anys[w] = make([]bool, nG)
+	}
+	if _, err := forEachRangeErr(ctx, se.NumRuns(), o.threads(), func(w, lo, hi int) error {
+		t0 := statsNow(ws)
+		if col.V != nil {
+			core.VBPHashExtremeRuns(col.V, se, wantMin, lo, hi, bests[w], anys[w], &gsts[w])
+		} else {
+			core.HBPHashExtremeRuns(col.H, se, wantMin, lo, hi, bests[w], anys[w], &gsts[w])
+		}
+		if ws != nil {
+			busyOnly(ws, w, t0)
+		}
+		return nil
+	}); err != nil {
+		return nil, nil, err
+	}
+	for w := 1; w < len(parts); w++ {
+		for gi := range bests[0] {
+			if !anys[w][gi] {
+				continue
+			}
+			v := bests[w][gi]
+			if !anys[0][gi] || wantMin && v < bests[0][gi] || !wantMin && v > bests[0][gi] {
+				bests[0][gi] = v
+			}
+			anys[0][gi] = true
+		}
+	}
+	o.statsEnd(ws, start, groupStatsExtra(gsts))
+	return bests[0], anys[0], nil
+}

@@ -153,7 +153,7 @@ type Query struct {
 	Selects []SelectExpr
 	From    string // optional, informational only
 	Where   []Condition
-	GroupBy string // empty when ungrouped
+	GroupBy []string // empty when ungrouped; several columns form a composite key
 	// Explain marks an EXPLAIN ANALYZE query: execute fully, but return
 	// the per-stage plan with execution statistics instead of the rows.
 	Explain bool

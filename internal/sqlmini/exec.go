@@ -91,7 +91,7 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		return nil, err
 	}
 
-	if q.GroupBy == "" {
+	if len(q.GroupBy) == 0 {
 		// Fused path first: when every conjunct translates to a simple
 		// predicate and every aggregate fuses, no filter bitmap is built
 		// (see fused.go). Otherwise fall through to the bitmap executor.
@@ -116,7 +116,7 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		return nil, err
 	}
 
-	if q.GroupBy == "" {
+	if len(q.GroupBy) == 0 {
 		row, err := aggregateRow(ctx, cat, q.Selects, sel, o)
 		if err != nil {
 			return nil, err
@@ -124,12 +124,11 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		return &Result{Headers: headers(q, false), Rows: [][]string{row}}, nil
 	}
 
-	gspec := cat.Spec(q.GroupBy)
-	if gspec == nil {
-		return nil, badf("sql: unknown GROUP BY column %q", q.GroupBy)
+	gcols, err := groupCols(cat, q)
+	if err != nil {
+		return nil, err
 	}
-	gcol := cat.Table.Column(q.GroupBy)
-	grouped, err := groupSelections(ctx, gcol, sel, o.Stats)
+	grouped, err := groupSelections(ctx, gcols, sel, o.Stats)
 	if err != nil {
 		return nil, err
 	}
@@ -139,9 +138,25 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		if err != nil {
 			return nil, err
 		}
-		res.Rows = append(res.Rows, append([]string{cat.FormatValue(q.GroupBy, g.key)}, row...))
+		cells := make([]string, 0, len(q.GroupBy)+len(row))
+		for j, name := range q.GroupBy {
+			cells = append(cells, cat.FormatValue(name, g.parts[j]))
+		}
+		res.Rows = append(res.Rows, append(cells, row...))
 	}
 	return res, nil
+}
+
+// groupCols resolves the GROUP BY column list against the catalog.
+func groupCols(cat *catalog.Catalog, q *Query) ([]*bpagg.Column, error) {
+	cols := make([]*bpagg.Column, len(q.GroupBy))
+	for i, name := range q.GroupBy {
+		if cat.Spec(name) == nil {
+			return nil, badf("sql: unknown GROUP BY column %q", name)
+		}
+		cols[i] = cat.Table.Column(name)
+	}
+	return cols, nil
 }
 
 // validateSelects checks the select list against the schema. Quantile
@@ -167,7 +182,7 @@ func validateSelects(cat *catalog.Catalog, q *Query) error {
 func headers(q *Query, grouped bool) []string {
 	var hs []string
 	if grouped {
-		hs = append(hs, q.GroupBy)
+		hs = append(hs, q.GroupBy...)
 	}
 	for _, s := range q.Selects {
 		hs = append(hs, s.Label())
@@ -176,35 +191,51 @@ func headers(q *Query, grouped bool) []string {
 }
 
 type group struct {
-	key uint64
-	sel *bpagg.Bitmap
+	parts []uint64 // one code per GROUP BY column
+	sel   *bpagg.Bitmap
 }
 
 // groupSelections walks the distinct keys bit-parallel (repeated MIN plus
 // one equality scan per key) and intersects per-key equality with the
 // filter. The key is the minimum of the residual, so removing its rows
 // (AndNot of the equality bitmap) leaves exactly the strictly-greater
-// residual the next step needs — one scan per group, not two. A canceled
-// ctx stops the walk after the current key. A non-nil rec collects the
-// walk's scan and MIN statistics.
-func groupSelections(ctx context.Context, gcol *bpagg.Column, sel *bpagg.Bitmap, rec *bpagg.StatsCollector) ([]group, error) {
+// residual the next step needs — one scan per group, not two. Composite
+// keys nest one walk per column: each discovered value refines its
+// parent's selection before recursing, so groups come out in ascending
+// composite order and rows NULL in any grouping column drop out. A
+// canceled ctx stops the walk after the current key. A non-nil rec
+// collects the walk's scan and MIN statistics.
+func groupSelections(ctx context.Context, gcols []*bpagg.Column, sel *bpagg.Bitmap, rec *bpagg.StatsCollector) ([]group, error) {
 	var gopts []bpagg.ExecOption
 	if rec != nil {
 		gopts = append(gopts, bpagg.CollectStats(rec))
 	}
 	var out []group
-	rest := sel.Clone()
-	for {
-		v, ok, err := gcol.MinContext(ctx, rest, gopts...)
-		if err != nil {
-			return nil, err
+	var walk func(sel *bpagg.Bitmap, depth int, prefix []uint64) error
+	walk = func(sel *bpagg.Bitmap, depth int, prefix []uint64) error {
+		gcol := gcols[depth]
+		rest := sel.Clone()
+		for {
+			v, ok, err := gcol.MinContext(ctx, rest, gopts...)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			eq := gcol.ScanStats(bpagg.Equal(v), rec)
+			sub := sel.Clone().And(eq)
+			parts := append(append([]uint64(nil), prefix...), v)
+			if depth == len(gcols)-1 {
+				out = append(out, group{parts: parts, sel: sub})
+			} else if err := walk(sub, depth+1, parts); err != nil {
+				return err
+			}
+			rest.AndNot(eq)
 		}
-		if !ok {
-			break
-		}
-		eq := gcol.ScanStats(bpagg.Equal(v), rec)
-		out = append(out, group{key: v, sel: sel.Clone().And(eq)})
-		rest.AndNot(eq)
+	}
+	if err := walk(sel, 0, nil); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

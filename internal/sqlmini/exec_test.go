@@ -157,6 +157,47 @@ func TestExecuteGroupBy(t *testing.T) {
 	}
 }
 
+func TestExecuteGroupByMultiColumn(t *testing.T) {
+	cat := loadSales(t)
+	res := run(t, cat, "SELECT COUNT(*), SUM(qty) GROUP BY region, price")
+	// Distinct (region, price) pairs ascending: APAC/500.00, EU/0.01,
+	// EU/10.50 (two rows), US/25.25, US/99.99.
+	wantRows := [][]string{
+		{"APAC", "500.00", "1", "50"},
+		{"EU", "0.01", "1", "1"},
+		{"EU", "10.50", "2", "15"},
+		{"US", "25.25", "1", "3"},
+		{"US", "99.99", "1", "24"},
+	}
+	if len(res.Rows) != len(wantRows) {
+		t.Fatalf("groups = %d: %v", len(res.Rows), res.Rows)
+	}
+	for i, want := range wantRows {
+		for j, w := range want {
+			if res.Rows[i][j] != w {
+				t.Errorf("group row %d col %d = %q, want %q", i, j, res.Rows[i][j], w)
+			}
+		}
+	}
+	if res.Headers[0] != "region" || res.Headers[1] != "price" || res.Headers[2] != "count(*)" {
+		t.Errorf("headers = %v", res.Headers)
+	}
+
+	// The legacy route (forced by an IN-list predicate, which never binds
+	// to a simple engine predicate) must produce identical rows.
+	legacy := run(t, cat, "SELECT COUNT(*), SUM(qty) WHERE qty IN (1, 3, 5, 10, 24, 50) GROUP BY region, price")
+	if len(legacy.Rows) != len(res.Rows) {
+		t.Fatalf("legacy groups = %d, single-pass %d", len(legacy.Rows), len(res.Rows))
+	}
+	for i := range legacy.Rows {
+		for j := range legacy.Rows[i] {
+			if legacy.Rows[i][j] != res.Rows[i][j] {
+				t.Errorf("legacy row %d col %d = %q, single-pass %q", i, j, legacy.Rows[i][j], res.Rows[i][j])
+			}
+		}
+	}
+}
+
 func TestExecuteGroupByWithWhere(t *testing.T) {
 	cat := loadSales(t)
 	res := run(t, cat, "SELECT SUM(qty) WHERE price < 50 GROUP BY region")

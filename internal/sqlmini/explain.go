@@ -85,7 +85,7 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 	// Fused plan: the executor's routing decision is reproduced exactly
 	// (same bindPreds + queryFusesAll gate as ExecuteContext), so the plan
 	// always shows the stages that would really run.
-	if q.GroupBy == "" {
+	if len(q.GroupBy) == 0 {
 		if bps, ok := bindPreds(cat, q.Where); ok && len(bps) > 0 {
 			rec := bpagg.NewStatsCollector()
 			bq, err := buildFusedQuery(cat, bps, o, rec)
@@ -134,7 +134,7 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 	//
 	//	query
 	//	└─ group+agg (single-pass) ...
-	if q.GroupBy != "" {
+	if len(q.GroupBy) != 0 {
 		if bps, ok := groupSinglePassEligible(cat, q, o); ok {
 			rec := bpagg.NewStatsCollector()
 			bq, err := buildFusedQuery(cat, bps, o, rec)
@@ -142,7 +142,7 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 				oa := o
 				oa.Stats = rec
 				t0 := time.Now()
-				g, err := bq.GroupByContext(ctx, q.GroupBy)
+				g, err := bq.GroupByContext(ctx, q.GroupBy...)
 				if err != nil {
 					return nil, err
 				}
@@ -151,7 +151,7 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 				}
 				node := &PlanNode{
 					Op:     "group+agg (single-pass)",
-					Detail: groupFastDetail(q),
+					Detail: groupFastDetail(q) + " [" + g.Strategy().String() + " tier]",
 					Rows:   uint64(g.Len()),
 					Stats:  rec.Snapshot(),
 					Wall:   time.Since(t0),
@@ -217,19 +217,20 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 	agg := &PlanNode{Op: "aggregate", Detail: selectList(q)}
 	above := combine
 	var groups []group
-	if q.GroupBy != "" {
-		if cat.Spec(q.GroupBy) == nil {
-			return nil, fmt.Errorf("sql: unknown GROUP BY column %q", q.GroupBy)
+	if len(q.GroupBy) != 0 {
+		gcols, err := groupCols(cat, q)
+		if err != nil {
+			return nil, err
 		}
 		rec := bpagg.NewStatsCollector()
 		t0 := time.Now()
-		groups, err = groupSelections(ctx, cat.Table.Column(q.GroupBy), sel, rec)
+		groups, err = groupSelections(ctx, gcols, sel, rec)
 		if err != nil {
 			return nil, err
 		}
 		above = &PlanNode{
 			Op:       "group",
-			Detail:   "by " + q.GroupBy,
+			Detail:   "by " + strings.Join(q.GroupBy, ", "),
 			Rows:     uint64(len(groups)),
 			Stats:    rec.Snapshot(),
 			Wall:     time.Since(t0),
@@ -244,7 +245,7 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 	oa := o
 	oa.Stats = rec
 	t0 = time.Now()
-	if q.GroupBy == "" {
+	if len(q.GroupBy) == 0 {
 		if _, err := aggregateRow(ctx, cat, q.Selects, sel, oa); err != nil {
 			return nil, err
 		}
@@ -381,6 +382,10 @@ func (n *PlanNode) describe(norm bool) string {
 		add("words_compared=%d", n.Stats.WordsCompared)
 		add("words_touched=%d", n.Stats.WordsTouched)
 		add("bank_words=%d", n.Stats.GroupBankWords)
+		if n.Stats.HashProbes > 0 || n.Stats.HashGrowths > 0 {
+			add("hash_probes=%d", n.Stats.HashProbes)
+			add("hash_growths=%d", n.Stats.HashGrowths)
+		}
 		add("busy=%s", dur(n.Stats.WorkerBusy()))
 		add("time=%s", dur(n.Wall))
 	case "aggregate":

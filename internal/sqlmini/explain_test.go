@@ -42,6 +42,10 @@ func loadOrders(t *testing.T) *catalog.Catalog {
 }
 
 func explainLines(t *testing.T, cat *catalog.Catalog, sql string) []string {
+	return explainLinesOpts(t, cat, sql, ExecOptions{})
+}
+
+func explainLinesOpts(t *testing.T, cat *catalog.Catalog, sql string, o ExecOptions) []string {
 	t.Helper()
 	q, err := Parse(sql)
 	if err != nil {
@@ -50,7 +54,7 @@ func explainLines(t *testing.T, cat *catalog.Catalog, sql string) []string {
 	if !q.Explain {
 		t.Fatalf("query %q did not parse as EXPLAIN ANALYZE", sql)
 	}
-	ex, err := ExplainAnalyze(cat, q, ExecOptions{})
+	ex, err := ExplainAnalyze(cat, q, o)
 	if err != nil {
 		t.Fatalf("explain %q: %v", sql, err)
 	}
@@ -90,6 +94,34 @@ func TestExplainGolden(t *testing.T) {
 				t.Errorf("plan mismatch for %q\n--- got ---\n%s--- want ---\n%s", tc.sql, got, want)
 			}
 		})
+	}
+}
+
+// TestExplainGoldenHashTier pins the hash-banked plan shape: a composite
+// GROUP BY routes single-pass through the hash tier and the node reports
+// the tier plus its probe/growth counters. Threads is pinned to 1 because
+// HashProbes depends on per-worker key arrival order (DESIGN.md §12) —
+// with one worker the counters are exactly reproducible.
+func TestExplainGoldenHashTier(t *testing.T) {
+	cat := loadOrders(t)
+	const sql = "EXPLAIN ANALYZE SELECT SUM(amount), COUNT(*) GROUP BY region, qty"
+	got := strings.Join(explainLinesOpts(t, cat, sql, ExecOptions{Threads: 1}), "\n") + "\n"
+	path := filepath.Join("testdata", "explain", "group_by_hash.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("plan mismatch for %q\n--- got ---\n%s--- want ---\n%s", sql, got, want)
+	}
+	if !strings.Contains(got, "[hash tier]") || !strings.Contains(got, "hash_probes=") {
+		t.Errorf("hash-tier plan does not report the tier and probe counters:\n%s", got)
 	}
 }
 

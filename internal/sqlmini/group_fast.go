@@ -22,28 +22,40 @@ import (
 
 // groupSinglePassEligible reproduces the engine's single-pass gate at
 // plan time so the executor and EXPLAIN route identically. The
-// catalog's dictionary bound makes the check complete: max code <
-// MaxSinglePassGroups means the runtime cardinality fallback cannot
-// trigger, so a true answer here guarantees the engine takes the
-// single-pass path.
+// catalog's dictionary bounds make the check complete: the product of
+// (max code + 1) over the grouping columns caps the runtime composite
+// cardinality, so product ≤ MaxSinglePassGroups means the engine's
+// cardinality fallback cannot trigger and a true answer here guarantees
+// the single-pass path (direct tier for one ≤10-bit column, hash tier
+// otherwise).
 func groupSinglePassEligible(cat *catalog.Catalog, q *Query, o ExecOptions) ([]boundPred, bool) {
-	if q.GroupBy == "" || o.Wide {
+	if len(q.GroupBy) == 0 || o.Wide {
 		return nil, false
 	}
 	bps, ok := bindPreds(cat, q.Where)
 	if !ok {
 		return nil, false
 	}
-	if cat.Spec(q.GroupBy) == nil {
-		return nil, false // the legacy path reports the unknown-column error
+	totalBits := 0
+	card := uint64(1)
+	for _, name := range q.GroupBy {
+		if cat.Spec(name) == nil {
+			return nil, false // the legacy path reports the unknown-column error
+		}
+		gcol := cat.Table.Column(name)
+		if gcol == nil || gcol.NullCount() > 0 {
+			return nil, false
+		}
+		totalBits += gcol.BitWidth()
+		max, err := cat.MaxCode(name)
+		if err != nil || max >= bpagg.MaxSinglePassGroups ||
+			card > bpagg.MaxSinglePassGroups/(max+1) {
+			return nil, false
+		}
+		card *= max + 1
 	}
-	gcol := cat.Table.Column(q.GroupBy)
-	if gcol == nil || gcol.NullCount() > 0 {
-		return nil, false
-	}
-	max, err := cat.MaxCode(q.GroupBy)
-	if err != nil || max >= bpagg.MaxSinglePassGroups {
-		return nil, false
+	if totalBits > 64 {
+		return nil, false // composite key would not pack into one word
 	}
 	return bps, true
 }
@@ -60,7 +72,7 @@ func tryGroupedRows(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 	if err != nil {
 		return nil, false, nil
 	}
-	g, err := bq.GroupByContext(ctx, q.GroupBy)
+	g, err := bq.GroupByContext(ctx, q.GroupBy...)
 	if err != nil {
 		return nil, false, err
 	}
@@ -78,15 +90,16 @@ func tryGroupedRows(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 // per-group Column calls so NULL semantics (all-NULL groups render
 // NULL) match the legacy path exactly.
 func groupedRows(ctx context.Context, cat *catalog.Catalog, q *Query, g *bpagg.Grouped, o ExecOptions) ([][]string, error) {
-	keys := g.Keys()
 	counts, err := g.CountContext(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([][]string, len(keys))
-	for i, key := range keys {
-		rows[i] = make([]string, 0, len(q.Selects)+1)
-		rows[i] = append(rows[i], cat.FormatValue(q.GroupBy, key))
+	rows := make([][]string, g.Len())
+	for i := range rows {
+		rows[i] = make([]string, 0, len(q.Selects)+len(q.GroupBy))
+		for j, part := range g.KeyParts(i) {
+			rows[i] = append(rows[i], cat.FormatValue(q.GroupBy[j], part))
+		}
 	}
 	for _, s := range q.Selects {
 		cells, err := groupedCells(ctx, cat, g, s, counts, o.opts())
@@ -191,9 +204,9 @@ func groupedCells(ctx context.Context, cat *catalog.Catalog, g *bpagg.Grouped,
 }
 
 // groupFastDetail renders the single-pass plan node's description: the
-// aggregate list, the grouping column, and the predicate conjunction.
+// aggregate list, the grouping columns, and the predicate conjunction.
 func groupFastDetail(q *Query) string {
-	d := selectList(q) + " by " + q.GroupBy
+	d := selectList(q) + " by " + strings.Join(q.GroupBy, ", ")
 	if len(q.Where) == 0 {
 		return d
 	}

@@ -112,11 +112,18 @@ func (p *parser) parseQuery() (*Query, error) {
 		if !p.keyword("BY") {
 			return nil, fmt.Errorf("sql: expected BY after GROUP at offset %d", p.cur().pos)
 		}
-		col, err := p.ident()
-		if err != nil {
-			return nil, err
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			q.GroupBy = append(q.GroupBy, col)
+			if p.cur().kind == tokSymbol && p.cur().text == "," {
+				p.i++
+				continue
+			}
+			break
 		}
-		q.GroupBy = col
 	}
 	if t := p.cur(); t.kind != tokEOF {
 		return nil, fmt.Errorf("sql: unexpected %q at offset %d", t.text, t.pos)

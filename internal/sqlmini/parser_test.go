@@ -73,8 +73,21 @@ func TestParseGroupByAndFrom(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if q.From != "sales" || q.GroupBy != "region" {
+	if q.From != "sales" || len(q.GroupBy) != 1 || q.GroupBy[0] != "region" {
 		t.Errorf("from=%q groupby=%q", q.From, q.GroupBy)
+	}
+}
+
+func TestParseGroupByMultiColumn(t *testing.T) {
+	q, err := Parse("SELECT COUNT(*) FROM sales GROUP BY region, dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.GroupBy) != 2 || q.GroupBy[0] != "region" || q.GroupBy[1] != "dept" {
+		t.Errorf("groupby=%q", q.GroupBy)
+	}
+	if _, err := Parse("SELECT COUNT(*) GROUP BY a,"); err == nil {
+		t.Error("trailing comma in GROUP BY list parsed without error")
 	}
 }
 

@@ -66,7 +66,8 @@ func TestBadASTReturnsErrors(t *testing.T) {
 		{Selects: []SelectExpr{{Func: Quantile, Column: "qty", Arg: -1}}},
 		{Selects: []SelectExpr{{Func: AggFunc(99), Column: "qty"}}},
 		{Selects: []SelectExpr{{Func: Sum, Column: "ghost"}}},
-		{Selects: []SelectExpr{{Func: Min, Column: "qty"}}, GroupBy: "ghost"},
+		{Selects: []SelectExpr{{Func: Min, Column: "qty"}}, GroupBy: []string{"ghost"}},
+		{Selects: []SelectExpr{{Func: Min, Column: "qty"}}, GroupBy: []string{"region", "ghost"}},
 		{Selects: []SelectExpr{{Func: Min, Column: "qty"}},
 			Where: []Condition{{Column: "ghost", Op: OpEq, Lits: []Literal{{Num: 1}}}}},
 	} {

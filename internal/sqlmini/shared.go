@@ -31,7 +31,7 @@ import (
 // queries, EXPLAIN, and WHERE clauses that need bitmap machinery
 // (IN-lists) or fail to bind.
 func BatchKey(cat *catalog.Catalog, q *Query) (string, bool) {
-	if q == nil || q.Explain || q.GroupBy != "" {
+	if q == nil || q.Explain || len(q.GroupBy) != 0 {
 		return "", false
 	}
 	bps, ok := bindPreds(cat, q.Where)

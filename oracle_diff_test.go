@@ -27,5 +27,17 @@ func TestOracleDifferentialSweep(t *testing.T) {
 				}
 			})
 		}
+		// The high-cardinality grouped axis: direct vs hash vs legacy
+		// partition tiers at G up to 65536, composite keys, and NULL
+		// grouping keys, against the map-shaped scalar reference.
+		for _, c := range diff.HighCardCases(diff.GenConfig{Seed: seed}) {
+			c := c
+			t.Run(c.Name, func(t *testing.T) {
+				t.Parallel()
+				if err := diff.CheckGrouped(c); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
 	}
 }

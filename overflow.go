@@ -18,10 +18,17 @@ import (
 // it. See DESIGN.md §7.
 type OverflowError struct {
 	Hi, Lo uint64
+	// Group holds the offending group's key — one code per grouping
+	// column — when the overflow happened inside a grouped aggregate;
+	// nil for ungrouped SUM/AVG.
+	Group []uint64
 }
 
 // Error implements the error interface.
 func (e *OverflowError) Error() string {
+	if e.Group != nil {
+		return fmt.Sprintf("bpagg: SUM overflows uint64 in group %v (true sum %s)", e.Group, e.Big().String())
+	}
 	return fmt.Sprintf("bpagg: SUM overflows uint64 (true sum %s)", e.Big().String())
 }
 

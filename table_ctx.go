@@ -168,58 +168,41 @@ func (q *Query) QuantileContext(ctx context.Context, column string, quantile flo
 	return col.QuantileContext(ctx, q.Selection(), quantile, q.execs...)
 }
 
-// GroupByContext partitions the query's selection by the named column's
+// GroupByContext partitions the query's selection by the named columns'
 // distinct values, honoring ctx. Qualifying queries run the single-pass
 // partition (see GroupBy); otherwise the legacy walk runs, where each
 // step is one MIN plus one equality scan (the strictly-greater residual
 // is derived from the equality bitmap), so a canceled context stops the
 // walk after the current group. Either path records into the query's
 // stats collector.
-func (q *Query) GroupByContext(ctx context.Context, column string) (*Grouped, error) {
+func (q *Query) GroupByContext(ctx context.Context, columns ...string) (*Grouped, error) {
 	ctx = orBackground(ctx)
-	col, err := q.t.ColumnErr(column)
-	if err != nil {
-		return nil, err
-	}
-	if g, ok, err := q.groupSinglePass(ctx, col); err != nil {
-		return nil, err
-	} else if ok {
-		return g, nil
-	}
-	g := &Grouped{q: q}
-	base := q.Selection()
-	rest := base.Clone()
-	for {
-		v, ok, err := col.MinContext(ctx, rest, q.execs...)
+	cols := make([]*Column, len(columns))
+	for i, column := range columns {
+		col, err := q.t.ColumnErr(column)
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			break
-		}
-		eq := col.ScanStats(Equal(v), q.stats)
-		g.keys = append(g.keys, v)
-		g.sels = append(g.sels, base.Clone().And(eq))
-		rest.AndNot(eq)
+		cols[i] = col
 	}
-	return g, nil
+	return q.groupByCols(ctx, cols)
 }
 
 // CountContext returns each group's row count, honoring ctx between
-// groups. Like Count, the popcounts record into the query's stats
+// groups. Like Count, the counts record into the query's stats
 // collector as one aggregate per group.
 func (g *Grouped) CountContext(ctx context.Context) ([]uint64, error) {
 	ctx = orBackground(ctx)
 	start := time.Now()
 	out := make([]uint64, len(g.keys))
-	for i, sel := range g.sels {
+	for i := range g.keys {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		out[i] = uint64(sel.Count())
+		out[i] = g.groupCount(i)
 	}
 	g.q.stats.Record(ExecStats{
-		Aggregates: uint64(len(g.sels)),
+		Aggregates: uint64(len(g.keys)),
 		AggNanos:   time.Since(start).Nanoseconds(),
 	})
 	return out, nil
@@ -227,7 +210,7 @@ func (g *Grouped) CountContext(ctx context.Context) ([]uint64, error) {
 
 // SumContext aggregates SUM of the named column per group, honoring
 // ctx. A group whose sum exceeds uint64 returns an *OverflowError
-// carrying the exact 128-bit total.
+// carrying the exact 128-bit total and the offending group's key.
 func (g *Grouped) SumContext(ctx context.Context, column string) ([]uint64, error) {
 	col, err := g.q.colErr(column)
 	if err != nil {
@@ -237,10 +220,10 @@ func (g *Grouped) SumContext(ctx context.Context, column string) ([]uint64, erro
 		return g.bankedSum(orBackground(ctx), col, o)
 	}
 	out := make([]uint64, len(g.keys))
-	for i, sel := range g.sels {
-		v, err := col.SumContext(ctx, sel, g.q.execs...)
+	for i := range g.keys {
+		v, err := col.SumContext(ctx, g.Selection(i), g.q.execs...)
 		if err != nil {
-			return nil, err
+			return nil, g.decorateOverflow(err, i)
 		}
 		out[i] = v
 	}
@@ -300,10 +283,10 @@ func (g *Grouped) AvgContext(ctx context.Context, column string) ([]float64, err
 		return g.bankedAvg(orBackground(ctx), col, o)
 	}
 	out := make([]float64, len(g.keys))
-	for i, sel := range g.sels {
-		v, _, err := col.AvgContext(ctx, sel, g.q.execs...)
+	for i := range g.keys {
+		v, _, err := col.AvgContext(ctx, g.Selection(i), g.q.execs...)
 		if err != nil {
-			return nil, err
+			return nil, g.decorateOverflow(err, i)
 		}
 		out[i] = v
 	}
@@ -317,8 +300,8 @@ func (g *Grouped) eachContext(ctx context.Context, column string,
 		return nil, err
 	}
 	out := make([]uint64, len(g.keys))
-	for i, sel := range g.sels {
-		v, ok, err := agg(col, ctx, sel, g.q.execs...)
+	for i := range g.keys {
+		v, ok, err := agg(col, ctx, g.Selection(i), g.q.execs...)
 		if err != nil {
 			return nil, err
 		}
