@@ -3,10 +3,12 @@
 // Figure 8 (multi-threading and wide-word speedups) and Table II (TPC-H
 // style queries), plus a fused-pipeline A/B comparison ("fused") of the
 // scan→aggregate path against the two-phase scan-then-aggregate path,
-// and a grouped A/B comparison ("groupby") of the single-pass bit-sliced
+// a grouped A/B comparison ("groupby") of the single-pass bit-sliced
 // GROUP BY engine against the legacy per-group walk across cardinalities,
 // with a high-cardinality extension ("groupby-hicard") that sweeps group
-// counts up to 2^20 through the hash-banked partition tier.
+// counts up to 2^20 through the hash-banked partition tier, and a SUM
+// kernel A/B comparison ("sum-kernels") of the carry-save positional-
+// popcount kernels against the per-word-popcount bodies they replaced.
 //
 // Usage:
 //
@@ -26,15 +28,135 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"bpagg/internal/bench"
 	"bpagg/internal/tpch"
 )
 
+// runCtx carries everything an experiment body needs beyond the shared
+// Config: the optional JSON report (nil-safe Add methods) and the soak
+// parameters.
+type runCtx struct {
+	cfg       bench.Config
+	report    *bench.Report
+	seed      int64
+	soakSeeds int
+}
+
+// experimentSpec registers one experiment. The flag help text, the
+// unknown-experiment error, and the "all" sequence are all derived from
+// this table, so adding an experiment is one entry here.
+type experimentSpec struct {
+	name  string
+	inAll bool // part of "-experiment all"
+	run   func(rc runCtx) error
+}
+
+var experiments = []experimentSpec{
+	{"fig5", true, func(rc runCtx) error {
+		rows := bench.Fig5(rc.cfg)
+		bench.PrintFig5(os.Stdout, rows)
+		rc.report.AddFig5(rows)
+		return nil
+	}},
+	{"fig6", true, func(rc runCtx) error {
+		rows := bench.Fig6(rc.cfg)
+		bench.PrintFig6(os.Stdout, rows)
+		rc.report.AddFig6(rows)
+		return nil
+	}},
+	{"fig7", true, func(rc runCtx) error {
+		rows := bench.Fig7(rc.cfg)
+		bench.PrintFig7(os.Stdout, rows)
+		rc.report.AddFig7(rows)
+		return nil
+	}},
+	{"fig8", true, func(rc runCtx) error {
+		rows := bench.Fig8(rc.cfg)
+		bench.PrintFig8(os.Stdout, rows, rc.cfg.Threads)
+		rc.report.AddFig8(rows)
+		return nil
+	}},
+	{"table2", true, func(rc runCtx) error {
+		vrows := bench.Table2(rc.cfg, tpch.VBP)
+		bench.PrintTable2(os.Stdout, tpch.VBP, vrows)
+		fmt.Println()
+		hrows := bench.Table2(rc.cfg, tpch.HBP)
+		bench.PrintTable2(os.Stdout, tpch.HBP, hrows)
+		rc.report.AddTable2(tpch.VBP, vrows)
+		rc.report.AddTable2(tpch.HBP, hrows)
+		return nil
+	}},
+	{"fused", true, func(rc runCtx) error {
+		rows := bench.Fused(rc.cfg)
+		bench.PrintFused(os.Stdout, rows, rc.cfg)
+		rc.report.AddFused(rows)
+		return nil
+	}},
+	{"sum-kernels", true, func(rc runCtx) error {
+		rows, wideRows := bench.SumKernels(rc.cfg)
+		bench.PrintSumKernels(os.Stdout, rows, wideRows, rc.cfg)
+		rc.report.AddSumKernels(rows, wideRows)
+		return nil
+	}},
+	{"groupby", true, func(rc runCtx) error {
+		rows := bench.GroupBy(rc.cfg)
+		bench.PrintGroupBy(os.Stdout, rows, rc.cfg)
+		rc.report.AddGroupBy(rows)
+		return nil
+	}},
+	// High-cardinality sweep into hash-tier territory; excluded from
+	// "all" — the largest points build multi-million-row tables and CI
+	// archives it as its own artifact.
+	{"groupby-hicard", false, func(rc runCtx) error {
+		rows := bench.GroupByHiCard(rc.cfg)
+		bench.PrintGroupByHiCard(os.Stdout, rows, rc.cfg)
+		rc.report.AddGroupByHiCard(rows)
+		return nil
+	}},
+	{"concurrent-clients", true, func(rc runCtx) error {
+		rows, err := bench.ConcurrentClients(rc.cfg)
+		if err != nil {
+			return err
+		}
+		bench.PrintServer(os.Stdout, rows)
+		rc.report.AddServer(rows)
+		return nil
+	}},
+	// Correctness soak, not a benchmark: the Deep differential sweep
+	// over [seed, seed+soak-seeds). Excluded from "all".
+	{"oracle-soak", false, func(rc runCtx) error {
+		if fails := bench.OracleSoak(os.Stdout, rc.seed, rc.soakSeeds); fails > 0 {
+			return fmt.Errorf("%d divergences", fails)
+		}
+		return nil
+	}},
+}
+
+// experimentNames returns the registered names in table order.
+func experimentNames() []string {
+	names := make([]string, len(experiments))
+	for i, e := range experiments {
+		names[i] = e.name
+	}
+	return names
+}
+
+func findExperiment(name string) *experimentSpec {
+	for i := range experiments {
+		if experiments[i].name == name {
+			return &experiments[i]
+		}
+	}
+	return nil
+}
+
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig5 | fig6 | fig7 | fig8 | table2 | fused | groupby | groupby-hicard | concurrent-clients | oracle-soak | all")
+		experiment = flag.String("experiment", "all",
+			strings.Join(append(experimentNames(), "all"), " | "))
 		n          = flag.Int("n", 4<<20, "tuples per micro-benchmark column")
 		k          = flag.Int("k", 25, "default value width in bits")
 		sel        = flag.Float64("sel", 0.1, "default filter selectivity")
@@ -47,6 +169,12 @@ func main() {
 		jsonPath   = flag.String("json-out", "BENCH_results.json", "output file for -json")
 	)
 	flag.Parse()
+
+	if *experiment != "all" && findExperiment(*experiment) == nil {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; valid: %s\n",
+			*experiment, strings.Join(append(experimentNames(), "all"), ", "))
+		os.Exit(2)
+	}
 
 	cfg := bench.Config{
 		N: *n, K: *k, Sel: *sel, Threads: *threads, Seed: *seed, MinTime: *minTime,
@@ -71,77 +199,25 @@ func main() {
 	if *jsonOut {
 		report = bench.NewReport(cfg)
 	}
+	rc := runCtx{cfg: cfg, report: report, seed: *seed, soakSeeds: *soakSeeds}
 
-	run := func(name string) {
+	run := func(e *experimentSpec) {
 		start := time.Now()
-		switch name {
-		case "fig5":
-			rows := bench.Fig5(cfg)
-			bench.PrintFig5(os.Stdout, rows)
-			report.AddFig5(rows)
-		case "fig6":
-			rows := bench.Fig6(cfg)
-			bench.PrintFig6(os.Stdout, rows)
-			report.AddFig6(rows)
-		case "fig7":
-			rows := bench.Fig7(cfg)
-			bench.PrintFig7(os.Stdout, rows)
-			report.AddFig7(rows)
-		case "fig8":
-			rows := bench.Fig8(cfg)
-			bench.PrintFig8(os.Stdout, rows, cfg.Threads)
-			report.AddFig8(rows)
-		case "table2":
-			vrows := bench.Table2(cfg, tpch.VBP)
-			bench.PrintTable2(os.Stdout, tpch.VBP, vrows)
-			fmt.Println()
-			hrows := bench.Table2(cfg, tpch.HBP)
-			bench.PrintTable2(os.Stdout, tpch.HBP, hrows)
-			report.AddTable2(tpch.VBP, vrows)
-			report.AddTable2(tpch.HBP, hrows)
-		case "fused":
-			rows := bench.Fused(cfg)
-			bench.PrintFused(os.Stdout, rows, cfg)
-			report.AddFused(rows)
-		case "groupby":
-			rows := bench.GroupBy(cfg)
-			bench.PrintGroupBy(os.Stdout, rows, cfg)
-			report.AddGroupBy(rows)
-		case "groupby-hicard":
-			// High-cardinality sweep into hash-tier territory; excluded
-			// from "all" — the largest points build multi-million-row
-			// tables and CI archives it as its own artifact.
-			rows := bench.GroupByHiCard(cfg)
-			bench.PrintGroupByHiCard(os.Stdout, rows, cfg)
-			report.AddGroupByHiCard(rows)
-		case "concurrent-clients":
-			rows, err := bench.ConcurrentClients(cfg)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "concurrent-clients:", err)
-				os.Exit(1)
-			}
-			bench.PrintServer(os.Stdout, rows)
-			report.AddServer(rows)
-		case "oracle-soak":
-			// Correctness soak, not a benchmark: the Deep differential
-			// sweep over [seed, seed+soak-seeds). Excluded from "all".
-			if fails := bench.OracleSoak(os.Stdout, *seed, *soakSeeds); fails > 0 {
-				fmt.Fprintf(os.Stderr, "oracle-soak: %d divergences\n", fails)
-				os.Exit(1)
-			}
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			os.Exit(2)
+		if err := e.run(rc); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.name, err)
+			os.Exit(1)
 		}
-		fmt.Printf("[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("[%s done in %v]\n\n", e.name, time.Since(start).Round(time.Millisecond))
 	}
 
 	if *experiment == "all" {
-		for _, name := range []string{"fig5", "fig6", "fig7", "fig8", "table2", "fused", "groupby", "concurrent-clients"} {
-			run(name)
+		for i := range experiments {
+			if experiments[i].inAll {
+				run(&experiments[i])
+			}
 		}
 	} else {
-		run(*experiment)
+		run(findExperiment(*experiment))
 	}
 
 	if report != nil {

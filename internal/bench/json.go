@@ -32,6 +32,8 @@ type Report struct {
 	GroupBy       []GroupByJSON       `json:"groupby,omitempty"`
 	GroupByHiCard []GroupByHiCardJSON `json:"groupby_hicard,omitempty"`
 	Server        []ServerJSON        `json:"concurrent_clients,omitempty"`
+	SumKernels    []SumKernelsJSON    `json:"sum_kernels,omitempty"`
+	SumKernelsW   []SumKernelsWJSON   `json:"sum_kernels_wide,omitempty"`
 }
 
 // ReportHost records the machine the run happened on — enough to know
@@ -265,6 +267,41 @@ func (r *Report) AddServer(rows []ServerRow) {
 			QPS: row.QPS, P50Ms: row.P50Ms, P99Ms: row.P99Ms,
 			WordsTouched: row.WordsTouched, Scans: row.Scans,
 			Batches: row.Batches, Batched: row.Batched,
+		})
+	}
+}
+
+// SumKernelsJSON is a SumKernelsRow in the report.
+type SumKernelsJSON struct {
+	Route    string  `json:"route"`
+	Mix      string  `json:"mix"`
+	LegacyNs float64 `json:"legacy_ns_per_tuple"`
+	PosPopNs float64 `json:"pospop_ns_per_tuple"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// SumKernelsWJSON is a SumKernelsWideRow in the report.
+type SumKernelsWJSON struct {
+	Mix    string  `json:"mix"`
+	CoreNs float64 `json:"core_ns_per_tuple"`
+	WideNs float64 `json:"wide_ns_per_tuple"`
+	Ratio  float64 `json:"ratio"`
+}
+
+// AddSumKernels records both SUM-kernel A/B grids.
+func (r *Report) AddSumKernels(rows []SumKernelsRow, wideRows []SumKernelsWideRow) {
+	if r == nil {
+		return
+	}
+	for _, row := range rows {
+		r.SumKernels = append(r.SumKernels, SumKernelsJSON{
+			Route: row.Route, Mix: row.Mix,
+			LegacyNs: row.LegacyNs, PosPopNs: row.PosPopNs, Speedup: row.Speedup,
+		})
+	}
+	for _, row := range wideRows {
+		r.SumKernelsW = append(r.SumKernelsW, SumKernelsWJSON{
+			Mix: row.Mix, CoreNs: row.CoreNs, WideNs: row.WideNs, Ratio: row.Ratio,
 		})
 	}
 }

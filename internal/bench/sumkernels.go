@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"bpagg"
+	"bpagg/internal/core"
+	"bpagg/internal/word"
+)
+
+// SUM-kernel A/B experiment: the positional-popcount (Harley–Seal
+// carry-save) SUM kernels against the per-word-popcount bodies they
+// replaced, toggled via core.PosPopEnabled inside interleaved measureAB
+// rounds so both sides see the same thermal and cache drift.
+//
+// The table has two VBP columns: a uniform predicate column p whose
+// filter at cfg.Sel leaves a partial filter word in essentially every
+// segment (the filter-heavy shape where per-word popcounts dominate), and
+// a measure column m summed under that filter. The mixes vary what m
+// looks like — uniform and sorted value order — plus an all-match mix
+// whose predicate accepts every tuple, so each window zone-decides
+// all-match and SUM(m) is answered entirely from the per-segment
+// aggregate caches: the carry-save layer never runs there and must not
+// regress. A second grid compares the refreshed 256-bit wide fused
+// kernels against the 64-bit core path, both on the carry-save side.
+
+// SumKernelsRow is one legacy-vs-positional-popcount comparison.
+type SumKernelsRow struct {
+	Route    string  // "fused" | "two-phase"
+	Mix      string  // "uniform" | "sorted" | "all-match"
+	LegacyNs float64 // per-word-popcount ns/tuple (median of rounds)
+	PosPopNs float64 // carry-save ns/tuple (median of rounds)
+	Speedup  float64 // LegacyNs / PosPopNs
+}
+
+// SumKernelsWideRow compares the wide and core fused SUM kernels, both
+// running the carry-save layer.
+type SumKernelsWideRow struct {
+	Mix    string
+	CoreNs float64 // 64-bit fused SUM ns/tuple
+	WideNs float64 // 256-bit fused SUM ns/tuple
+	Ratio  float64 // WideNs / CoreNs (≤ 1 means wide is faster)
+}
+
+// sumKernelsTable packs the predicate and measure columns.
+func sumKernelsTable(pvals, mvals []uint64, k int) *bpagg.Table {
+	return bpagg.NewTableFromColumns(
+		[]string{"p", "m"},
+		[]*bpagg.Column{
+			bpagg.FromValues(bpagg.VBP, k, pvals),
+			bpagg.FromValues(bpagg.VBP, k, mvals),
+		},
+	)
+}
+
+// SumKernels runs the legacy-vs-carry-save grid and the wide-vs-core
+// grid, single-threaded (the toggle is global state, and serial A/B
+// keeps the comparison noise-free).
+func SumKernels(cfg Config) ([]SumKernelsRow, []SumKernelsWideRow) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	max := word.LowMask(cfg.K)
+	pvals := make([]uint64, cfg.N)
+	uniform := make([]uint64, cfg.N)
+	for i := range pvals {
+		pvals[i] = rng.Uint64() & max
+		uniform[i] = rng.Uint64() & max
+	}
+	sorted := append([]uint64(nil), uniform...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	cut := uint64(float64(max) * cfg.Sel)
+	selective := bpagg.Less(cut)
+	allMatch := bpagg.LessEq(max) // every tuple passes → windows cache-serve
+
+	old := core.PosPopEnabled
+	defer func() { core.PosPopEnabled = old }()
+
+	tables := map[string]*bpagg.Table{
+		"uniform": sumKernelsTable(pvals, uniform, cfg.K),
+		"sorted":  sumKernelsTable(pvals, sorted, cfg.K),
+	}
+	// Fused queries time the whole fused pass (window evaluation is part
+	// of that route by construction). Two-phase queries materialize the
+	// selection once, outside the timed region, so the measurement is the
+	// aggregation phase alone — the part the SUM kernels own.
+	sumQ := func(tbl *bpagg.Table, pred bpagg.Predicate, twoPhase, wide bool) func() {
+		q := tbl.Query().Where("p", pred)
+		if wide {
+			q = q.With(bpagg.WideWords())
+		}
+		if twoPhase {
+			q.Selection()
+			return func() { q.Sum("m") }
+		}
+		return func() {
+			q := tbl.Query().Where("p", pred)
+			if wide {
+				q = q.With(bpagg.WideWords())
+			}
+			q.Sum("m")
+		}
+	}
+	withToggle := func(on bool, fn func()) func() {
+		return func() {
+			core.PosPopEnabled = on
+			fn()
+		}
+	}
+
+	var rows []SumKernelsRow
+	type cell struct {
+		route, mix, data string
+		pred             bpagg.Predicate
+		twoPhase         bool
+	}
+	cells := []cell{
+		{"fused", "uniform", "uniform", selective, false},
+		{"fused", "sorted", "sorted", selective, false},
+		{"fused", "all-match", "uniform", allMatch, false},
+		{"two-phase", "uniform", "uniform", selective, true},
+		{"two-phase", "sorted", "sorted", selective, true},
+	}
+	for _, c := range cells {
+		run := sumQ(tables[c.data], c.pred, c.twoPhase, false)
+		legacyNs, posNs := measureAB(cfg.N, cfg.MinTime,
+			withToggle(false, run), withToggle(true, run))
+		rows = append(rows, SumKernelsRow{
+			Route: c.route, Mix: c.mix,
+			LegacyNs: legacyNs, PosPopNs: posNs, Speedup: legacyNs / posNs,
+		})
+	}
+
+	core.PosPopEnabled = true
+	var wideRows []SumKernelsWideRow
+	for _, mix := range []string{"uniform", "sorted"} {
+		coreNs, wideNs := measureAB(cfg.N, cfg.MinTime,
+			sumQ(tables[mix], selective, false, false),
+			sumQ(tables[mix], selective, false, true))
+		wideRows = append(wideRows, SumKernelsWideRow{
+			Mix: mix, CoreNs: coreNs, WideNs: wideNs, Ratio: wideNs / coreNs,
+		})
+	}
+	return rows, wideRows
+}
+
+// PrintSumKernels renders both SUM-kernel grids.
+func PrintSumKernels(w io.Writer, rows []SumKernelsRow, wideRows []SumKernelsWideRow, cfg Config) {
+	fmt.Fprintln(w, "SumKernels — carry-save (positional popcount) SUM vs per-word popcount")
+	fmt.Fprintf(w, "(VBP; k=%d; uniform predicate column at selectivity %.2f; single thread; interleaved medians of %d rounds)\n",
+		cfg.K, cfg.Sel, fusedRounds)
+	fmt.Fprintf(w, "%-10s %-10s %12s %12s %9s\n",
+		"route", "mix", "legacy ns/t", "pospop ns/t", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-10s %12.3f %12.3f %8.2fx\n",
+			r.Route, r.Mix, r.LegacyNs, r.PosPopNs, r.Speedup)
+	}
+	fmt.Fprintln(w, "\nWide fused SUM vs core fused SUM (both carry-save)")
+	fmt.Fprintf(w, "%-10s %12s %12s %8s\n", "mix", "core ns/t", "wide ns/t", "ratio")
+	for _, r := range wideRows {
+		fmt.Fprintf(w, "%-10s %12.3f %12.3f %7.2fx\n", r.Mix, r.CoreNs, r.WideNs, r.Ratio)
+	}
+}

@@ -42,17 +42,18 @@ func (s FusedStats) Add(o FusedStats) FusedStats {
 	return s
 }
 
-// fusedWindow evaluates the AND-conjunction of preds over window win and
+// FusedWindow evaluates the AND-conjunction of preds over window win and
 // returns the still-register-resident filter word. allMatch reports that
 // every predicate zone-decided "all" (the cache-service opportunity); the
 // returned word is then all-ones and the caller masks it to the window's
-// valid tuples.
+// valid tuples. Exported so the wide-word kernels of internal/wide feed
+// from the same conjunction (and move the same counters) as the core ones.
 //
 // For a single predicate the counters are exactly those of the Stats scan
 // twin. For conjunctions the fused path may count less: once a predicate
 // prunes the window to none — or the running word empties — the remaining
 // predicates are skipped entirely, which is the point of fusing.
-func fusedWindow(preds []scan.WindowPred, win int, st *FusedStats) (fw uint64, allMatch bool) {
+func FusedWindow(preds []scan.WindowPred, win int, st *FusedStats) (fw uint64, allMatch bool) {
 	fw = ^uint64(0)
 	allMatch = true
 	for _, p := range preds {

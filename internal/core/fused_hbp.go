@@ -41,7 +41,7 @@ func HBPFusedSumCount(col *hbp.Column, preds []scan.WindowPred, segLo, segHi int
 		var masks [word.MaxTau + 1]uint64
 		allActive := uint64(1)<<uint(subs) - 1
 		for seg := segLo; seg < segHi; seg++ {
-			fw, allMatch := fusedWindow(preds, seg, st)
+			fw, allMatch := FusedWindow(preds, seg, st)
 			if fw == 0 {
 				continue
 			}
@@ -100,7 +100,7 @@ func HBPFusedSumCount(col *hbp.Column, preds []scan.WindowPred, segLo, segHi int
 		}
 	} else {
 		for seg := segLo; seg < segHi; seg++ {
-			fw, allMatch := fusedWindow(preds, seg, st)
+			fw, allMatch := FusedWindow(preds, seg, st)
 			if fw == 0 {
 				continue
 			}
@@ -148,7 +148,7 @@ func HBPFusedFoldExtreme(col *hbp.Column, preds []scan.WindowPred, temp []uint64
 	delim := col.DelimMask()
 	x := make([]uint64, b)
 	for seg := segLo; seg < segHi; seg++ {
-		fw, allMatch := fusedWindow(preds, seg, st)
+		fw, allMatch := FusedWindow(preds, seg, st)
 		if fw == 0 {
 			continue
 		}
@@ -201,8 +201,16 @@ func HBPFusedFoldExtreme(col *hbp.Column, preds []scan.WindowPred, temp []uint64
 // over segments [segLo, segHi) without materializing anything. COUNT
 // touches no packed aggregate words, so only the scan-side counters move.
 func HBPFusedCount(col *hbp.Column, preds []scan.WindowPred, segLo, segHi int, st *FusedStats) (cnt uint64) {
+	if PosPopEnabled {
+		var oc word.OnesCounter
+		for seg := segLo; seg < segHi; seg++ {
+			fw, _ := FusedWindow(preds, seg, st)
+			oc.Feed(fw & word.LowMask(col.SegmentValues(seg)))
+		}
+		return oc.Total()
+	}
 	for seg := segLo; seg < segHi; seg++ {
-		fw, _ := fusedWindow(preds, seg, st)
+		fw, _ := FusedWindow(preds, seg, st)
 		fw &= word.LowMask(col.SegmentValues(seg))
 		cnt += uint64(bits.OnesCount64(fw))
 	}
@@ -213,8 +221,18 @@ func HBPFusedCount(col *hbp.Column, preds []scan.WindowPred, segLo, segHi int, s
 // directly from the predicate conjunction — the fused replacement for
 // scan + NewHBPCandidates — and returns the number of selected tuples.
 func HBPFusedCandidates(col *hbp.Column, preds []scan.WindowPred, v []uint64, segLo, segHi int, st *FusedStats) (cnt uint64) {
+	if PosPopEnabled {
+		var oc word.OnesCounter
+		for seg := segLo; seg < segHi; seg++ {
+			fw, _ := FusedWindow(preds, seg, st)
+			fw &= word.LowMask(col.SegmentValues(seg))
+			v[seg] = fw
+			oc.Feed(fw)
+		}
+		return oc.Total()
+	}
 	for seg := segLo; seg < segHi; seg++ {
-		fw, _ := fusedWindow(preds, seg, st)
+		fw, _ := FusedWindow(preds, seg, st)
 		fw &= word.LowMask(col.SegmentValues(seg))
 		v[seg] = fw
 		cnt += uint64(bits.OnesCount64(fw))

@@ -17,8 +17,12 @@ func VBPFusedSumCount(col *vbp.Column, preds []scan.WindowPred, segLo, segHi int
 	k := col.K()
 	bSum := make([]uint64, k)
 	groups := col.Groups()
+	var acc *vbpBlockSum
+	if PosPopEnabled {
+		acc = newVBPBlockSum(k, bSum)
+	}
 	for seg := segLo; seg < segHi; seg++ {
-		fw, allMatch := fusedWindow(preds, seg, st)
+		fw, allMatch := FusedWindow(preds, seg, st)
 		if fw == 0 {
 			continue
 		}
@@ -37,6 +41,10 @@ func VBPFusedSumCount(col *vbp.Column, preds []scan.WindowPred, segLo, segHi int
 		cnt += uint64(bits.OnesCount64(fw))
 		st.SegmentsAggregated++
 		st.WordsTouched += uint64(k)
+		if acc != nil {
+			acc.push(col, seg, fw)
+			continue
+		}
 		for g := range groups {
 			gr := &groups[g]
 			base := seg * gr.Bits
@@ -44,6 +52,9 @@ func VBPFusedSumCount(col *vbp.Column, preds []scan.WindowPred, segLo, segHi int
 				bSum[gr.StartBit+b] += uint64(bits.OnesCount64(gr.Words[base+b] & fw))
 			}
 		}
+	}
+	if acc != nil {
+		acc.finish(col)
 	}
 	for p := 0; p < k; p++ {
 		sum += bSum[p] << uint(k-1-p)
@@ -61,7 +72,7 @@ func VBPFusedFoldExtreme(col *vbp.Column, preds []scan.WindowPred, temp []uint64
 	groups := col.Groups()
 	x := make([]uint64, k)
 	for seg := segLo; seg < segHi; seg++ {
-		fw, allMatch := fusedWindow(preds, seg, st)
+		fw, allMatch := FusedWindow(preds, seg, st)
 		if fw == 0 {
 			continue
 		}
@@ -114,8 +125,16 @@ func VBPFusedFoldExtreme(col *vbp.Column, preds []scan.WindowPred, temp []uint64
 // filter word is popcounted while register-resident. COUNT touches no
 // packed aggregate words, so only the scan-side counters move.
 func VBPFusedCount(col *vbp.Column, preds []scan.WindowPred, segLo, segHi int, st *FusedStats) (cnt uint64) {
+	if PosPopEnabled {
+		var oc word.OnesCounter
+		for seg := segLo; seg < segHi; seg++ {
+			fw, _ := FusedWindow(preds, seg, st)
+			oc.Feed(fw & word.LowMask(col.SegmentValues(seg)))
+		}
+		return oc.Total()
+	}
 	for seg := segLo; seg < segHi; seg++ {
-		fw, _ := fusedWindow(preds, seg, st)
+		fw, _ := FusedWindow(preds, seg, st)
 		fw &= word.LowMask(col.SegmentValues(seg))
 		cnt += uint64(bits.OnesCount64(fw))
 	}
@@ -127,8 +146,18 @@ func VBPFusedCount(col *vbp.Column, preds []scan.WindowPred, segLo, segHi int, s
 // scan + NewVBPCandidates — and returns the number of selected tuples.
 // The radix rounds then run unchanged on v.
 func VBPFusedCandidates(col *vbp.Column, preds []scan.WindowPred, v []uint64, segLo, segHi int, st *FusedStats) (cnt uint64) {
+	if PosPopEnabled {
+		var oc word.OnesCounter
+		for seg := segLo; seg < segHi; seg++ {
+			fw, _ := FusedWindow(preds, seg, st)
+			fw &= word.LowMask(col.SegmentValues(seg))
+			v[seg] = fw
+			oc.Feed(fw)
+		}
+		return oc.Total()
+	}
 	for seg := segLo; seg < segHi; seg++ {
-		fw, _ := fusedWindow(preds, seg, st)
+		fw, _ := FusedWindow(preds, seg, st)
 		fw &= word.LowMask(col.SegmentValues(seg))
 		v[seg] = fw
 		cnt += uint64(bits.OnesCount64(fw))

@@ -320,6 +320,17 @@ func VBPGroupSumRange128(col *vbp.Column, sels []*bitvec.Bitmap, segLo, segHi in
 	cacheOK := k <= sumCacheExactK
 	liveG := make([]int, 0, 64)
 	liveW := make([]uint64, 0, 64)
+	// Single-live-group runs (every segment of sorted data, most of
+	// clustered data) carry-save through the run accumulator; the sink
+	// lands in the same bSums bank the per-word loop fills, so the combine
+	// in VBPGroupSumFinish is oblivious to the route. Cache-served
+	// segments don't disturb the run — addition order is irrelevant.
+	var acc *vbpRunSum
+	var sink func(gi, p int, c uint64)
+	if PosPopEnabled {
+		acc = newVBPRunSum(k)
+		sink = func(gi, p int, c uint64) { bSums[gi*k+p] += c }
+	}
 	for seg := segLo; seg < segHi; seg++ {
 		liveG, liveW = liveG[:0], liveW[:0]
 		for gi, s := range sels {
@@ -341,6 +352,13 @@ func VBPGroupSumRange128(col *vbp.Column, sels []*bitvec.Bitmap, segLo, segHi in
 		}
 		st.Segments++
 		st.Words += uint64(k)
+		if acc != nil && len(liveG) == 1 {
+			acc.push(&pl, liveG[0], seg, liveW[0], sink)
+			continue
+		}
+		if acc != nil {
+			acc.drain(&pl, sink)
+		}
 		for p := 0; p < k; p++ {
 			x := pl.word(p, seg)
 			if x == 0 {
@@ -350,6 +368,9 @@ func VBPGroupSumRange128(col *vbp.Column, sels []*bitvec.Bitmap, segLo, segHi in
 				bSums[gi*k+p] += uint64(bits.OnesCount64(x & liveW[i]))
 			}
 		}
+	}
+	if acc != nil {
+		acc.drain(&pl, sink)
 	}
 }
 

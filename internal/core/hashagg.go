@@ -46,6 +46,19 @@ func VBPHashSumRuns(col *vbp.Column, se *SegEntries, runLo, runHi int, his, los 
 	pl := newVBPPlanes(col)
 	cacheOK := k <= sumCacheExactK
 	small := k <= 57
+	// Single-entry runs (one live group in the segment — the common case
+	// at high cardinality, where groups cluster) carry-save through the
+	// run accumulator keyed on the entry's group; per-plane counts land as
+	// checked shift-adds, exactly what the wide path below does per word.
+	// Multi-entry runs drain first and take the per-word loops.
+	var acc *vbpRunSum
+	var sink func(gi, p int, c uint64)
+	if PosPopEnabled {
+		acc = newVBPRunSum(k)
+		sink = func(gi, p int, c uint64) {
+			his[gi], los[gi] = addShift128(his[gi], los[gi], c, uint(k-1-p))
+		}
+	}
 	var esum [64]uint64
 	for r := runLo; r < runHi; r++ {
 		seg := int(se.Segs[r])
@@ -60,6 +73,13 @@ func VBPHashSumRuns(col *vbp.Column, se *SegEntries, runLo, runHi int, his, los 
 		}
 		st.Segments++
 		st.Words += uint64(k)
+		if acc != nil {
+			if hi == lo+1 {
+				acc.push(&pl, int(se.GI[lo]), seg, se.W[lo], sink)
+				continue
+			}
+			acc.drain(&pl, sink)
+		}
 		if small {
 			ne := hi - lo
 			for i := 0; i < ne; i++ {
@@ -96,6 +116,9 @@ func VBPHashSumRuns(col *vbp.Column, se *SegEntries, runLo, runHi int, his, los 
 				}
 			}
 		}
+	}
+	if acc != nil {
+		acc.drain(&pl, sink)
 	}
 }
 

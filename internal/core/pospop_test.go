@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/bitvec"
+	"bpagg/internal/scan"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+// The carry-save accumulators must be invisible: every routed kernel
+// returns bit-identical results with PosPopEnabled on and off, and both
+// agree with a big.Int scalar loop. Columns deliberately end mid-block
+// (n not a multiple of 8·64) so partial trailing blocks and the run
+// drains are always exercised.
+
+func withPosPop(t *testing.T, on bool, f func()) {
+	t.Helper()
+	old := PosPopEnabled
+	PosPopEnabled = on
+	defer func() { PosPopEnabled = old }()
+	f()
+}
+
+func TestPosPopSumToggleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, k := range []int{1, 7, 25, 40, 63, 64} {
+		for _, n := range []int{1, 64, 127, 64*8 + 1, 977, 64 * 21} {
+			vals := make([]uint64, n)
+			f := bitvec.New(n)
+			want := new(big.Int)
+			for i := range vals {
+				vals[i] = rng.Uint64() & word.LowMask(k)
+				if rng.Intn(3) != 0 {
+					f.Set(i)
+					want.Add(want, new(big.Int).SetUint64(vals[i]))
+				}
+			}
+			tau := 4
+			if tau > k {
+				tau = k
+			}
+			col := vbp.Pack(vals, k, tau)
+			nseg := col.NumSegments()
+
+			var legacy, pospop uint64
+			withPosPop(t, false, func() { legacy = VBPSumRange(col, f, 0, nseg) })
+			withPosPop(t, true, func() { pospop = VBPSumRange(col, f, 0, nseg) })
+			if legacy != pospop {
+				t.Fatalf("k=%d n=%d: VBPSumRange legacy %d, pospop %d", k, n, legacy, pospop)
+			}
+			if !SumOverflowPossible(k, n) && want.Uint64() != pospop {
+				t.Fatalf("k=%d n=%d: VBPSumRange %d, big.Int %s", k, n, pospop, want)
+			}
+
+			var lhi, llo, phi, plo uint64
+			withPosPop(t, false, func() { lhi, llo = VBPSumRange128(col, f, 0, nseg) })
+			withPosPop(t, true, func() { phi, plo = VBPSumRange128(col, f, 0, nseg) })
+			if lhi != phi || llo != plo {
+				t.Fatalf("k=%d n=%d: VBPSumRange128 legacy (%d,%d), pospop (%d,%d)", k, n, lhi, llo, phi, plo)
+			}
+			if big128(phi, plo).Cmp(want) != 0 {
+				t.Fatalf("k=%d n=%d: VBPSumRange128 %s, big.Int %s", k, n, big128(phi, plo), want)
+			}
+		}
+	}
+}
+
+func TestPosPopFusedToggleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	const k, n = 25, 64*13 + 17
+	// Sorted values give the predicate zones real pruning/all-match
+	// decisions, so the cache-served route and mid-stream continues hit.
+	vals := make([]uint64, n)
+	for i := range vals {
+		vals[i] = rng.Uint64() & word.LowMask(k)
+	}
+	for _, sorted := range []bool{false, true} {
+		if sorted {
+			for i := 1; i < n; i++ {
+				if vals[i] < vals[i-1] {
+					vals[i], vals[i-1] = vals[i-1], vals[i]
+				}
+			}
+		}
+		col := vbp.Pack(vals, k, 4)
+		cut := word.LowMask(k) / 3 * 2
+		preds := []scan.WindowPred{scan.NewVBPWindowPred(col, scan.Predicate{Op: scan.LT, A: cut})}
+		want := new(big.Int)
+		var wantCnt uint64
+		for _, v := range vals {
+			if v < cut {
+				want.Add(want, new(big.Int).SetUint64(v))
+				wantCnt++
+			}
+		}
+
+		var lSum, lCnt, pSum, pCnt uint64
+		var lst, pst FusedStats
+		withPosPop(t, false, func() { lSum, lCnt = VBPFusedSumCount(col, preds, 0, col.NumSegments(), &lst) })
+		withPosPop(t, true, func() { pSum, pCnt = VBPFusedSumCount(col, preds, 0, col.NumSegments(), &pst) })
+		if lSum != pSum || lCnt != pCnt {
+			t.Fatalf("sorted=%v: fused legacy (%d,%d), pospop (%d,%d)", sorted, lSum, lCnt, pSum, pCnt)
+		}
+		if lst != pst {
+			t.Fatalf("sorted=%v: FusedStats differ across toggle: %+v vs %+v", sorted, lst, pst)
+		}
+		if pSum != want.Uint64() || pCnt != wantCnt {
+			t.Fatalf("sorted=%v: fused (%d,%d), scalar (%s,%d)", sorted, pSum, pCnt, want, wantCnt)
+		}
+
+		var hi, lo, cnt uint64
+		var st FusedStats
+		withPosPop(t, true, func() { hi, lo, cnt = VBPFusedSumCount128(col, preds, 0, col.NumSegments(), &st) })
+		if big128(hi, lo).Cmp(want) != 0 || cnt != wantCnt {
+			t.Fatalf("sorted=%v: fused128 (%s,%d), scalar (%s,%d)", sorted, big128(hi, lo), cnt, want, wantCnt)
+		}
+
+		var c1, c2 uint64
+		var cst1, cst2 FusedStats
+		withPosPop(t, false, func() { c1 = VBPFusedCount(col, preds, 0, col.NumSegments(), &cst1) })
+		withPosPop(t, true, func() { c2 = VBPFusedCount(col, preds, 0, col.NumSegments(), &cst2) })
+		if c1 != c2 || c2 != wantCnt || cst1 != cst2 {
+			t.Fatalf("sorted=%v: fused count legacy %d, pospop %d, want %d", sorted, c1, c2, wantCnt)
+		}
+	}
+}
+
+// TestPosPopGroupSumToggle drives the direct grouped bank kernel with
+// single-live-group runs (sorted group assignment), group changes, and
+// interleaved multi-group segments, comparing toggle sides and big.Int.
+func TestPosPopGroupSumToggle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	const k, n, G = 30, 64*19 + 31, 5
+	vals := make([]uint64, n)
+	gis := make([]int, n)
+	for i := range vals {
+		vals[i] = rng.Uint64() & word.LowMask(k)
+		switch {
+		case i < n/2:
+			gis[i] = i * G / n // long sorted runs → run accumulator
+		default:
+			gis[i] = rng.Intn(G) // scattered → multi-live segments
+		}
+	}
+	col := vbp.Pack(vals, k, 4)
+	sels := make([]*bitvec.Bitmap, G)
+	for g := range sels {
+		sels[g] = bitvec.New(n)
+	}
+	want := make([]*big.Int, G)
+	for g := range want {
+		want[g] = new(big.Int)
+	}
+	for i, v := range vals {
+		if rng.Intn(8) == 0 {
+			continue // holes keep some groups dead per segment
+		}
+		sels[gis[i]].Set(i)
+		want[gis[i]].Add(want[gis[i]], new(big.Int).SetUint64(v))
+	}
+
+	run := func() ([]uint64, []uint64) {
+		bSums := make([]uint64, G*k)
+		his := make([]uint64, G)
+		los := make([]uint64, G)
+		var st GroupStats
+		VBPGroupSumRange128(col, sels, 0, col.NumSegments(), bSums, his, los, &st)
+		VBPGroupSumFinish(k, bSums, his, los)
+		return his, los
+	}
+	var lhis, llos, phis, plos []uint64
+	withPosPop(t, false, func() { lhis, llos = run() })
+	withPosPop(t, true, func() { phis, plos = run() })
+	for g := 0; g < G; g++ {
+		if lhis[g] != phis[g] || llos[g] != plos[g] {
+			t.Fatalf("group %d: legacy (%d,%d), pospop (%d,%d)", g, lhis[g], llos[g], phis[g], plos[g])
+		}
+		if big128(phis[g], plos[g]).Cmp(want[g]) != 0 {
+			t.Fatalf("group %d: banked %s, big.Int %s", g, big128(phis[g], plos[g]), want[g])
+		}
+	}
+}
+
+// TestPosPopHashSumRunsToggle builds a run list mixing single-entry runs
+// (long same-group stretches and group flips, which exercise the drain)
+// with multi-entry runs, on both the k ≤ 57 and the wide entry paths.
+func TestPosPopHashSumRunsToggle(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	for _, k := range []int{25, 61} {
+		const nseg, G = 37, 6
+		vals := make([]uint64, nseg*64)
+		for i := range vals {
+			vals[i] = rng.Uint64() & word.LowMask(k)
+		}
+		col := vbp.Pack(vals, k, 4)
+		se := &SegEntries{Start: []int32{0}}
+		want := make([]*big.Int, G)
+		for g := range want {
+			want[g] = new(big.Int)
+		}
+		for seg := 0; seg < nseg; seg++ {
+			var ents int
+			switch seg % 5 {
+			case 0, 1, 2: // single-entry runs, group changes every few segs
+				gi := int32(seg / 3 % G)
+				w := rng.Uint64()
+				if seg%7 == 0 {
+					w = word.LowMask(64) // whole-segment word (cache-serve shape)
+				}
+				se.GI = append(se.GI, gi)
+				se.W = append(se.W, w)
+				for j := 0; j < 64; j++ {
+					if w>>uint(j)&1 == 1 {
+						want[gi].Add(want[gi], new(big.Int).SetUint64(vals[seg*64+j]))
+					}
+				}
+				ents = 1
+			case 3: // dead segment
+				continue
+			default: // multi-entry run with disjoint words
+				lo := rng.Uint64()
+				for e, gi := range []int32{1, 4} {
+					w := lo
+					if e == 1 {
+						w = ^lo
+					}
+					se.GI = append(se.GI, gi)
+					se.W = append(se.W, w)
+					for j := 0; j < 64; j++ {
+						if w>>uint(j)&1 == 1 {
+							want[gi].Add(want[gi], new(big.Int).SetUint64(vals[seg*64+j]))
+						}
+					}
+				}
+				ents = 2
+			}
+			se.Segs = append(se.Segs, int32(seg))
+			se.Start = append(se.Start, se.Start[len(se.Start)-1]+int32(ents))
+		}
+
+		run := func() ([]uint64, []uint64) {
+			his := make([]uint64, G)
+			los := make([]uint64, G)
+			var st GroupStats
+			VBPHashSumRuns(col, se, 0, se.NumRuns(), his, los, &st)
+			return his, los
+		}
+		var lhis, llos, phis, plos []uint64
+		withPosPop(t, false, func() { lhis, llos = run() })
+		withPosPop(t, true, func() { phis, plos = run() })
+		for g := 0; g < G; g++ {
+			if lhis[g] != phis[g] || llos[g] != plos[g] {
+				t.Fatalf("k=%d group %d: legacy (%d,%d), pospop (%d,%d)", k, g, lhis[g], llos[g], phis[g], plos[g])
+			}
+			if big128(phis[g], plos[g]).Cmp(want[g]) != 0 {
+				t.Fatalf("k=%d group %d: hashed %s, big.Int %s", k, g, big128(phis[g], plos[g]), want[g])
+			}
+		}
+	}
+}

@@ -61,20 +61,7 @@ func add128Shifted(hi, lo, vhi, vlo uint64, s uint) (uint64, uint64) {
 func VBPSumRange128(col *vbp.Column, f *bitvec.Bitmap, segLo, segHi int) (hi, lo uint64) {
 	k := col.K()
 	bSum := make([]uint64, k)
-	groups := col.Groups()
-	for g := range groups {
-		gr := &groups[g]
-		for seg := segLo; seg < segHi; seg++ {
-			fw := f.Word(seg)
-			if fw == 0 {
-				continue
-			}
-			base := seg * gr.Bits
-			for b := 0; b < gr.Bits; b++ {
-				bSum[gr.StartBit+b] += uint64(bits.OnesCount64(gr.Words[base+b] & fw))
-			}
-		}
-	}
+	vbpBSumRange(col, f, bSum, segLo, segHi)
 	for p := 0; p < k; p++ {
 		hi, lo = addShift128(hi, lo, bSum[p], uint(k-1-p))
 	}
@@ -134,8 +121,12 @@ func VBPFusedSumCount128(col *vbp.Column, preds []scan.WindowPred, segLo, segHi 
 	bSum := make([]uint64, k)
 	groups := col.Groups()
 	cacheOK := k <= sumCacheExactK
+	var acc *vbpBlockSum
+	if PosPopEnabled {
+		acc = newVBPBlockSum(k, bSum)
+	}
 	for seg := segLo; seg < segHi; seg++ {
-		fw, allMatch := fusedWindow(preds, seg, st)
+		fw, allMatch := FusedWindow(preds, seg, st)
 		if fw == 0 {
 			continue
 		}
@@ -154,6 +145,10 @@ func VBPFusedSumCount128(col *vbp.Column, preds []scan.WindowPred, segLo, segHi 
 		cnt += uint64(bits.OnesCount64(fw))
 		st.SegmentsAggregated++
 		st.WordsTouched += uint64(k)
+		if acc != nil {
+			acc.push(col, seg, fw)
+			continue
+		}
 		for g := range groups {
 			gr := &groups[g]
 			base := seg * gr.Bits
@@ -161,6 +156,9 @@ func VBPFusedSumCount128(col *vbp.Column, preds []scan.WindowPred, segLo, segHi 
 				bSum[gr.StartBit+b] += uint64(bits.OnesCount64(gr.Words[base+b] & fw))
 			}
 		}
+	}
+	if acc != nil {
+		acc.finish(col)
 	}
 	for p := 0; p < k; p++ {
 		hi, lo = addShift128(hi, lo, bSum[p], uint(k-1-p))
@@ -182,7 +180,7 @@ func HBPFusedSumCount128(col *hbp.Column, preds []scan.WindowPred, segLo, segHi 
 	los := make([]uint64, b)
 	parts := make([]uint64, b)
 	for seg := segLo; seg < segHi; seg++ {
-		fw, allMatch := fusedWindow(preds, seg, st)
+		fw, allMatch := FusedWindow(preds, seg, st)
 		if fw == 0 {
 			continue
 		}

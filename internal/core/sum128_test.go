@@ -18,10 +18,10 @@ func TestSumOverflowPossible(t *testing.T) {
 	}{
 		{1, 0, false},
 		{0, 100, false},
-		{64, 1, false},  // one max value is exactly 2^64-1
-		{64, 2, true},   // 2·(2^64-1) wraps
-		{63, 2, false},  // 2·(2^63-1) = 2^64-2 fits
-		{63, 3, true},   // 3·(2^63-1) wraps
+		{64, 1, false}, // one max value is exactly 2^64-1
+		{64, 2, true},  // 2·(2^64-1) wraps
+		{63, 2, false}, // 2·(2^63-1) = 2^64-2 fits
+		{63, 3, true},  // 3·(2^63-1) wraps
 		{1, 1 << 30, false},
 		{32, 1 << 30, false}, // 2^30·(2^32-1) < 2^64
 		{32, 1 << 33, true},  // 2^33·(2^32-1) ≥ 2^64

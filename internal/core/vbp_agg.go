@@ -22,24 +22,12 @@ func VBPSum(col *vbp.Column, f *bitvec.Bitmap) uint64 {
 }
 
 // VBPSumRange computes the SUM contribution of segments [segLo, segHi) — the
-// partition unit for multi-threaded execution (§IV-B).
+// partition unit for multi-threaded execution (§IV-B). The per-plane
+// popcounts run through the carry-save accumulator (DESIGN.md §14).
 func VBPSumRange(col *vbp.Column, f *bitvec.Bitmap, segLo, segHi int) uint64 {
 	k := col.K()
 	bSum := make([]uint64, k)
-	groups := col.Groups()
-	for g := range groups {
-		gr := &groups[g]
-		for seg := segLo; seg < segHi; seg++ {
-			fw := f.Word(seg)
-			if fw == 0 {
-				continue
-			}
-			base := seg * gr.Bits
-			for b := 0; b < gr.Bits; b++ {
-				bSum[gr.StartBit+b] += uint64(bits.OnesCount64(gr.Words[base+b] & fw))
-			}
-		}
-	}
+	vbpBSumRange(col, f, bSum, segLo, segHi)
 	var sum uint64
 	for p := 0; p < k; p++ {
 		sum += bSum[p] << uint(k-1-p)

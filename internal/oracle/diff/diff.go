@@ -11,7 +11,7 @@
 //
 //	{fresh, rebuilt, reloaded} cache state ×
 //	{1, 8} threads ×
-//	{fused, two-phase, wide-word, reconstruct} route ×
+//	{fused, fused-wide, two-phase, wide-word, reconstruct} route ×
 //	{COUNT(*), COUNT, SUM, MIN, MAX, AVG, MEDIAN, rank, quantile}
 //
 // plus GROUP BY and TopK/BottomK spot checks. Every cell is compared
@@ -175,13 +175,16 @@ func Check(c Case) error {
 
 	for _, st := range states {
 		for ti, th := range threads {
-			if err := checkFused(&c, exp, st.name, st.tbl, th); err != nil {
+			if err := checkFused(&c, exp, st.name, st.tbl, th, false); err != nil {
 				return err
 			}
 			if err := checkColumn(&c, exp, st.name, st.tbl, th, "twophase"); err != nil {
 				return err
 			}
 			if ti == 0 {
+				if err := checkFused(&c, exp, st.name, st.tbl, th, true); err != nil {
+					return err
+				}
 				if err := checkColumn(&c, exp, st.name, st.tbl, th, "wide"); err != nil {
 					return err
 				}
@@ -439,22 +442,35 @@ func capture2[T any](f func() (T, bool)) (v T, ok bool, err error) {
 }
 
 // checkFused drives the lazy Query API — the fused path whenever the
-// planner allows it, with its documented fallbacks otherwise.
-func checkFused(c *Case, exp *expectation, state string, tbl *bpagg.Table, th int) error {
-	e := tag{c, state, "fused", th}
+// planner allows it, with its documented fallbacks otherwise. With wide
+// set, the query additionally requests the 256-bit kernels, exercising
+// the internal/wide fused twins.
+func checkFused(c *Case, exp *expectation, state string, tbl *bpagg.Table, th int, wide bool) error {
+	route := "fused"
+	if wide {
+		route = "fused-wide"
+	}
+	e := tag{c, state, route, th}
 	ctx := context.Background()
+	nq := func() *bpagg.Query {
+		q := newQuery(c, tbl, th)
+		if wide {
+			q = q.With(bpagg.WideWords())
+		}
+		return q
+	}
 
-	cr, err := capture1(func() uint64 { return newQuery(c, tbl, th).CountRows() })
+	cr, err := capture1(func() uint64 { return nq().CountRows() })
 	if ferr := cmpU64(e, "COUNT(*)", cr, err, exp.countRows); ferr != nil {
 		return ferr
 	}
 
-	sum, err := capture1(func() uint64 { return newQuery(c, tbl, th).Sum("a") })
+	sum, err := capture1(func() uint64 { return nq().Sum("a") })
 	if ferr := cmpSum(e, "SUM", sum, err, exp); ferr != nil {
 		return ferr
 	}
 
-	s2, c2, err := newQuery(c, tbl, th).SumCountContext(ctx, "a")
+	s2, c2, err := nq().SumCountContext(ctx, "a")
 	if ferr := cmpSum(e, "SUM(ctx)", s2, err, exp); ferr != nil {
 		return ferr
 	}
@@ -464,35 +480,35 @@ func checkFused(c *Case, exp *expectation, state string, tbl *bpagg.Table, th in
 		}
 	}
 
-	mn, ok, err := capture2(func() (uint64, bool) { return newQuery(c, tbl, th).Min("a") })
+	mn, ok, err := capture2(func() (uint64, bool) { return nq().Min("a") })
 	if ferr := cmpOK(e, "MIN", mn, ok, err, exp.min); ferr != nil {
 		return ferr
 	}
-	mx, ok, err := capture2(func() (uint64, bool) { return newQuery(c, tbl, th).Max("a") })
+	mx, ok, err := capture2(func() (uint64, bool) { return nq().Max("a") })
 	if ferr := cmpOK(e, "MAX", mx, ok, err, exp.max); ferr != nil {
 		return ferr
 	}
 
-	av, ok, err := capture2(func() (float64, bool) { return newQuery(c, tbl, th).Avg("a") })
+	av, ok, err := capture2(func() (float64, bool) { return nq().Avg("a") })
 	if ferr := cmpAvg(e, "AVG", av, ok, err, exp); ferr != nil {
 		return ferr
 	}
 
-	md, ok, err := capture2(func() (uint64, bool) { return newQuery(c, tbl, th).Median("a") })
+	md, ok, err := capture2(func() (uint64, bool) { return nq().Median("a") })
 	if ferr := cmpOK(e, "MEDIAN", md, ok, err, exp.med); ferr != nil {
 		return ferr
 	}
 
 	for _, r := range exp.rs {
 		r := r
-		v, ok, err := capture2(func() (uint64, bool) { return newQuery(c, tbl, th).Rank("a", r) })
+		v, ok, err := capture2(func() (uint64, bool) { return nq().Rank("a", r) })
 		if ferr := cmpOK(e, fmt.Sprintf("RANK(%d)", r), v, ok, err, exp.ranks[r]); ferr != nil {
 			return ferr
 		}
 	}
 	for _, q := range exp.qs {
 		q := q
-		v, ok, err := capture2(func() (uint64, bool) { return newQuery(c, tbl, th).Quantile("a", q) })
+		v, ok, err := capture2(func() (uint64, bool) { return nq().Quantile("a", q) })
 		if ferr := cmpOK(e, fmt.Sprintf("QUANTILE(%v)", q), v, ok, err, exp.quants[q]); ferr != nil {
 			return ferr
 		}

@@ -9,6 +9,7 @@ import (
 	"bpagg/internal/metrics"
 	"bpagg/internal/scan"
 	"bpagg/internal/vbp"
+	"bpagg/internal/wide"
 )
 
 // Fused scan→aggregate drivers. Each driver partitions the segment range
@@ -17,7 +18,12 @@ import (
 // worker bodies run the core fused kernels: per segment the predicate
 // conjunction's filter word is computed and consumed while still
 // register-resident, and all-match segments are answered from the
-// per-segment aggregate caches.
+// per-segment aggregate caches. With o.Wide the SUM/extreme bodies and
+// the rank rounds run the internal/wide twins instead — the filter-side
+// conjunction and every FusedStats counter are identical on both widths,
+// so EXPLAIN ANALYZE cannot tell them apart. COUNT-only and candidate
+// passes stay on the 64-bit kernels even when Wide: they touch no
+// aggregate words, so there is nothing for wide words to amortize.
 //
 // Work counting is always on in the kernels (core.FusedStats is cheap
 // plain-field accumulation); the counters only reach a collector when
@@ -61,7 +67,12 @@ func VBPFusedSumCtx(ctx context.Context, col *vbp.Column, preds []scan.WindowPre
 	fss := make([]core.FusedStats, n)
 	_, err = forEachRangeErr(ctx, nseg, n, func(w, lo, hi int) error {
 		t0 := statsNow(ws)
-		s, c := core.VBPFusedSumCount(col, preds, lo, hi, &fss[w])
+		var s, c uint64
+		if o.Wide {
+			s, c = wide.VBPFusedSumCount(col, preds, lo, hi, &fss[w])
+		} else {
+			s, c = core.VBPFusedSumCount(col, preds, lo, hi, &fss[w])
+		}
 		sums[w] += s
 		cnts[w] += c
 		if ws != nil {
@@ -94,7 +105,12 @@ func HBPFusedSumCtx(ctx context.Context, col *hbp.Column, preds []scan.WindowPre
 	fss := make([]core.FusedStats, n)
 	_, err = forEachRangeErr(ctx, nseg, n, func(w, lo, hi int) error {
 		t0 := statsNow(ws)
-		s, c := core.HBPFusedSumCount(col, preds, lo, hi, &fss[w])
+		var s, c uint64
+		if o.Wide {
+			s, c = wide.HBPFusedSumCount(col, preds, lo, hi, &fss[w])
+		} else {
+			s, c = core.HBPFusedSumCount(col, preds, lo, hi, &fss[w])
+		}
 		sums[w] += s
 		cnts[w] += c
 		if ws != nil {
@@ -176,9 +192,18 @@ func VBPFusedExtremeCtx(ctx context.Context, col *vbp.Column, preds []scan.Windo
 	k := col.K()
 	nseg := col.NumSegments()
 	n := o.threads()
-	temps := make([][]uint64, n)
-	for w := range temps {
-		temps[w] = core.NewVBPExtremeTemp(k, wantMin)
+	var temps [][]uint64
+	var wideTemps []wide.VBPExtremeTemps
+	if o.Wide {
+		wideTemps = make([]wide.VBPExtremeTemps, n)
+		for w := range wideTemps {
+			wideTemps[w] = wide.NewVBPExtremeTemps(k, wantMin)
+		}
+	} else {
+		temps = make([][]uint64, n)
+		for w := range temps {
+			temps[w] = core.NewVBPExtremeTemp(k, wantMin)
+		}
 	}
 	bests := make([]uint64, n)
 	anys := make([]bool, n)
@@ -186,7 +211,13 @@ func VBPFusedExtremeCtx(ctx context.Context, col *vbp.Column, preds []scan.Windo
 	fss := make([]core.FusedStats, n)
 	used, err := forEachRangeErr(ctx, nseg, n, func(w, lo, hi int) error {
 		t0 := statsNow(ws)
-		b, a, c := core.VBPFusedFoldExtreme(col, preds, temps[w], wantMin, lo, hi, &fss[w])
+		var b, c uint64
+		var a bool
+		if o.Wide {
+			b, a, c = wide.VBPFusedFoldExtreme(col, preds, &wideTemps[w], wantMin, lo, hi, &fss[w])
+		} else {
+			b, a, c = core.VBPFusedFoldExtreme(col, preds, temps[w], wantMin, lo, hi, &fss[w])
+		}
 		if a && (!anys[w] || wantMin && b < bests[w] || !wantMin && b > bests[w]) {
 			bests[w] = b
 			anys[w] = true
@@ -207,7 +238,17 @@ func VBPFusedExtremeCtx(ctx context.Context, col *vbp.Column, preds []scan.Windo
 		o.fusedStatsEnd(ws, start, fss, len(preds), metrics.ExecStats{})
 		return 0, 0, nil
 	}
-	v = core.VBPFinishExtreme(temps[:used], k, wantMin)
+	if o.Wide {
+		// Flatten the per-worker lane temps: each worker folded four
+		// independent SLOTMIN/SLOTMAX instances.
+		flat := make([][]uint64, 0, 4*used)
+		for w := 0; w < used; w++ {
+			flat = append(flat, wideTemps[w][:]...)
+		}
+		v = core.VBPFinishExtreme(flat, k, wantMin)
+	} else {
+		v = core.VBPFinishExtreme(temps[:used], k, wantMin)
+	}
 	for w := 0; w < used; w++ {
 		if anys[w] && (wantMin && bests[w] < v || !wantMin && bests[w] > v) {
 			v = bests[w]
@@ -224,9 +265,18 @@ func HBPFusedExtremeCtx(ctx context.Context, col *hbp.Column, preds []scan.Windo
 	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
 	n := o.threads()
-	temps := make([][]uint64, n)
-	for w := range temps {
-		temps[w] = core.NewHBPExtremeTemp(col, wantMin)
+	var temps [][]uint64
+	var wideTemps []wide.HBPExtremeTemps
+	if o.Wide {
+		wideTemps = make([]wide.HBPExtremeTemps, n)
+		for w := range wideTemps {
+			wideTemps[w] = wide.NewHBPExtremeTemps(col, wantMin)
+		}
+	} else {
+		temps = make([][]uint64, n)
+		for w := range temps {
+			temps[w] = core.NewHBPExtremeTemp(col, wantMin)
+		}
 	}
 	bests := make([]uint64, n)
 	anys := make([]bool, n)
@@ -234,7 +284,13 @@ func HBPFusedExtremeCtx(ctx context.Context, col *hbp.Column, preds []scan.Windo
 	fss := make([]core.FusedStats, n)
 	used, err := forEachRangeErr(ctx, nseg, n, func(w, lo, hi int) error {
 		t0 := statsNow(ws)
-		b, a, c := core.HBPFusedFoldExtreme(col, preds, temps[w], wantMin, lo, hi, &fss[w])
+		var b, c uint64
+		var a bool
+		if o.Wide {
+			b, a, c = wide.HBPFusedFoldExtreme(col, preds, &wideTemps[w], wantMin, lo, hi, &fss[w])
+		} else {
+			b, a, c = core.HBPFusedFoldExtreme(col, preds, temps[w], wantMin, lo, hi, &fss[w])
+		}
 		if a && (!anys[w] || wantMin && b < bests[w] || !wantMin && b > bests[w]) {
 			bests[w] = b
 			anys[w] = true
@@ -255,7 +311,15 @@ func HBPFusedExtremeCtx(ctx context.Context, col *hbp.Column, preds []scan.Windo
 		o.fusedStatsEnd(ws, start, fss, len(preds), metrics.ExecStats{})
 		return 0, 0, nil
 	}
-	v = core.HBPFinishExtreme(col, temps[:used], wantMin)
+	if o.Wide {
+		flat := make([][]uint64, 0, 4*used)
+		for w := 0; w < used; w++ {
+			flat = append(flat, wideTemps[w][:]...)
+		}
+		v = core.HBPFinishExtreme(col, flat, wantMin)
+	} else {
+		v = core.HBPFinishExtreme(col, temps[:used], wantMin)
+	}
 	for w := 0; w < used; w++ {
 		if anys[w] && (wantMin && bests[w] < v || !wantMin && bests[w] > v) {
 			v = bests[w]
@@ -270,8 +334,9 @@ func HBPFusedExtremeCtx(ctx context.Context, col *hbp.Column, preds []scan.Windo
 // vectors are built by the fused pass (no bitmap); rankOf maps the
 // selected tuple count u to the 1-based rank to extract (MEDIAN passes
 // (u+1)/2) and reports whether a rank is wanted at all. The radix descent
-// then runs the same per-bit rendezvous as VBPRankCtx. The planner only
-// fuses the 64-bit kernels, so the rounds use package core directly.
+// then runs the same per-bit rendezvous as VBPRankCtx; with o.Wide the
+// count and refine rounds run the wide kernels (the candidate-building
+// fused pass stays 64-bit — it touches no aggregate words).
 func VBPFusedRankCtx(ctx context.Context, col *vbp.Column, preds []scan.WindowPred, rankOf func(u uint64) (uint64, bool), o Options) (val, cnt uint64, ok bool, err error) {
 	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
@@ -313,7 +378,11 @@ func VBPFusedRankCtx(ctx context.Context, col *vbp.Column, preds []scan.WindowPr
 		}
 		_, err := forEachRangeErr(ctx, nseg, n, func(w, lo, hi int) error {
 			t0 := statsNow(ws)
-			partials[w] += core.VBPRankCount(col, v, p, lo, hi)
+			if o.Wide {
+				partials[w] += wide.VBPRankCountRange(col, v, p, lo, hi)
+			} else {
+				partials[w] += core.VBPRankCount(col, v, p, lo, hi)
+			}
 			if ws != nil {
 				// Charge the whole round here: refine reads the same
 				// bit-position word for the same live segments.
@@ -339,7 +408,11 @@ func VBPFusedRankCtx(ctx context.Context, col *vbp.Column, preds []scan.WindowPr
 		extra.RadixRounds++
 		_, err = forEachRangeErr(ctx, nseg, n, func(w, lo, hi int) error {
 			t0 := statsNow(ws)
-			core.VBPRankRefine(col, v, p, keepOnes, lo, hi)
+			if o.Wide {
+				wide.VBPRankRefineRange(col, v, p, keepOnes, lo, hi)
+			} else {
+				core.VBPRankRefine(col, v, p, keepOnes, lo, hi)
+			}
 			if ws != nil {
 				busyOnly(ws, w, t0)
 			}
@@ -356,7 +429,8 @@ func VBPFusedRankCtx(ctx context.Context, col *vbp.Column, preds []scan.WindowPr
 // HBPFusedRankCtx computes a rank statistic of the tuples matching the
 // predicate conjunction over an HBP column, honoring ctx; see
 // VBPFusedRankCtx for the rankOf contract. The radix descent runs the
-// same per-chunk histogram rendezvous as HBPRankCtx.
+// same per-chunk histogram rendezvous as HBPRankCtx; with o.Wide the
+// refine rounds run the wide kernel (histograms have no wide variant).
 func HBPFusedRankCtx(ctx context.Context, col *hbp.Column, preds []scan.WindowPred, rankOf func(u uint64) (uint64, bool), o Options) (val, cnt uint64, ok bool, err error) {
 	ws, start := o.statsBegin()
 	nseg := col.NumSegments()
@@ -462,7 +536,11 @@ func HBPFusedRankCtx(ctx context.Context, col *hbp.Column, preds []scan.WindowPr
 			}
 			_, err = forEachRangeErr(ctx, nseg, n, func(w, lo, hi int) error {
 				t0 := statsNow(ws)
-				core.HBPRankRefineChunk(col, v, g, shift, width, uint64(bin), lo, hi)
+				if o.Wide {
+					wide.HBPRankRefineChunkRange(col, v, g, shift, width, uint64(bin), lo, hi)
+				} else {
+					core.HBPRankRefineChunk(col, v, g, shift, width, uint64(bin), lo, hi)
+				}
 				if ws != nil {
 					busyOnly(ws, w, t0)
 				}

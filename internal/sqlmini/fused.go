@@ -15,7 +15,8 @@ import (
 // bitmap, all-match segments served from the per-segment aggregate caches).
 // The translation is decided per conjunct; whenever any condition needs
 // bitmap machinery (IN-lists) or any aggregate would not fuse (NULLs,
-// WideWords, mismatched window widths), execution falls back to the
+// mismatched window widths — WideWords now fuses, running the
+// internal/wide fused twins), execution falls back to the
 // bindWhere + bitmap path unchanged. ExecOptions.Auto only affects that
 // fallback: fuse-eligible queries fuse regardless, Auto's bit-parallel
 // vs reconstruction choice applying where a filter bitmap exists.

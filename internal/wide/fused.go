@@ -1,0 +1,374 @@
+package wide
+
+import (
+	"math/bits"
+
+	"bpagg/internal/core"
+	"bpagg/internal/hbp"
+	"bpagg/internal/scan"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+// Fused scan→aggregate kernels on wide words. Filter words come from the
+// same core.FusedWindow conjunction the 64-bit kernels use and every
+// per-segment decision — cache service, masking, the FusedStats counters
+// — matches core exactly, so EXPLAIN ANALYZE and the metric-invariant
+// tests see identical numbers on either width (DESIGN.md §8: WordsTouched
+// is analytic, counting algorithmic word visits, not machine loads).
+// Aggregation-side work buffers into 4-lane (or 16-segment carry-save)
+// blocks: live segments are not generally consecutive here — cache-served
+// and pruned segments drop out — so lanes gather strided, and zero filter
+// words pad partial tail blocks harmlessly.
+
+// hbpLiveSubs mirrors the unexported core helper: the sub-segments of
+// window fw holding at least one selected tuple.
+func hbpLiveSubs(col *hbp.Column, fw uint64) uint64 {
+	subs := col.SubSegments()
+	var n uint64
+	for t := 0; t < subs; t++ {
+		if col.SubSegmentDelims(fw, t) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// VBPFusedSumCount is the wide twin of core.VBPFusedSumCount: fused
+// filter words feed the CSA4 block accumulator (or, on the legacy side of
+// the toggle, a per-word popcount loop).
+func VBPFusedSumCount(col *vbp.Column, preds []scan.WindowPred, segLo, segHi int, st *core.FusedStats) (sum, cnt uint64) {
+	k := col.K()
+	bSum := make([]uint64, k)
+	groups := col.Groups()
+	var acc *vbpVecSum
+	if core.PosPopEnabled {
+		acc = newVBPVecSum(k, bSum)
+	}
+	for seg := segLo; seg < segHi; seg++ {
+		fw, allMatch := core.FusedWindow(preds, seg, st)
+		if fw == 0 {
+			continue
+		}
+		if allMatch {
+			if zs, ok := col.SegmentSum(seg); ok {
+				sum += zs
+				cnt += uint64(col.SegmentValues(seg))
+				st.SegmentsCacheServed++
+				continue
+			}
+		}
+		fw &= word.LowMask(col.SegmentValues(seg))
+		if fw == 0 {
+			continue
+		}
+		cnt += uint64(bits.OnesCount64(fw))
+		st.SegmentsAggregated++
+		st.WordsTouched += uint64(k)
+		if acc != nil {
+			acc.push(col, seg, fw)
+			continue
+		}
+		for g := range groups {
+			gr := &groups[g]
+			base := seg * gr.Bits
+			for b := 0; b < gr.Bits; b++ {
+				bSum[gr.StartBit+b] += uint64(bits.OnesCount64(gr.Words[base+b] & fw))
+			}
+		}
+	}
+	if acc != nil {
+		acc.finish(col)
+	}
+	for p := 0; p < k; p++ {
+		sum += bSum[p] << uint(k-1-p)
+	}
+	return sum, cnt
+}
+
+// VBPFusedFoldExtreme is the wide twin of core.VBPFusedFoldExtreme: live
+// segments buffer into 4-lane blocks that run the lockstep staged compare
+// of VBPFoldExtremeRange against the lane temps. Padded lanes carry a
+// zero filter word, so their selections mask away.
+func VBPFusedFoldExtreme(col *vbp.Column, preds []scan.WindowPred, temps *VBPExtremeTemps, wantMin bool, segLo, segHi int, st *core.FusedStats) (best uint64, any bool, cnt uint64) {
+	k := col.K()
+	groups := col.Groups()
+	var x [4][]uint64
+	for l := range x {
+		x[l] = make([]uint64, k)
+	}
+	var segs [4]int
+	var fws [4]uint64
+	n := 0
+	flush := func() {
+		for i := n; i < 4; i++ {
+			segs[i], fws[i] = segs[0], 0
+		}
+		for g := range groups {
+			gr := &groups[g]
+			for l := 0; l < 4; l++ {
+				base := segs[l] * gr.Bits
+				copy(x[l][gr.StartBit:gr.StartBit+gr.Bits], gr.Words[base:base+gr.Bits])
+			}
+		}
+		eq := Vec{^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)}
+		var sel Vec
+		for p := 0; p < k; p++ {
+			for l := 0; l < 4; l++ {
+				xp, yp := x[l][p], temps[l][p]
+				var lg uint64
+				if wantMin {
+					lg = ^xp & yp
+				} else {
+					lg = xp &^ yp
+				}
+				sel[l] |= eq[l] & lg
+				eq[l] &= ^(xp ^ yp)
+			}
+			if eq.IsZero() {
+				break
+			}
+		}
+		sel = sel.And(Vec{fws[0], fws[1], fws[2], fws[3]})
+		n = 0
+		if sel.IsZero() {
+			return
+		}
+		for p := 0; p < k; p++ {
+			for l := 0; l < 4; l++ {
+				temps[l][p] = word.Blend(sel[l], x[l][p], temps[l][p])
+			}
+		}
+	}
+	for seg := segLo; seg < segHi; seg++ {
+		fw, allMatch := core.FusedWindow(preds, seg, st)
+		if fw == 0 {
+			continue
+		}
+		if allMatch {
+			if lo, hi, ok := col.SegmentRangeExact(seg); ok {
+				v := lo
+				if !wantMin {
+					v = hi
+				}
+				if !any || wantMin && v < best || !wantMin && v > best {
+					best = v
+				}
+				any = true
+				cnt += uint64(col.SegmentValues(seg))
+				st.SegmentsCacheServed++
+				continue
+			}
+		}
+		fw &= word.LowMask(col.SegmentValues(seg))
+		if fw == 0 {
+			continue
+		}
+		cnt += uint64(bits.OnesCount64(fw))
+		st.SegmentsAggregated++
+		st.WordsTouched += uint64(k)
+		segs[n], fws[n] = seg, fw
+		n++
+		if n == 4 {
+			flush()
+		}
+	}
+	if n > 0 {
+		flush()
+	}
+	return best, any, cnt
+}
+
+// HBPFusedSumCount is the wide twin of core.HBPFusedSumCount: four
+// buffered segments run independent Gilles–Miller fold chains per block,
+// the paper's four-instance SIMD mapping applied to the fused feed.
+func HBPFusedSumCount(col *hbp.Column, preds []scan.WindowPred, segLo, segHi int, st *core.FusedStats) (sum, cnt uint64) {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	summer := word.NewSummer(tau, col.FieldsPerWord())
+	fold := summer.Sum
+	if summer.Fast() {
+		flushC, fsh, fin, keep, mul := summer.Consts()
+		peelV, peelF := summer.PeelMasks()
+		fold = func(w uint64) uint64 {
+			x := (w &^ peelF) << flushC
+			x += x >> fsh
+			x &= keep
+			return (x*mul)>>fin + w&peelV
+		}
+	}
+	gws := make([][]uint64, b)
+	for g := range gws {
+		gws[g] = col.GroupWords(g)
+	}
+
+	sums := make([]uint64, b)
+	var segs [4]int
+	var fws [4]uint64
+	n := 0
+	flush := func() {
+		for i := n; i < 4; i++ {
+			segs[i], fws[i] = segs[0], 0
+		}
+		for t := 0; t < subs; t++ {
+			var md Vec
+			for l := 0; l < 4; l++ {
+				md[l] = col.SubSegmentDelims(fws[l], t)
+			}
+			if md.IsZero() {
+				continue
+			}
+			var m Vec
+			for l := 0; l < 4; l++ {
+				m[l] = word.SpreadDelims(md[l], tau)
+			}
+			for g := 0; g < b; g++ {
+				gw := gws[g]
+				sums[g] += fold(gw[segs[0]*subs+t]&m[0]) +
+					fold(gw[segs[1]*subs+t]&m[1]) +
+					fold(gw[segs[2]*subs+t]&m[2]) +
+					fold(gw[segs[3]*subs+t]&m[3])
+			}
+		}
+		n = 0
+	}
+	for seg := segLo; seg < segHi; seg++ {
+		fw, allMatch := core.FusedWindow(preds, seg, st)
+		if fw == 0 {
+			continue
+		}
+		if allMatch {
+			if zs, ok := col.SegmentSum(seg); ok {
+				sum += zs
+				cnt += uint64(col.SegmentValues(seg))
+				st.SegmentsCacheServed++
+				continue
+			}
+		}
+		fw &= word.LowMask(col.SegmentValues(seg))
+		if fw == 0 {
+			continue
+		}
+		cnt += uint64(bits.OnesCount64(fw))
+		st.SegmentsAggregated++
+		st.WordsTouched += hbpLiveSubs(col, fw) * uint64(b)
+		segs[n], fws[n] = seg, fw
+		n++
+		if n == 4 {
+			flush()
+		}
+	}
+	if n > 0 {
+		flush()
+	}
+	for g := 0; g < b; g++ {
+		sum += sums[g] << uint((b-1-g)*tau)
+	}
+	return sum, cnt
+}
+
+// HBPFusedFoldExtreme is the wide twin of core.HBPFusedFoldExtreme: four
+// buffered segments run lockstep staged delimiter-lane compares against
+// the lane temps of HBPFoldExtremeRange.
+func HBPFusedFoldExtreme(col *hbp.Column, preds []scan.WindowPred, temps *HBPExtremeTemps, wantMin bool, segLo, segHi int, st *core.FusedStats) (best uint64, any bool, cnt uint64) {
+	tau := col.Tau()
+	b := col.NumGroups()
+	subs := col.SubSegments()
+	delim := col.DelimMask()
+	var x [4][]uint64
+	for l := range x {
+		x[l] = make([]uint64, b)
+	}
+	var segs [4]int
+	var fws [4]uint64
+	n := 0
+	flush := func() {
+		for i := n; i < 4; i++ {
+			segs[i], fws[i] = segs[0], 0
+		}
+		for t := 0; t < subs; t++ {
+			var md Vec
+			for l := 0; l < 4; l++ {
+				md[l] = col.SubSegmentDelims(fws[l], t)
+			}
+			if md.IsZero() {
+				continue
+			}
+			for g := 0; g < b; g++ {
+				gw := col.GroupWords(g)
+				for l := 0; l < 4; l++ {
+					x[l][g] = gw[segs[l]*subs+t]
+				}
+			}
+			eq := Vec{delim, delim, delim, delim}
+			var sel Vec
+			for g := 0; g < b; g++ {
+				for l := 0; l < 4; l++ {
+					var lg uint64
+					if wantMin {
+						lg = word.LTDelims(x[l][g], temps[l][g], delim)
+					} else {
+						lg = word.GTDelims(x[l][g], temps[l][g], delim)
+					}
+					sel[l] |= eq[l] & lg
+					eq[l] &= word.EQDelims(x[l][g], temps[l][g], delim)
+				}
+				if eq.IsZero() {
+					break
+				}
+			}
+			sel = sel.And(md)
+			if sel.IsZero() {
+				continue
+			}
+			var m Vec
+			for l := 0; l < 4; l++ {
+				m[l] = word.SpreadDelims(sel[l], tau)
+			}
+			for g := 0; g < b; g++ {
+				for l := 0; l < 4; l++ {
+					temps[l][g] = word.Blend(m[l], x[l][g], temps[l][g])
+				}
+			}
+		}
+		n = 0
+	}
+	for seg := segLo; seg < segHi; seg++ {
+		fw, allMatch := core.FusedWindow(preds, seg, st)
+		if fw == 0 {
+			continue
+		}
+		if allMatch {
+			if lo, hi, ok := col.SegmentRangeExact(seg); ok {
+				v := lo
+				if !wantMin {
+					v = hi
+				}
+				if !any || wantMin && v < best || !wantMin && v > best {
+					best = v
+				}
+				any = true
+				cnt += uint64(col.SegmentValues(seg))
+				st.SegmentsCacheServed++
+				continue
+			}
+		}
+		fw &= word.LowMask(col.SegmentValues(seg))
+		if fw == 0 {
+			continue
+		}
+		cnt += uint64(bits.OnesCount64(fw))
+		st.SegmentsAggregated++
+		st.WordsTouched += hbpLiveSubs(col, fw) * uint64(b)
+		segs[n], fws[n] = seg, fw
+		n++
+		if n == 4 {
+			flush()
+		}
+	}
+	if n > 0 {
+		flush()
+	}
+	return best, any, cnt
+}

@@ -1,0 +1,186 @@
+package wide
+
+import "bpagg/internal/vbp"
+
+// Carry-save counting over Vec lanes (DESIGN.md §14). The wide VBP SUM
+// bottleneck the package comment calls out — POPCNT has no 256-bit form,
+// so every wide word costs four serial 64-bit counts — is exactly what a
+// Harley–Seal tree removes: CSA4 folds four Vecs (sixteen 64-bit words)
+// into bit-sliced counters with pure lane-wise logic, and the four-count
+// popcount is paid only on the weight-8 overflow Vec of each block plus
+// one residual fold per plane. The structure mirrors internal/core's
+// vbpBlockSum so both word widths share the same kernel shape.
+
+// CSA is the lane-wise carry-save adder over Vec operands — word.CSA
+// lifted to 256 bits.
+func CSA(c, a, b Vec) (sum, carry Vec) {
+	u := c.Xor(a)
+	return u.Xor(b), c.And(a).Or(u.And(b))
+}
+
+// CSA4 folds four Vecs into the running counters ones/twos/fours and
+// returns the eights Vec, every set bit of which carries weight 8. The
+// fours update is a half-add (the carry out IS the eights), so the block
+// step is eleven Vec logic ops for sixteen words.
+func CSA4(ones, twos, fours Vec, v *[4]Vec) (o, t, f, eights Vec) {
+	var tA, tB, fA Vec
+	ones, tA = CSA(ones, v[0], v[1])
+	ones, tB = CSA(ones, v[2], v[3])
+	twos, fA = CSA(twos, tA, tB)
+	eights = fours.And(fA)
+	fours = fours.Xor(fA)
+	return ones, twos, fours, eights
+}
+
+// csaFold drains residual counters into a scalar count with the same
+// shift-free addition-doubling as word.CSAFold.
+func csaFold(ones, twos, fours Vec) uint64 {
+	t := uint64(twos.Popcount())
+	q := uint64(fours.Popcount())
+	q += q
+	return uint64(ones.Popcount()) + t + t + q + q
+}
+
+// vecSumBlock is how many (segment, filter word) pairs buffer before a
+// flush: four Vecs of four segment lanes each.
+const vecSumBlock = 16
+
+// vbpPlanes is a flat per-plane view of a VBP column — plane p lives in
+// words[p] at stride[p]*seg+off[p] — so block gathers pay one indexed
+// load per lane instead of walking the ragged bit-group structure.
+type vbpPlanes struct {
+	words  [][]uint64
+	stride []int
+	off    []int
+}
+
+func newVBPPlanes(col *vbp.Column) vbpPlanes {
+	k, tau := col.K(), col.Tau()
+	groups := col.Groups()
+	pl := vbpPlanes{
+		words:  make([][]uint64, k),
+		stride: make([]int, k),
+		off:    make([]int, k),
+	}
+	for p := 0; p < k; p++ {
+		gr := &groups[p/tau]
+		pl.words[p] = gr.Words
+		pl.stride[p] = gr.Bits
+		pl.off[p] = p - gr.StartBit
+	}
+	return pl
+}
+
+// vbpVecSum is the wide twin of core's block accumulator: buffered
+// segments flush through CSA4 per plane into persistent Vec counters,
+// landing per-plane totals in the caller's bSum bank. Buffered segments
+// need not be consecutive (fused passes skip cache-served ones), so the
+// gather is strided; zero-padded tail lanes are carry-save no-ops.
+type vbpVecSum struct {
+	k                 int
+	ones, twos, fours []Vec
+	bSum              []uint64
+	pl                vbpPlanes // flat plane view, built on first flush
+	segs              [vecSumBlock]int
+	fws               [vecSumBlock]uint64
+	n                 int
+}
+
+func newVBPVecSum(k int, bSum []uint64) *vbpVecSum {
+	backing := make([]Vec, 3*k)
+	return &vbpVecSum{
+		k:    k,
+		ones: backing[:k], twos: backing[k : 2*k], fours: backing[2*k:],
+		bSum: bSum,
+	}
+}
+
+// push buffers one live segment's filter word, folding a block when full.
+func (a *vbpVecSum) push(col *vbp.Column, seg int, fw uint64) {
+	a.segs[a.n], a.fws[a.n] = seg, fw
+	a.n++
+	if a.n == vecSumBlock {
+		a.flush(col)
+	}
+}
+
+// csaStep4 folds four filter-masked words into one lane's carry-save
+// state — the scalar CSA4 tree with the fours half-add exposing the
+// eights. Small enough to inline into flush, which keeps the hot path
+// free of Vec-by-value calls (three 32-byte operands per CSA add up).
+func csaStep4(o, t, f, w0, w1, w2, w3 uint64) (uint64, uint64, uint64, uint64) {
+	u := o ^ w0
+	tA := o&w0 | u&w1
+	o = u ^ w1
+	u = o ^ w2
+	tB := o&w2 | u&w3
+	o = u ^ w3
+	u = t ^ tA
+	fA := t&tA | u&tB
+	t = u ^ tB
+	e := f & fA
+	f ^= fA
+	return o, t, f, e
+}
+
+// flush folds the buffered block into the carry-save counters. Idle tail
+// lanes alias lane 0 with an all-zero filter (a carry-save no-op), so the
+// body is branch-free: per plane, each of the four Vec lanes gathers four
+// constant-index words and runs the scalar CSA tree, so everything stays
+// in registers.
+func (a *vbpVecSum) flush(col *vbp.Column) {
+	if a.pl.words == nil {
+		a.pl = newVBPPlanes(col)
+	}
+	for i := a.n; i < vecSumBlock; i++ {
+		a.segs[i], a.fws[i] = a.segs[0], 0
+	}
+	pl := &a.pl
+	for p := 0; p < a.k; p++ {
+		ws, st, off := pl.words[p], pl.stride[p], pl.off[p]
+		o, t, fr := a.ones[p], a.twos[p], a.fours[p]
+		var e Vec
+		o[0], t[0], fr[0], e[0] = csaStep4(o[0], t[0], fr[0],
+			ws[a.segs[0]*st+off]&a.fws[0], ws[a.segs[4]*st+off]&a.fws[4],
+			ws[a.segs[8]*st+off]&a.fws[8], ws[a.segs[12]*st+off]&a.fws[12])
+		o[1], t[1], fr[1], e[1] = csaStep4(o[1], t[1], fr[1],
+			ws[a.segs[1]*st+off]&a.fws[1], ws[a.segs[5]*st+off]&a.fws[5],
+			ws[a.segs[9]*st+off]&a.fws[9], ws[a.segs[13]*st+off]&a.fws[13])
+		o[2], t[2], fr[2], e[2] = csaStep4(o[2], t[2], fr[2],
+			ws[a.segs[2]*st+off]&a.fws[2], ws[a.segs[6]*st+off]&a.fws[6],
+			ws[a.segs[10]*st+off]&a.fws[10], ws[a.segs[14]*st+off]&a.fws[14])
+		o[3], t[3], fr[3], e[3] = csaStep4(o[3], t[3], fr[3],
+			ws[a.segs[3]*st+off]&a.fws[3], ws[a.segs[7]*st+off]&a.fws[7],
+			ws[a.segs[11]*st+off]&a.fws[11], ws[a.segs[15]*st+off]&a.fws[15])
+		a.ones[p], a.twos[p], a.fours[p] = o, t, fr
+		if !e.IsZero() {
+			a.bSum[p] += uint64(e.Popcount()) << 3
+		}
+	}
+	a.n = 0
+}
+
+// finish folds any partial block plus the residual counters into bSum and
+// resets the accumulator.
+func (a *vbpVecSum) finish(col *vbp.Column) {
+	if a.n > 0 {
+		a.flush(col)
+	}
+	for p := 0; p < a.k; p++ {
+		a.bSum[p] += csaFold(a.ones[p], a.twos[p], a.fours[p])
+		a.ones[p], a.twos[p], a.fours[p] = Vec{}, Vec{}, Vec{}
+	}
+}
+
+// vbpWideBSumRange fills the per-plane popcount bank for segments
+// [segLo, segHi) with wide words — the carry-save replacement for the
+// per-Vec-popcount loop, shared by VBPSumRange and its checked twin.
+func vbpWideBSumRange(col *vbp.Column, bSum []uint64, segLo, segHi int, fword func(seg int) uint64) {
+	acc := newVBPVecSum(col.K(), bSum)
+	for seg := segLo; seg < segHi; seg++ {
+		if fw := fword(seg); fw != 0 {
+			acc.push(col, seg, fw)
+		}
+	}
+	acc.finish(col)
+}

@@ -1,0 +1,120 @@
+package wide
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/core"
+	"bpagg/internal/scan"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+func TestVecCSAPrimitives(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 200; iter++ {
+		var c, a, b Vec
+		for l := 0; l < 4; l++ {
+			c[l], a[l], b[l] = rng.Uint64(), rng.Uint64(), rng.Uint64()
+		}
+		s, cy := CSA(c, a, b)
+		for l := 0; l < 4; l++ {
+			ws, wc := word.CSA(c[l], a[l], b[l])
+			if s[l] != ws || cy[l] != wc {
+				t.Fatalf("lane %d: Vec CSA (%#x,%#x), word CSA (%#x,%#x)", l, s[l], cy[l], ws, wc)
+			}
+		}
+	}
+	// CSA4 + csaFold count exactly: stream random Vec blocks.
+	var ones, twos, fours Vec
+	var total, want uint64
+	for iter := 0; iter < 97; iter++ {
+		var blk [4]Vec
+		for j := range blk {
+			for l := 0; l < 4; l++ {
+				blk[j][l] = rng.Uint64() & rng.Uint64()
+				want += uint64(bits.OnesCount64(blk[j][l]))
+			}
+		}
+		var eights Vec
+		ones, twos, fours, eights = CSA4(ones, twos, fours, &blk)
+		total += uint64(eights.Popcount()) << 3
+	}
+	if got := total + csaFold(ones, twos, fours); got != want {
+		t.Fatalf("CSA4 stream total %d, scalar %d", got, want)
+	}
+}
+
+// TestWideSumToggleEquivalence pins the refreshed wide SUM against the
+// legacy wide body and the core kernel across block-boundary lengths.
+func TestWideSumToggleEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	old := core.PosPopEnabled
+	defer func() { core.PosPopEnabled = old }()
+	for _, n := range []int{1, 64 * 3, 64 * 16, 64*16 + 7, 64*37 + 13} {
+		const k = 25
+		vals, f := fixture(rng, n, k, 0.6)
+		col := vbp.Pack(vals, k, 4)
+		core.PosPopEnabled = false
+		legacy := VBPSumRange(col, f, 0, col.NumSegments())
+		core.PosPopEnabled = true
+		pospop := VBPSumRange(col, f, 0, col.NumSegments())
+		want := core.VBPSumRange(col, f, 0, col.NumSegments())
+		if legacy != pospop || pospop != want {
+			t.Fatalf("n=%d: wide legacy %d, wide pospop %d, core %d", n, legacy, pospop, want)
+		}
+	}
+}
+
+// TestWideFusedMatchesCore pins the wide fused kernels — results AND
+// FusedStats — to the core fused kernels on mixed uniform/sorted data.
+func TestWideFusedMatchesCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	const k, n = 20, 64*23 + 41
+	for _, sorted := range []bool{false, true} {
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & word.LowMask(k)
+		}
+		if sorted {
+			for i := 1; i < n; i++ {
+				if vals[i] < vals[i-1] {
+					vals[i], vals[i-1] = vals[i-1], vals[i]
+				}
+			}
+		}
+		col := vbp.Pack(vals, k, 4)
+		cut := word.LowMask(k) / 2
+		preds := []scan.WindowPred{scan.NewVBPWindowPred(col, scan.Predicate{Op: scan.LT, A: cut})}
+		nseg := col.NumSegments()
+
+		var cst, wst core.FusedStats
+		cSum, cCnt := core.VBPFusedSumCount(col, preds, 0, nseg, &cst)
+		wSum, wCnt := VBPFusedSumCount(col, preds, 0, nseg, &wst)
+		if cSum != wSum || cCnt != wCnt {
+			t.Fatalf("sorted=%v: core (%d,%d), wide (%d,%d)", sorted, cSum, cCnt, wSum, wCnt)
+		}
+		if cst != wst {
+			t.Fatalf("sorted=%v: FusedStats differ across widths: core %+v, wide %+v", sorted, cst, wst)
+		}
+
+		for _, wantMin := range []bool{true, false} {
+			var cst2, wst2 core.FusedStats
+			cTemp := core.NewVBPExtremeTemp(k, wantMin)
+			cBest, cAny, cCnt2 := core.VBPFusedFoldExtreme(col, preds, cTemp, wantMin, 0, nseg, &cst2)
+			wTemps := NewVBPExtremeTemps(k, wantMin)
+			wBest, wAny, wCnt2 := VBPFusedFoldExtreme(col, preds, &wTemps, wantMin, 0, nseg, &wst2)
+			if cAny != wAny || cCnt2 != wCnt2 || cst2 != wst2 {
+				t.Fatalf("sorted=%v min=%v: fold disagreement (any %v/%v cnt %d/%d)", sorted, wantMin, cAny, wAny, cCnt2, wCnt2)
+			}
+			cv := core.VBPFinishExtreme([][]uint64{cTemp}, k, wantMin)
+			wv := core.VBPFinishExtreme(wTemps[:], k, wantMin)
+			if cAny {
+				if cv != wv || cBest != wBest {
+					t.Fatalf("sorted=%v min=%v: core %d/%d, wide %d/%d", sorted, wantMin, cv, cBest, wv, wBest)
+				}
+			}
+		}
+	}
+}

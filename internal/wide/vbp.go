@@ -13,11 +13,22 @@ func VBPSum(col *vbp.Column, f *bitvec.Bitmap) uint64 {
 }
 
 // VBPSumRange is the wide-word Algorithm 1 over segments [segLo, segHi):
-// four consecutive segments form one 256-value segment, and each bit
-// position contributes one wide POPCNT of W AND F.
+// four consecutive segments form one 256-value segment. The refreshed
+// kernel carry-saves whole blocks of wide words through CSA4 (one wide
+// POPCNT per four Vecs plus residuals) instead of paying a wide POPCNT
+// per plane word; the pre-refresh per-Vec-popcount body remains as the
+// legacy A/B side behind core.PosPopEnabled.
 func VBPSumRange(col *vbp.Column, f *bitvec.Bitmap, segLo, segHi int) uint64 {
 	k := col.K()
 	bSum := make([]uint64, k)
+	if core.PosPopEnabled {
+		vbpWideBSumRange(col, bSum, segLo, segHi, f.Word)
+		var sum uint64
+		for p := 0; p < k; p++ {
+			sum += bSum[p] << uint(k-1-p)
+		}
+		return sum
+	}
 	groups := col.Groups()
 	seg := segLo
 	for ; seg+4 <= segHi; seg += 4 {

@@ -1,0 +1,219 @@
+package word
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// csaRef is the scalar meaning of one carry-save step: per lane,
+// sum + 2·carry must equal a + b + c.
+func csaRef(c, a, b uint64) (sum, carry uint64) {
+	sum = a ^ b ^ c
+	carry = a&b | a&c | b&c
+	return sum, carry
+}
+
+func TestPropCSAIsFullAdder(t *testing.T) {
+	f := func(c, a, b uint64) bool {
+		s, cy := CSA(c, a, b)
+		rs, rcy := csaRef(c, a, b)
+		return s == rs && cy == rcy
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// feedBlocks streams ws through CSA8 in blocks of eight (zero-padding the
+// trailing partial block) and returns the grand total of set bits.
+func feedBlocks(ws []uint64) uint64 {
+	var ones, twos, fours, total uint64
+	var blk [8]uint64
+	i := 0
+	for ; i+8 <= len(ws); i += 8 {
+		copy(blk[:], ws[i:i+8])
+		var eights uint64
+		ones, twos, fours, eights = CSA8(ones, twos, fours, &blk)
+		total += uint64(bits.OnesCount64(eights)) << 3
+	}
+	if i < len(ws) {
+		blk = [8]uint64{}
+		copy(blk[:], ws[i:])
+		var eights uint64
+		ones, twos, fours, eights = CSA8(ones, twos, fours, &blk)
+		total += uint64(bits.OnesCount64(eights)) << 3
+	}
+	return total + CSAFold(ones, twos, fours)
+}
+
+func TestCSA8CountsBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < 500; iter++ {
+		// Random block lengths, including empty and partial trailing blocks.
+		n := rng.Intn(45)
+		ws := make([]uint64, n)
+		var want uint64
+		for i := range ws {
+			ws[i] = rng.Uint64() >> uint(rng.Intn(64)) // vary density
+			want += uint64(bits.OnesCount64(ws[i]))
+		}
+		if got := feedBlocks(ws); got != want {
+			t.Fatalf("n=%d: CSA8 total %d, scalar %d", n, got, want)
+		}
+	}
+}
+
+func TestCSAFoldShiftFreeWeights(t *testing.T) {
+	f := func(ones, twos, fours uint64) bool {
+		want := uint64(bits.OnesCount64(ones)) +
+			2*uint64(bits.OnesCount64(twos)) +
+			4*uint64(bits.OnesCount64(fours))
+		return CSAFold(ones, twos, fours) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOnesCounterStreams(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < 300; iter++ {
+		var oc OnesCounter
+		var want uint64
+		n := rng.Intn(70) // odd lengths leave a pending word
+		for i := 0; i < n; i++ {
+			w := rng.Uint64() & (rng.Uint64() | rng.Uint64())
+			want += uint64(bits.OnesCount64(w))
+			oc.Feed(w)
+			// Total must be exact mid-stream too, not only at the end.
+			if i%7 == 3 && oc.Total() != want {
+				t.Fatalf("mid-stream total %d, want %d", oc.Total(), want)
+			}
+		}
+		if oc.Total() != want {
+			t.Fatalf("n=%d: total %d, want %d", n, oc.Total(), want)
+		}
+	}
+}
+
+// TestPosPopAgainstReferences pins the carry-save counting path against
+// both scalar references at once: random k-bit values are laid out as VBP
+// bit planes (counted plane-wise through CSA8 and recombined by weight)
+// and packed as tau-bit HBP fields (summed by InWordSum, whose odd
+// field-count path exercises the peel), and both must equal the big.Int
+// sum of the selected values.
+func TestPosPopAgainstReferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + rng.Intn(MaxTau)
+		nseg := 1 + rng.Intn(21) // odd counts leave partial CSA blocks
+		nv := nseg * 64
+		vals := make([]uint64, nv)
+		sel := make([]bool, nv)
+		want := new(big.Int)
+		for i := range vals {
+			vals[i] = rng.Uint64() & LowMask(k)
+			sel[i] = rng.Intn(4) != 0
+			if sel[i] {
+				want.Add(want, new(big.Int).SetUint64(vals[i]))
+			}
+		}
+
+		// VBP side: planes[p][seg], bit j of plane p = bit (k-1-p) of value.
+		planes := make([][]uint64, k)
+		for p := range planes {
+			planes[p] = make([]uint64, nseg)
+		}
+		fws := make([]uint64, nseg)
+		for i, v := range vals {
+			if !sel[i] {
+				continue
+			}
+			seg, j := i/64, uint(i%64)
+			fws[seg] |= 1 << j
+			for p := 0; p < k; p++ {
+				planes[p][seg] |= (v >> uint(k-1-p) & 1) << j
+			}
+		}
+		got := new(big.Int)
+		masked := make([]uint64, nseg)
+		for p := 0; p < k; p++ {
+			for seg := range masked {
+				masked[seg] = planes[p][seg] & fws[seg]
+			}
+			c := new(big.Int).SetUint64(feedBlocks(masked))
+			got.Add(got, c.Lsh(c, uint(k-1-p)))
+		}
+		if got.Cmp(want) != 0 {
+			t.Fatalf("k=%d nseg=%d: CSA positional sum %v, big.Int %v", k, nseg, got, want)
+		}
+
+		// HBP side: pack the selected values into tau-bit fields and sum
+		// word-wise with InWordSum (c odd about half the time → peel path).
+		tau := k
+		fpw := FieldsPerWord(tau)
+		var hbpSum uint64
+		var w uint64
+		c := 0
+		for i, v := range vals {
+			if !sel[i] {
+				continue
+			}
+			w = PutField(w, tau, c, v)
+			c++
+			if c == fpw {
+				hbpSum += InWordSum(w, tau, c)
+				w, c = 0, 0
+			}
+			_ = i
+		}
+		if c > 0 {
+			hbpSum += InWordSum(w, tau, c)
+		}
+		// k ≤ 31 and nv ≤ 21·64 keep the packed-field sum inside uint64.
+		if got.Cmp(new(big.Int).SetUint64(hbpSum)) != 0 {
+			t.Fatalf("k=%d: CSA positional sum %v, InWordSum total %d", k, got, hbpSum)
+		}
+	}
+}
+
+// FuzzCSABlockCount cross-checks the carry-save block counter against
+// plain popcounts on fuzz-chosen word streams.
+func FuzzCSABlockCount(f *testing.F) {
+	f.Add([]byte{0x01, 0xff, 0x00, 0x80}, uint8(3))
+	f.Add([]byte{}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, stride uint8) {
+		// Decode a word stream from the raw bytes, 8 bytes per word,
+		// repeated with a varying stride so lengths cross block borders.
+		n := len(data)/8 + int(stride%19)
+		ws := make([]uint64, n)
+		var want uint64
+		for i := range ws {
+			var w uint64
+			for j := 0; j < 8; j++ {
+				idx := i*8 + j
+				if idx < len(data) {
+					w |= uint64(data[idx]) << uint(8*j)
+				}
+			}
+			if i >= len(data)/8 {
+				w = ^uint64(0) << uint((i+int(stride))%63)
+			}
+			ws[i] = w
+			want += uint64(bits.OnesCount64(w))
+		}
+		if got := feedBlocks(ws); got != want {
+			t.Fatalf("CSA total %d, scalar %d (n=%d)", got, want, n)
+		}
+		var oc OnesCounter
+		for _, w := range ws {
+			oc.Feed(w)
+		}
+		if got := oc.Total(); got != want {
+			t.Fatalf("OnesCounter total %d, scalar %d (n=%d)", got, want, n)
+		}
+	})
+}

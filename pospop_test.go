@@ -1,0 +1,81 @@
+package bpagg
+
+import (
+	"testing"
+
+	"bpagg/internal/core"
+)
+
+// End-to-end guards for the carry-save kernel layer: the PosPopEnabled
+// toggle and the WideWords option must both be invisible — same answers,
+// and (narrow vs wide fused) the same ExecStats, since the counters are
+// analytic (DESIGN.md §8) and both widths consume the same fused windows.
+
+type fusedResults struct {
+	rows, sum, cnt uint64
+	mn, mx, md     uint64
+	okN, okX, okD  bool
+}
+
+func runFusedSuite(t *testing.T, tbl *Table, rec *StatsCollector, opts ...ExecOption) fusedResults {
+	t.Helper()
+	// Both predicate columns and the aggregate column are VBP, so the
+	// window geometry agrees and the planner fuses.
+	q := func() *Query {
+		q := tbl.Query().Where("price", Less(30000)).Where("region", Equal(2))
+		if rec != nil {
+			q = q.WithStatsInto(rec)
+		}
+		return q.With(opts...)
+	}
+	if !q().Fused("price") {
+		t.Fatal("query did not plan fused")
+	}
+	var r fusedResults
+	r.rows = q().CountRows()
+	r.sum = q().Sum("price")
+	r.cnt = q().CountRows()
+	r.mn, r.okN = q().Min("price")
+	r.mx, r.okX = q().Max("price")
+	r.md, r.okD = q().Median("price")
+	return r
+}
+
+func TestFusedWideWordsMatchesNarrow(t *testing.T) {
+	tbl, _, _, _ := buildOrdersTable(t, 3000)
+	for _, threads := range []int{1, 4} {
+		narrowRec := NewStatsCollector()
+		wideRec := NewStatsCollector()
+		narrow := runFusedSuite(t, tbl, narrowRec, Parallel(threads))
+		wide := runFusedSuite(t, tbl, wideRec, Parallel(threads), WideWords())
+		if narrow != wide {
+			t.Fatalf("threads=%d: narrow fused %+v, wide fused %+v", threads, narrow, wide)
+		}
+		ns, ws := narrowRec.Snapshot(), wideRec.Snapshot()
+		if ns.WordsTouched != ws.WordsTouched ||
+			ns.SegmentsAggregated != ws.SegmentsAggregated ||
+			ns.SegmentsCacheServed != ws.SegmentsCacheServed ||
+			ns.WordsCompared != ws.WordsCompared ||
+			ns.RadixRounds != ws.RadixRounds {
+			t.Fatalf("threads=%d: fused stats differ across widths:\nnarrow %+v\nwide   %+v",
+				threads, ns, ws)
+		}
+	}
+}
+
+func TestPosPopToggleEndToEnd(t *testing.T) {
+	tbl, _, _, _ := buildOrdersTable(t, 3000)
+	old := core.PosPopEnabled
+	defer func() { core.PosPopEnabled = old }()
+	run := func(on bool, opts ...ExecOption) fusedResults {
+		core.PosPopEnabled = on
+		return runFusedSuite(t, tbl, nil, opts...)
+	}
+	for _, opts := range [][]ExecOption{nil, {WideWords()}, {Parallel(4)}} {
+		legacy := run(false, opts...)
+		pospop := run(true, opts...)
+		if legacy != pospop {
+			t.Fatalf("opts=%d: legacy %+v, pospop %+v", len(opts), legacy, pospop)
+		}
+	}
+}

@@ -25,8 +25,9 @@ import (
 //     equality scans and need a bitmap);
 //   - neither the clause columns nor the aggregate column have NULLs
 //     (NULL semantics live in the validity-bitmap intersection);
-//   - execution is the bit-parallel access method with the 64-bit kernels
-//     (Reconstruct/Auto and WideWords fall back to two phases);
+//   - execution is the bit-parallel access method (Reconstruct/Auto fall
+//     back to two phases; WideWords fuses too — internal/wide carries
+//     fused twins of the SUM and MIN/MAX kernels and wide rank rounds);
 //   - all columns involved agree on the window width (VBP's 64, HBP's
 //     values-per-segment), so one filter word addresses one segment
 //     everywhere.
@@ -71,7 +72,7 @@ func (q *Query) fusedPlan(agg *Column) (preds []scan.WindowPred, o execConfig, o
 		return nil, o, false
 	}
 	o = execOptions(q.execs)
-	if o.access != BitParallel || o.par.Wide {
+	if o.access != BitParallel {
 		return nil, o, false
 	}
 	wb := 0
