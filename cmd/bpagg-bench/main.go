@@ -6,9 +6,11 @@
 // a grouped A/B comparison ("groupby") of the single-pass bit-sliced
 // GROUP BY engine against the legacy per-group walk across cardinalities,
 // with a high-cardinality extension ("groupby-hicard") that sweeps group
-// counts up to 2^20 through the hash-banked partition tier, and a SUM
+// counts up to 2^20 through the hash-banked partition tier, a SUM
 // kernel A/B comparison ("sum-kernels") of the carry-save positional-
-// popcount kernels against the per-word-popcount bodies they replaced.
+// popcount kernels against the per-word-popcount bodies they replaced,
+// and a shard-count sweep ("shard-scale") of the sharded partitioned
+// store against the flat table it was split from.
 //
 // Usage:
 //
@@ -93,6 +95,12 @@ var experiments = []experimentSpec{
 		rows := bench.Fused(rc.cfg)
 		bench.PrintFused(os.Stdout, rows, rc.cfg)
 		rc.report.AddFused(rows)
+		return nil
+	}},
+	{"shard-scale", true, func(rc runCtx) error {
+		rows := bench.ShardScale(rc.cfg)
+		bench.PrintShardScale(os.Stdout, rows, rc.cfg)
+		rc.report.AddShardScale(rows)
 		return nil
 	}},
 	{"sum-kernels", true, func(rc runCtx) error {

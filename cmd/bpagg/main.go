@@ -3,6 +3,7 @@
 // queries against it at bit-parallel speed.
 //
 //	bpagg load  -csv sales.csv -schema 'price:decimal(2,105000),qty:uint(6):hbp,region:string' -out sales.bpag
+//	bpagg load  -csv sales.csv -schema '...' -shard-rows 65536 -out sales.bpag   # sharded partitioned store
 //	bpagg query -table sales.bpag 'SELECT SUM(price), MEDIAN(qty) WHERE region = "EU" GROUP BY region'
 //	bpagg info  -table sales.bpag
 //
@@ -64,7 +65,9 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  bpagg load  -csv FILE -schema SPEC -out FILE   pack CSV into a .bpag table
+  bpagg load  -csv FILE -schema SPEC [-shard-rows N] -out FILE
+              pack CSV into a .bpag table (N > 0 splits it into a
+              sharded partitioned store with shard-catalog pruning)
   bpagg query -table FILE [-threads N] [-wide] [-timeout D] [-stats] [-http ADDR] [SQL]
               (omit SQL for an interactive session reading stdin)
   bpagg info  -table FILE
@@ -83,6 +86,7 @@ func cmdLoad(args []string) error {
 	csvPath := fs.String("csv", "", "input CSV file with a header row")
 	schema := fs.String("schema", "", "schema specification")
 	out := fs.String("out", "", "output .bpag file")
+	shardRows := fs.Int("shard-rows", 0, "split into shards of this many rows (0 = flat table)")
 	fs.Parse(args)
 	if *csvPath == "" || *schema == "" || *out == "" {
 		return fmt.Errorf("load needs -csv, -schema and -out")
@@ -102,6 +106,9 @@ func cmdLoad(args []string) error {
 	if err != nil {
 		return err
 	}
+	if *shardRows > 0 {
+		cat.Shard(*shardRows)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		return err
@@ -115,8 +122,14 @@ func cmdLoad(args []string) error {
 	if err := w.Flush(); err != nil {
 		return err
 	}
+	if cat.Sharded != nil {
+		fmt.Printf("loaded %d rows, %d columns, %d shards of %d rows -> %s (%d bytes) in %v\n",
+			cat.Rows(), len(cat.Specs), cat.Sharded.NumShards(), cat.Sharded.ShardRows(),
+			*out, n, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
 	fmt.Printf("loaded %d rows, %d columns -> %s (%d bytes) in %v\n",
-		cat.Table.Rows(), len(cat.Specs), *out, n, time.Since(start).Round(time.Millisecond))
+		cat.Rows(), len(cat.Specs), *out, n, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 
@@ -172,7 +185,7 @@ func cmdQuery(args []string) error {
 	// the running query and falls back to the prompt; at an idle prompt
 	// the default SIGINT disposition (terminate) applies.
 	fmt.Printf("bpagg> connected to %s (%d rows); one query per line, ctrl-D to exit\n",
-		*table, cat.Table.Rows())
+		*table, cat.Rows())
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for {
@@ -234,7 +247,7 @@ func runQuery(ctx context.Context, cat *catalog.Catalog, sql string, opts sqlmin
 	}
 	printResult(res)
 	fmt.Printf("(%d row(s) over %d tuples in %v)\n",
-		len(res.Rows), cat.Table.Rows(), time.Since(start).Round(time.Microsecond))
+		len(res.Rows), cat.Rows(), time.Since(start).Round(time.Microsecond))
 	return nil
 }
 
@@ -261,10 +274,20 @@ func cmdInfo(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("rows: %d\n", cat.Table.Rows())
+	fmt.Printf("rows: %d\n", cat.Rows())
+	if cat.Sharded != nil {
+		fmt.Printf("shards: %d (up to %d rows each)\n",
+			cat.Sharded.NumShards(), cat.Sharded.ShardRows())
+	}
 	fmt.Printf("%-16s %-10s %-7s %6s %8s %10s\n",
 		"column", "type", "layout", "bits", "nulls", "words")
 	for _, sp := range cat.Specs {
+		if cat.Sharded != nil {
+			layout, bits, nulls, words := cat.Sharded.ColumnInfo(sp.Name)
+			fmt.Printf("%-16s %-10s %-7s %6d %8d %10d\n",
+				sp.Name, typeLabel(sp), layout, bits, nulls, words)
+			continue
+		}
 		col := cat.Table.Column(sp.Name)
 		fmt.Printf("%-16s %-10s %-7s %6d %8d %10d\n",
 			sp.Name, typeLabel(sp), col.Layout(), col.BitWidth(),

@@ -109,7 +109,7 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	fmt.Fprintf(os.Stderr, "bpaggd: serving %s (%d rows) on http://%s/query\n",
-		*table, cat.Table.Rows(), ln.Addr())
+		*table, cat.Rows(), ln.Addr())
 
 	// First SIGTERM/SIGINT: drain gracefully — stop admitting (healthz
 	// flips to 503 so balancers re-route), let in-flight queries finish

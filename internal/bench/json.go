@@ -34,6 +34,7 @@ type Report struct {
 	Server        []ServerJSON        `json:"concurrent_clients,omitempty"`
 	SumKernels    []SumKernelsJSON    `json:"sum_kernels,omitempty"`
 	SumKernelsW   []SumKernelsWJSON   `json:"sum_kernels_wide,omitempty"`
+	ShardScale    []ShardScaleJSON    `json:"shard_scale,omitempty"`
 }
 
 // ReportHost records the machine the run happened on — enough to know
@@ -302,6 +303,31 @@ func (r *Report) AddSumKernels(rows []SumKernelsRow, wideRows []SumKernelsWideRo
 	for _, row := range wideRows {
 		r.SumKernelsW = append(r.SumKernelsW, SumKernelsWJSON{
 			Mix: row.Mix, CoreNs: row.CoreNs, WideNs: row.WideNs, Ratio: row.Ratio,
+		})
+	}
+}
+
+// ShardScaleJSON is a ShardScaleRow in the report.
+type ShardScaleJSON struct {
+	Layout  string  `json:"layout"`
+	Mix     string  `json:"mix"`
+	Shards  int     `json:"shards"`
+	Threads int     `json:"threads"`
+	FlatNs  float64 `json:"flat_ns_per_tuple"`
+	ShardNs float64 `json:"shard_ns_per_tuple"`
+	Speedup float64 `json:"speedup"`
+}
+
+// AddShardScale records the flat-vs-sharded shard-count sweep.
+func (r *Report) AddShardScale(rows []ShardScaleRow) {
+	if r == nil {
+		return
+	}
+	for _, row := range rows {
+		r.ShardScale = append(r.ShardScale, ShardScaleJSON{
+			Layout: row.Layout, Mix: row.Mix, Shards: row.Shards,
+			Threads: row.Threads, FlatNs: row.FlatNs, ShardNs: row.ShardNs,
+			Speedup: row.Speedup,
 		})
 	}
 }

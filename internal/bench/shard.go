@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"bpagg"
+	"bpagg/internal/word"
+)
+
+// Shard-scale A/B experiment: the sharded partitioned store against the
+// flat table it was split from, on the same data and the same selective
+// single-predicate SUM, across a shard-count sweep. Two mixes bracket the
+// shard catalog: uniform data gives every shard the full value range so
+// min/max pruning never fires (the sweep then prices pure fan-out/merge
+// overhead), while sorted data gives each shard a disjoint value band so
+// a selective threshold predicate prunes all but the matching prefix of
+// shards before any zone map is consulted.
+//
+// Like the fused experiment, measurements are interleaved — flat and
+// sharded alternate in short rounds and the per-side median is reported —
+// so drift lands on both sides instead of biasing whichever ran second.
+
+// ShardScaleRow is one flat-vs-sharded comparison at a shard count.
+type ShardScaleRow struct {
+	Layout  string  // "VBP" | "HBP"
+	Mix     string  // "uniform" (no pruning) | "sorted" (catalog prunes)
+	Shards  int     // shard count the table was split into
+	Threads int     // worker count on both sides
+	FlatNs  float64 // flat table ns/tuple (median of rounds)
+	ShardNs float64 // sharded store ns/tuple (median of rounds)
+	Speedup float64 // FlatNs / ShardNs
+}
+
+// shardScaleCounts is the shard-count sweep. 1 isolates the container's
+// fixed cost (a single shard holds the whole table); the rest scale the
+// fan-out and, on sorted data, the pruning resolution.
+var shardScaleCounts = []int{1, 4, 16, 64}
+
+// ShardScale runs the sweep: layout × mix × shard count, SUM under a
+// threshold predicate at cfg.Sel selectivity, cfg.Threads workers on both
+// sides so the comparison isolates the container, not the scheduler.
+func ShardScale(cfg Config) []ShardScaleRow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	max := word.LowMask(cfg.K)
+	uniform := make([]uint64, cfg.N)
+	for i := range uniform {
+		uniform[i] = rng.Uint64() & max
+	}
+	sorted := append([]uint64(nil), uniform...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	cut := uint64(float64(max) * cfg.Sel)
+	pred := bpagg.Less(cut)
+
+	var rows []ShardScaleRow
+	for _, layout := range []bpagg.Layout{bpagg.VBP, bpagg.HBP} {
+		for _, mix := range []struct {
+			name string
+			vals []uint64
+		}{{"uniform", uniform}, {"sorted", sorted}} {
+			flat := fusedTable(layout, mix.vals, cfg.K)
+			for _, shards := range shardScaleCounts {
+				shardRows := (cfg.N + shards - 1) / shards
+				st := bpagg.ShardTable(flat, shardRows)
+				flatRun := func() {
+					flat.Query().With(bpagg.Parallel(cfg.Threads)).Where("x", pred).Sum("x")
+				}
+				shardRun := func() {
+					st.Query().With(bpagg.Parallel(cfg.Threads)).Where("x", pred).Sum("x")
+				}
+				flatNs, shardNs := measureAB(cfg.N, cfg.MinTime, flatRun, shardRun)
+				rows = append(rows, ShardScaleRow{
+					Layout: layout.String(), Mix: mix.name,
+					Shards: st.NumShards(), Threads: cfg.Threads,
+					FlatNs: flatNs, ShardNs: shardNs, Speedup: flatNs / shardNs,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// PrintShardScale renders the shard-scale sweep.
+func PrintShardScale(w io.Writer, rows []ShardScaleRow, cfg Config) {
+	fmt.Fprintln(w, "Shard scale — sharded partitioned store vs the flat table it was split from")
+	fmt.Fprintf(w, "(SUM under a threshold predicate; k=%d; selectivity %.2f; %d threads both sides; interleaved medians of %d rounds)\n",
+		cfg.K, cfg.Sel, cfg.Threads, fusedRounds)
+	fmt.Fprintf(w, "%-7s %-9s %7s %8s %13s %13s %9s\n",
+		"layout", "mix", "shards", "threads", "flat ns/t", "shard ns/t", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %-9s %7d %8d %13.3f %13.3f %8.2fx\n",
+			r.Layout, r.Mix, r.Shards, r.Threads, r.FlatNs, r.ShardNs, r.Speedup)
+	}
+}

@@ -14,11 +14,35 @@ import (
 )
 
 // Catalog is a typed view over a packed table: the schema, the table, and
-// the per-column dictionaries.
+// the per-column dictionaries. When Sharded is non-nil the catalog is
+// backed by a partitioned store and the SQL layer routes execution
+// through it (shard-catalog pruning, parallel fan-out); Table may then be
+// nil — every binding and formatting helper consults only Specs and the
+// dictionaries.
 type Catalog struct {
-	Specs []Spec
-	Table *bpagg.Table
-	dicts map[string]*bpagg.Dict
+	Specs   []Spec
+	Table   *bpagg.Table
+	Sharded *bpagg.ShardedTable
+	dicts   map[string]*bpagg.Dict
+}
+
+// Shard converts the catalog to sharded execution: the flat table is
+// split into shards of shardRows rows each and dropped, so queries route
+// through the partitioned store from then on.
+func (c *Catalog) Shard(shardRows int) {
+	if c.Sharded != nil || c.Table == nil {
+		return
+	}
+	c.Sharded = bpagg.ShardTable(c.Table, shardRows)
+	c.Table = nil
+}
+
+// Rows reports the row count of whichever store backs the catalog.
+func (c *Catalog) Rows() int {
+	if c.Sharded != nil {
+		return c.Sharded.Rows()
+	}
+	return c.Table.Rows()
 }
 
 // Spec returns the named column's spec, or nil.
@@ -176,9 +200,16 @@ type persistHeader struct {
 	Specs   []Spec `json:"specs"`
 }
 
-// WriteTo persists schema and table to one stream.
+// WriteTo persists schema and data to one stream. A flat catalog writes
+// the seed-era version-1 framing unchanged; a sharded catalog writes
+// version 2 with the sharded container in place of the table stream, so
+// old readers reject it cleanly instead of misparsing.
 func (c *Catalog) WriteTo(w io.Writer) (int64, error) {
-	hdr, err := json.Marshal(persistHeader{Version: 1, Specs: c.Specs})
+	version := 1
+	if c.Sharded != nil {
+		version = 2
+	}
+	hdr, err := json.Marshal(persistHeader{Version: version, Specs: c.Specs})
 	if err != nil {
 		return 0, err
 	}
@@ -193,6 +224,10 @@ func (c *Catalog) WriteTo(w io.Writer) (int64, error) {
 	n += int64(m)
 	if err != nil {
 		return n, err
+	}
+	if c.Sharded != nil {
+		tn, err := c.Sharded.WriteTo(w)
+		return n + tn, err
 	}
 	tn, err := c.Table.WriteTo(w)
 	return n + tn, err
@@ -216,21 +251,40 @@ func Read(r io.Reader) (*Catalog, error) {
 	if err := json.Unmarshal(hdrBuf, &hdr); err != nil {
 		return nil, fmt.Errorf("catalog: decoding header: %w", err)
 	}
-	if hdr.Version != 1 {
+	switch hdr.Version {
+	case 1:
+		tbl, err := bpagg.ReadTable(r)
+		if err != nil {
+			return nil, err
+		}
+		cat := &Catalog{Specs: hdr.Specs, Table: tbl, dicts: map[string]*bpagg.Dict{}}
+		for _, sp := range cat.Specs {
+			if tbl.Column(sp.Name) == nil {
+				return nil, fmt.Errorf("catalog: schema column %q missing from table", sp.Name)
+			}
+		}
+		cat.buildDicts()
+		return cat, nil
+	case 2:
+		st, err := bpagg.ReadShardedTable(r)
+		if err != nil {
+			return nil, err
+		}
+		have := map[string]bool{}
+		for _, name := range st.Columns() {
+			have[name] = true
+		}
+		cat := &Catalog{Specs: hdr.Specs, Sharded: st, dicts: map[string]*bpagg.Dict{}}
+		for _, sp := range cat.Specs {
+			if !have[sp.Name] {
+				return nil, fmt.Errorf("catalog: schema column %q missing from table", sp.Name)
+			}
+		}
+		cat.buildDicts()
+		return cat, nil
+	default:
 		return nil, fmt.Errorf("catalog: unsupported version %d", hdr.Version)
 	}
-	tbl, err := bpagg.ReadTable(r)
-	if err != nil {
-		return nil, err
-	}
-	cat := &Catalog{Specs: hdr.Specs, Table: tbl, dicts: map[string]*bpagg.Dict{}}
-	for _, sp := range cat.Specs {
-		if tbl.Column(sp.Name) == nil {
-			return nil, fmt.Errorf("catalog: schema column %q missing from table", sp.Name)
-		}
-	}
-	cat.buildDicts()
-	return cat, nil
 }
 
 // --- Literal binding -------------------------------------------------------

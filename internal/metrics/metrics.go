@@ -71,6 +71,15 @@ import (
 //   - HashGrowths: hash-table capacity doublings by the hash-banked
 //     group tier.
 //
+// Shard counters (incremented by the sharded-table fan-out, once per
+// fan-out over the store):
+//
+//   - ShardsScanned: shards whose columns a fan-out actually queried
+//     (shard-catalog check inconclusive).
+//   - ShardsPruned: shards skipped because the shard catalog's min/max
+//     bounds proved no row can match the predicates — none of the
+//     shard's packed words are touched.
+//
 // Timers (nanoseconds, summed):
 //
 //   - ScanNanos: wall time of scan passes.
@@ -97,6 +106,9 @@ type ExecStats struct {
 	HashGrowths         uint64
 	AggNanos            int64
 	WorkerBusyNanos     int64
+
+	ShardsScanned uint64
+	ShardsPruned  uint64
 }
 
 // Add returns the field-wise sum s + o.
@@ -119,6 +131,8 @@ func (s ExecStats) Add(o ExecStats) ExecStats {
 	s.HashGrowths += o.HashGrowths
 	s.AggNanos += o.AggNanos
 	s.WorkerBusyNanos += o.WorkerBusyNanos
+	s.ShardsScanned += o.ShardsScanned
+	s.ShardsPruned += o.ShardsPruned
 	return s
 }
 
@@ -144,6 +158,8 @@ func (s ExecStats) Sub(o ExecStats) ExecStats {
 	s.HashGrowths -= o.HashGrowths
 	s.AggNanos -= o.AggNanos
 	s.WorkerBusyNanos -= o.WorkerBusyNanos
+	s.ShardsScanned -= o.ShardsScanned
+	s.ShardsPruned -= o.ShardsPruned
 	return s
 }
 
@@ -202,6 +218,9 @@ type Collector struct {
 	hashGrowths         atomic.Uint64
 	aggNanos            atomic.Int64
 	workerBusyNanos     atomic.Int64
+
+	shardsScanned atomic.Uint64
+	shardsPruned  atomic.Uint64
 }
 
 // NewCollector returns an empty collector.
@@ -268,6 +287,12 @@ func (c *Collector) Record(s ExecStats) {
 	if s.WorkerBusyNanos != 0 {
 		c.workerBusyNanos.Add(s.WorkerBusyNanos)
 	}
+	if s.ShardsScanned != 0 {
+		c.shardsScanned.Add(s.ShardsScanned)
+	}
+	if s.ShardsPruned != 0 {
+		c.shardsPruned.Add(s.ShardsPruned)
+	}
 }
 
 // Snapshot returns the counters accumulated so far. Each counter is read
@@ -297,6 +322,8 @@ func (c *Collector) Snapshot() ExecStats {
 		HashGrowths:         c.hashGrowths.Load(),
 		AggNanos:            c.aggNanos.Load(),
 		WorkerBusyNanos:     c.workerBusyNanos.Load(),
+		ShardsScanned:       c.shardsScanned.Load(),
+		ShardsPruned:        c.shardsPruned.Load(),
 	}
 }
 
@@ -324,4 +351,6 @@ func (c *Collector) Reset() {
 	c.hashGrowths.Store(0)
 	c.aggNanos.Store(0)
 	c.workerBusyNanos.Store(0)
+	c.shardsScanned.Store(0)
+	c.shardsPruned.Store(0)
 }

@@ -91,6 +91,13 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		return nil, err
 	}
 
+	// Partitioned-store routing: a sharded catalog executes through the
+	// shard fan-out (see sharded.go); the flat paths below assume
+	// cat.Table and never run for it.
+	if cat.Sharded != nil {
+		return executeSharded(ctx, cat, q, o)
+	}
+
 	if len(q.GroupBy) == 0 {
 		// Fused path first: when every conjunct translates to a simple
 		// predicate and every aggregate fuses, no filter bitmap is built

@@ -82,6 +82,17 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 	}
 	queryStart := time.Now()
 
+	// Sharded plan: the executor's routing is reproduced exactly — a
+	// sharded catalog always takes the shard fan-out, so the plan is the
+	// one stage that runs, with the shard-catalog pruning counters
+	// (shards_scanned/shards_pruned) on it:
+	//
+	//	query
+	//	└─ shard scan+agg ...      (or shard group+agg when grouped)
+	if cat.Sharded != nil {
+		return explainSharded(ctx, cat, q, o, queryStart)
+	}
+
 	// Fused plan: the executor's routing decision is reproduced exactly
 	// (same bindPreds + queryFusesAll gate as ExecuteContext), so the plan
 	// always shows the stages that would really run.
@@ -372,6 +383,23 @@ func (n *PlanNode) describe(norm bool) string {
 		if n.Stats.RadixRounds > 0 {
 			add("radix_rounds=%d", n.Stats.RadixRounds)
 		}
+		add("busy=%s", dur(n.Stats.WorkerBusy()))
+		add("time=%s", dur(n.Wall))
+	case "shard scan+agg", "shard group+agg":
+		if n.Op == "shard group+agg" {
+			add("groups=%d", n.Rows)
+		} else {
+			add("rows=%d", n.Rows)
+		}
+		add("shards_scanned=%d", n.Stats.ShardsScanned)
+		add("shards_pruned=%d", n.Stats.ShardsPruned)
+		add("aggs=%d", n.Stats.Aggregates)
+		add("scans=%d", n.Stats.Scans)
+		add("pruned_none=%d", n.Stats.SegmentsPrunedNone)
+		add("pruned_all=%d", n.Stats.SegmentsPrunedAll)
+		add("cache_served=%d", n.Stats.SegmentsCacheServed)
+		add("words_compared=%d", n.Stats.WordsCompared)
+		add("words_touched=%d", n.Stats.WordsTouched)
 		add("busy=%s", dur(n.Stats.WorkerBusy()))
 		add("time=%s", dur(n.Wall))
 	case "group+agg (single-pass)":

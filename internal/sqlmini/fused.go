@@ -65,7 +65,9 @@ func bindPreds(cat *catalog.Catalog, conds []Condition) ([]boundPred, bool) {
 // bindOnePred translates a single-literal comparison, mirroring bindOne's
 // case analysis exactly but producing a predicate instead of a bitmap.
 func bindOnePred(cat *catalog.Catalog, cond Condition) (bpagg.Predicate, error) {
-	if cat.Table.Column(cond.Column) == nil {
+	// Consult the schema, not the table: sharded catalogs have no flat
+	// table behind them.
+	if cat.Spec(cond.Column) == nil {
 		return bpagg.Predicate{}, fmt.Errorf("sql: unknown column %q", cond.Column)
 	}
 	lit := cond.Lits[0]

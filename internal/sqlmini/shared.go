@@ -34,6 +34,13 @@ func BatchKey(cat *catalog.Catalog, q *Query) (string, bool) {
 	if q == nil || q.Explain || len(q.GroupBy) != 0 {
 		return "", false
 	}
+	// Sharded catalogs are not batch-eligible: the shared selection is a
+	// flat-table bitmap, and the partitioned store has no global row
+	// numbering to build one against. Sharded queries execute (and prune)
+	// individually through executeSharded instead.
+	if cat.Sharded != nil {
+		return "", false
+	}
 	bps, ok := bindPreds(cat, q.Where)
 	if !ok {
 		return "", false

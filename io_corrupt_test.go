@@ -193,6 +193,68 @@ func TestReadColumnRandomGarbage(t *testing.T) {
 	}
 }
 
+// TestReadTableRowCountMismatch hand-crafts a table stream whose columns
+// disagree on row count — each column frame is individually valid, so
+// only the cross-column check in ReadTable can catch it. A table that
+// loaded this way would report Rows() from one column while another is
+// shorter, the read-path twin of the torn-append hazard.
+func TestReadTableRowCountMismatch(t *testing.T) {
+	var buf bytes.Buffer
+	for _, v := range []any{tableMagic, ioVersion, uint32(2)} {
+		if err := binary.Write(&buf, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeCol := func(name string, n int) {
+		col := NewColumn(VBP, 8)
+		for i := 0; i < n; i++ {
+			col.Append(uint64(i % 200))
+		}
+		if err := binary.Write(&buf, binary.LittleEndian, uint32(len(name))); err != nil {
+			t.Fatal(err)
+		}
+		buf.WriteString(name)
+		if _, err := col.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	writeCol("a", 100)
+	writeCol("b", 64)
+
+	err := mustNotPanic(t, "row-count mismatch", func() error {
+		_, err := ReadTable(bytes.NewReader(buf.Bytes()))
+		return err
+	})
+	if err == nil {
+		t.Fatal("ReadTable accepted columns with 100 and 64 rows")
+	}
+	err = mustNotPanic(t, "row-count mismatch via ReadPartitioned", func() error {
+		_, err := ReadPartitioned(bytes.NewReader(buf.Bytes()))
+		return err
+	})
+	if err == nil {
+		t.Fatal("ReadPartitioned accepted columns with 100 and 64 rows")
+	}
+}
+
+// TestShardedRandomGarbage extends the garbage hardening to the sharded
+// container readers.
+func TestShardedRandomGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(574))
+	for i := 0; i < 200; i++ {
+		garbage := make([]byte, rng.Intn(4096))
+		rng.Read(garbage)
+		mustNotPanic(t, "random garbage sharded", func() error {
+			_, err := ReadShardedTable(bytes.NewReader(garbage))
+			return err
+		})
+		mustNotPanic(t, "random garbage partitioned", func() error {
+			_, err := ReadPartitioned(bytes.NewReader(garbage))
+			return err
+		})
+	}
+}
+
 // TestShortReadInjection simulates a stream that fails mid-read via the
 // fault-injection hook in readWords.
 func TestShortReadInjection(t *testing.T) {

@@ -60,6 +60,39 @@ func (p Predicate) Matches(v uint64) bool {
 	return p.p.Matches(v)
 }
 
+// mayMatch reports whether any value in [min, max] can satisfy the
+// predicate — the shard-catalog pruning test. It is conservative in one
+// direction only: false proves no row of the shard can match, so the
+// shard's packed words are never touched; true means the shard must be
+// scanned (and the per-segment zone maps take over from there).
+func (p Predicate) mayMatch(min, max uint64) bool {
+	if p.list != nil {
+		for _, x := range p.list {
+			if min <= x && x <= max {
+				return true
+			}
+		}
+		return false
+	}
+	switch p.p.Op {
+	case scan.EQ:
+		return min <= p.p.A && p.p.A <= max
+	case scan.NE:
+		return !(min == max && min == p.p.A)
+	case scan.LT:
+		return min < p.p.A
+	case scan.LE:
+		return min <= p.p.A
+	case scan.GT:
+		return max > p.p.A
+	case scan.GE:
+		return max >= p.p.A
+	case scan.Between:
+		return p.p.A <= max && p.p.B >= min && p.p.A <= p.p.B
+	}
+	return true
+}
+
 // String renders the predicate in SQL-ish form.
 func (p Predicate) String() string {
 	if p.list != nil {

@@ -1,0 +1,67 @@
+package bpagg_test
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"bpagg"
+	"bpagg/internal/oracle"
+	"bpagg/internal/oracle/diff"
+)
+
+// FuzzShardEquivalence drives the sharded differential harness from
+// arbitrary bytes: it decodes a legal Case plus a shard size and demands
+// the partitioned store agree with the naive oracle — and therefore with
+// the flat engine — bit for bit on every aggregate, in both the split
+// and reloaded store states. The shard size is fuzzer-chosen, so sealed
+// shards, single-row shards, and non-divisible tails all emerge from the
+// corpus.
+func FuzzShardEquivalence(f *testing.F) {
+	f.Add(byte(0), byte(8), byte(2), byte(3), uint64(100), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add(byte(1), byte(64), byte(5), byte(1), ^uint64(0), []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff})
+	f.Add(byte(0), byte(64), byte(0), byte(70), uint64(1)<<63, make([]byte, 8*70))
+	f.Add(byte(1), byte(31), byte(7), byte(0), uint64(12345), []byte{9, 8, 7, 6, 5, 4, 3, 2, 1, 0, 1, 2, 3, 4, 5, 6})
+	f.Fuzz(func(t *testing.T, layoutB, kB, opB, shardB byte, a uint64, data []byte) {
+		layout := bpagg.VBP
+		if layoutB&1 == 1 {
+			layout = bpagg.HBP
+		}
+		k := 1 + int(kB)%64
+
+		mask := uint64(1)<<uint(k) - 1
+		if k == 64 {
+			mask = ^uint64(0)
+		}
+		n := len(data) / 8
+		if n > 300 {
+			n = 300
+		}
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = binary.LittleEndian.Uint64(data[i*8:]) & mask
+		}
+
+		ops := []oracle.Op{oracle.EQ, oracle.NE, oracle.LT, oracle.LE,
+			oracle.GT, oracle.GE, oracle.Between, oracle.In}
+		p := oracle.Pred{Op: ops[int(opB)%len(ops)], A: a & mask}
+		switch p.Op {
+		case oracle.Between:
+			p.B = (a >> 7) & mask
+		case oracle.In:
+			p.List = []uint64{a & mask, (a >> 13) & mask}
+		}
+
+		shardRows := 1 + int(shardB)%96
+		c := diff.Case{
+			Name:    "fuzz-shard",
+			Layout:  layout,
+			K:       k,
+			A:       vals,
+			Preds:   []diff.PredSpec{{Col: "a", Pred: p}},
+			Threads: []int{1, 3},
+		}
+		if err := diff.CheckSharded(c, shardRows); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

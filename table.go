@@ -75,7 +75,13 @@ func (t *Table) Columns() []string {
 func (t *Table) Rows() int { return t.rows }
 
 // AppendRow appends one row; vals must provide a code for every column.
+// The row is validated in full — presence and bit width of every value —
+// before any column is touched, so a panic never leaves columns at
+// unequal lengths.
 func (t *Table) AppendRow(vals map[string]uint64) {
+	if len(t.names) == 0 {
+		panic("bpagg: AppendRow on a table with no columns")
+	}
 	if len(vals) != len(t.names) {
 		panic(fmt.Sprintf("bpagg: row has %d values, table has %d columns", len(vals), len(t.names)))
 	}
@@ -84,14 +90,24 @@ func (t *Table) AppendRow(vals map[string]uint64) {
 		if !ok {
 			panic(fmt.Sprintf("bpagg: row missing column %q", name))
 		}
-		t.cols[name].Append(v)
+		t.cols[name].checkFits(name, v)
+	}
+	for _, name := range t.names {
+		t.cols[name].Append(vals[name])
 	}
 	t.rows++
 }
 
 // AppendColumnar appends many rows given per-column value slices of equal
-// length — the natural bulk-load path for columnar data.
+// length — the natural bulk-load path for columnar data. Like AppendRow it
+// validates the whole load (column set, equal lengths, bit width of every
+// value) before mutating anything; a rejected load leaves Rows() and every
+// column length unchanged. Loads into a table with no columns are rejected
+// because they carry no row count.
 func (t *Table) AppendColumnar(vals map[string][]uint64) {
+	if len(t.names) == 0 {
+		panic("bpagg: AppendColumnar on a table with no columns")
+	}
 	if len(vals) != len(t.names) {
 		panic(fmt.Sprintf("bpagg: load has %d columns, table has %d", len(vals), len(t.names)))
 	}
@@ -105,6 +121,12 @@ func (t *Table) AppendColumnar(vals map[string][]uint64) {
 			n = len(col)
 		} else if len(col) != n {
 			panic(fmt.Sprintf("bpagg: column %q has %d values, want %d", name, len(col), n))
+		}
+	}
+	for _, name := range t.names {
+		c := t.cols[name]
+		for _, v := range vals[name] {
+			c.checkFits(name, v)
 		}
 	}
 	for _, name := range t.names {
