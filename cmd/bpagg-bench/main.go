@@ -9,8 +9,10 @@
 // counts up to 2^20 through the hash-banked partition tier, a SUM
 // kernel A/B comparison ("sum-kernels") of the carry-save positional-
 // popcount kernels against the per-word-popcount bodies they replaced,
-// and a shard-count sweep ("shard-scale") of the sharded partitioned
-// store against the flat table it was split from.
+// a shard-count sweep ("shard-scale") of the sharded partitioned
+// store against the flat table it was split from, and a range-width
+// sweep ("range-scale") of the prefix-sum range index against the fused
+// scan fallback on filter-free positional ranges.
 //
 // Usage:
 //
@@ -103,6 +105,12 @@ var experiments = []experimentSpec{
 		rc.report.AddShardScale(rows)
 		return nil
 	}},
+	{"range-scale", true, func(rc runCtx) error {
+		rows := bench.RangeScale(rc.cfg)
+		bench.PrintRangeScale(os.Stdout, rows, rc.cfg)
+		rc.report.AddRangeScale(rows)
+		return nil
+	}},
 	{"sum-kernels", true, func(rc runCtx) error {
 		rows, wideRows := bench.SumKernels(rc.cfg)
 		bench.PrintSumKernels(os.Stdout, rows, wideRows, rc.cfg)
@@ -187,8 +195,14 @@ func main() {
 	cfg := bench.Config{
 		N: *n, K: *k, Sel: *sel, Threads: *threads, Seed: *seed, MinTime: *minTime,
 	}
-	fmt.Printf("bpagg-bench: n=%d k=%d sel=%v threads=%d GOMAXPROCS=%d\n\n",
-		cfg.N, cfg.K, cfg.Sel, cfg.Threads, runtime.GOMAXPROCS(0))
+	fmt.Printf("bpagg-bench: n=%d k=%d sel=%v threads=%d GOMAXPROCS=%d cpus=%d\n",
+		cfg.N, cfg.K, cfg.Sel, cfg.Threads, runtime.GOMAXPROCS(0), runtime.NumCPU())
+	if cfg.Threads > runtime.NumCPU() {
+		fmt.Fprintf(os.Stderr, "warning: -threads %d exceeds the %d available CPUs; "+
+			"multi-threaded speedups will be contended, not parallel\n",
+			cfg.Threads, runtime.NumCPU())
+	}
+	fmt.Println()
 
 	if *experiment == "oracle-soak" {
 		// The soak is itself a (far stronger) BP-vs-reference check.

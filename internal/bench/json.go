@@ -35,15 +35,17 @@ type Report struct {
 	SumKernels    []SumKernelsJSON    `json:"sum_kernels,omitempty"`
 	SumKernelsW   []SumKernelsWJSON   `json:"sum_kernels_wide,omitempty"`
 	ShardScale    []ShardScaleJSON    `json:"shard_scale,omitempty"`
+	RangeScale    []RangeScaleJSON    `json:"range_scale,omitempty"`
 }
 
 // ReportHost records the machine the run happened on — enough to know
 // when two reports are comparable.
 type ReportHost struct {
-	GoVersion string `json:"go_version"`
-	GOOS      string `json:"goos"`
-	GOARCH    string `json:"goarch"`
-	CPUs      int    `json:"cpus"`
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	CPUs       int    `json:"cpus"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
 }
 
 // ReportConfig echoes the experiment parameters.
@@ -96,10 +98,11 @@ func NewReport(cfg Config) *Report {
 		Schema:    ReportSchema,
 		Timestamp: time.Now().UTC().Format(time.RFC3339),
 		Host: ReportHost{
-			GoVersion: runtime.Version(),
-			GOOS:      runtime.GOOS,
-			GOARCH:    runtime.GOARCH,
-			CPUs:      runtime.NumCPU(),
+			GoVersion:  runtime.Version(),
+			GOOS:       runtime.GOOS,
+			GOARCH:     runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
 		},
 		Config: ReportConfig{
 			N: cfg.N, K: cfg.K, Sel: cfg.Sel, Threads: cfg.Threads,
@@ -327,6 +330,31 @@ func (r *Report) AddShardScale(rows []ShardScaleRow) {
 		r.ShardScale = append(r.ShardScale, ShardScaleJSON{
 			Layout: row.Layout, Mix: row.Mix, Shards: row.Shards,
 			Threads: row.Threads, FlatNs: row.FlatNs, ShardNs: row.ShardNs,
+			Speedup: row.Speedup,
+		})
+	}
+}
+
+// RangeScaleJSON is a RangeScaleRow in the report.
+type RangeScaleJSON struct {
+	Layout   string  `json:"layout"`
+	Agg      string  `json:"agg"`
+	WidthPct float64 `json:"width_pct"`
+	Rows     int     `json:"rows"`
+	IndexNs  float64 `json:"index_ns_per_op"`
+	ScanNs   float64 `json:"scan_ns_per_op"`
+	Speedup  float64 `json:"speedup"`
+}
+
+// AddRangeScale records the prefix-index-vs-fused-scan width sweep.
+func (r *Report) AddRangeScale(rows []RangeScaleRow) {
+	if r == nil {
+		return
+	}
+	for _, row := range rows {
+		r.RangeScale = append(r.RangeScale, RangeScaleJSON{
+			Layout: row.Layout, Agg: row.Agg, WidthPct: row.WidthPct,
+			Rows: row.Rows, IndexNs: row.IndexNs, ScanNs: row.ScanNs,
 			Speedup: row.Speedup,
 		})
 	}

@@ -10,12 +10,16 @@ import (
 
 // OracleSoak runs the differential oracle harness (internal/oracle/diff)
 // over several seeds with the Deep generator profile — wider bit-width,
-// τ, size, and predicate coverage than the PR-gating sweep. It is the
-// nightly complement to TestOracleDifferentialSweep and is deliberately
-// not part of the "all" experiment set: it validates correctness, not
-// performance. Returns the total number of divergences found; every
-// divergence prints with its case name, which embeds the seed needed to
-// replay it (README "Reproducing a divergence").
+// τ, size, and predicate coverage than the PR-gating sweep. Check's
+// matrix includes the positional range/window axis, so the soak sweeps
+// the prefix-sum index against the oracle nightly; a sharded pass at the
+// most adversarial shard size (the fixed non-divisible one) covers the
+// per-shard range translation too. It is the nightly complement to
+// TestOracleDifferentialSweep and is deliberately not part of the "all"
+// experiment set: it validates correctness, not performance. Returns the
+// total number of divergences found; every divergence prints with its
+// case name, which embeds the seed needed to replay it (README
+// "Reproducing a divergence").
 func OracleSoak(w io.Writer, startSeed int64, seeds int) int {
 	total := 0
 	for s := int64(0); s < int64(seeds); s++ {
@@ -27,6 +31,11 @@ func OracleSoak(w io.Writer, startSeed int64, seeds int) int {
 			if err := diff.Check(c); err != nil {
 				bad++
 				fmt.Fprintf(w, "DIVERGENCE %s:\n  %v\n", c.Name, err)
+			}
+			sizes := diff.ShardSizes(&c)
+			if err := diff.CheckSharded(c, sizes[len(sizes)-1]); err != nil {
+				bad++
+				fmt.Fprintf(w, "DIVERGENCE %s (sharded):\n  %v\n", c.Name, err)
 			}
 		}
 		hicard := diff.HighCardCases(diff.GenConfig{Seed: seed, Deep: true})

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"bpagg"
+	"bpagg/internal/word"
+)
+
+// Range-scale A/B experiment: the prefix-sum range index against the
+// fused scan pipeline, on the same filter-free positional range, across
+// a range-width sweep from 1% to 100% of the table. The index side is a
+// plain Range aggregate — answered from one 128-bit prefix difference
+// (SUM) or one sparse-table lookup (MIN) plus the two masked boundary
+// segments, so its cost is width-independent. The scan side carries an
+// always-true predicate, which disables the index route and prices what
+// the same answer costs through the fused pipeline: a full predicate
+// scan, the range mask intersection, and a width-proportional aggregate.
+//
+// Like the fused experiment, measurements are interleaved — index and
+// scan alternate in short rounds and the per-side median is reported.
+
+// RangeScaleRow is one index-vs-scan comparison at a range width.
+type RangeScaleRow struct {
+	Layout   string  // "VBP" | "HBP"
+	Agg      string  // "SUM" | "MIN"
+	WidthPct float64 // range width as a percentage of the table
+	Rows     int     // range width in rows
+	IndexNs  float64 // index-served ns/op (median of rounds)
+	ScanNs   float64 // fused-scan fallback ns/op (median of rounds)
+	Speedup  float64 // ScanNs / IndexNs
+}
+
+// rangeScaleWidths is the width sweep, in fractions of the table.
+var rangeScaleWidths = []float64{0.01, 0.05, 0.10, 0.25, 0.50, 1.00}
+
+// RangeScale runs the sweep: layout × width × {SUM, MIN} over one
+// uniform k-bit column. Ranges start at an interior, segment-misaligned
+// offset so both boundary segments are partial — the fringe kernels run
+// on every index-served call.
+func RangeScale(cfg Config) []RangeScaleRow {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	max := word.LowMask(cfg.K)
+	vals := make([]uint64, cfg.N)
+	for i := range vals {
+		vals[i] = rng.Uint64() & max
+	}
+	truePred := bpagg.LessEq(max)
+
+	var rows []RangeScaleRow
+	for _, layout := range []bpagg.Layout{bpagg.VBP, bpagg.HBP} {
+		tbl := fusedTable(layout, vals, cfg.K)
+		for _, frac := range rangeScaleWidths {
+			width := int(float64(cfg.N) * frac)
+			if width < 1 {
+				width = 1
+			}
+			lo := (cfg.N - width) / 3
+			if lo == 0 && width < cfg.N {
+				lo = 1
+			}
+			hi := lo + width
+			for _, agg := range []struct {
+				name      string
+				idx, scan func()
+			}{
+				{"SUM",
+					func() { tbl.Query().Range(lo, hi).Sum("x") },
+					func() { tbl.Query().Where("x", truePred).Range(lo, hi).Sum("x") }},
+				{"MIN",
+					func() { tbl.Query().Range(lo, hi).Min("x") },
+					func() { tbl.Query().Where("x", truePred).Range(lo, hi).Min("x") }},
+			} {
+				idxNs, scanNs := measureAB(1, cfg.MinTime, agg.idx, agg.scan)
+				rows = append(rows, RangeScaleRow{
+					Layout: layout.String(), Agg: agg.name,
+					WidthPct: frac * 100, Rows: width,
+					IndexNs: idxNs, ScanNs: scanNs, Speedup: scanNs / idxNs,
+				})
+			}
+		}
+	}
+	return rows
+}
+
+// PrintRangeScale renders the range-scale sweep.
+func PrintRangeScale(w io.Writer, rows []RangeScaleRow, cfg Config) {
+	fmt.Fprintln(w, "Range scale — prefix-sum range index vs the fused scan fallback (filter-free positional ranges)")
+	fmt.Fprintf(w, "(n=%d; k=%d; interior misaligned ranges; interleaved medians of %d rounds; ns per whole query)\n",
+		cfg.N, cfg.K, fusedRounds)
+	fmt.Fprintf(w, "%-7s %-5s %7s %10s %14s %14s %10s\n",
+		"layout", "agg", "width%", "rows", "index ns/op", "scan ns/op", "speedup")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %-5s %7.0f %10d %14.0f %14.0f %9.1fx\n",
+			r.Layout, r.Agg, r.WidthPct, r.Rows, r.IndexNs, r.ScanNs, r.Speedup)
+	}
+}

@@ -272,17 +272,43 @@ const MaxHistBits = 16
 // MaxHistBits bits. Each chunk is (shift, width): the chunk covers field
 // bits [shift, shift+width).
 func HBPChunks(tau int) [][2]int {
+	return hbpChunksWidth(tau, MaxHistBits)
+}
+
+func hbpChunksWidth(tau, maxBits int) [][2]int {
 	var out [][2]int
 	hi := tau
 	for hi > 0 {
 		w := hi
-		if w > MaxHistBits {
-			w = MaxHistBits
+		if w > maxBits {
+			w = maxBits
 		}
 		out = append(out, [2]int{hi - w, w})
 		hi -= w
 	}
 	return out
+}
+
+// HBPRankChunks picks the descent chunking for a rank query over u
+// candidates. The chunk width is a free policy choice — any MSB-first
+// chunking determines the same value — so a wide bit-group only earns its
+// full 2^MaxHistBits-bin histogram when the candidate population can
+// populate it: a histogram over u candidates has at most u non-empty
+// bins, and allocating (and re-zeroing, round after round) bins the data
+// cannot reach costs far more than the extra scan rounds a narrower
+// descent takes over a small candidate set. The width depends only on
+// (tau, u), keeping RadixRounds identical across thread counts and the
+// narrow/wide kernels. Returns the chunks and the histogram width to
+// allocate.
+func HBPRankChunks(tau int, u uint64) ([][2]int, int) {
+	hb := tau
+	if hb > MaxHistBits {
+		hb = MaxHistBits
+	}
+	if need := bits.Len64(u) + 2; need < hb {
+		hb = need
+	}
+	return hbpChunksWidth(tau, hb), hb
 }
 
 // HBPRank computes the r-th smallest filtered value (1-based) — the
@@ -301,12 +327,7 @@ func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64) (uint64, bool) {
 	v := NewHBPCandidates(col, f, nseg)
 	b := col.NumGroups()
 	tau := col.Tau()
-	chunks := HBPChunks(tau)
-
-	histBits := tau
-	if histBits > MaxHistBits {
-		histBits = MaxHistBits
-	}
+	chunks, histBits := HBPRankChunks(tau, u)
 	hist := make([]uint64, 1<<uint(histBits))
 	var m uint64
 	for g := 0; g < b; g++ {

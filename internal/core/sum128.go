@@ -24,35 +24,28 @@ func SumOverflowPossible(k, n int) bool {
 	return hi != 0
 }
 
-// sumCacheExactK is the widest code width at which a per-segment sum
+// SumCacheExactK is the widest code width at which a per-segment sum
 // cache entry is trusted by the checked kernels: a segment holds at most
 // 64 values, so its true sum is below 2^(k+6), and the uint64 zSum cannot
 // itself have wrapped when k ≤ 58. For wider codes the checked kernels
-// recompute the segment instead of serving the cache.
-const sumCacheExactK = 58
+// recompute the segment instead of serving the cache. Exported for the
+// range index builder, which applies the same trust bound.
+const SumCacheExactK = 58
 
-// add128 adds v into the 128-bit accumulator (hi, lo).
+const sumCacheExactK = SumCacheExactK
+
+// add128, addShift128 and add128Shifted are the 128-bit accumulator
+// primitives, shared with the prefix-sum range index via internal/word.
 func add128(hi, lo, v uint64) (uint64, uint64) {
-	nl, carry := bits.Add64(lo, v, 0)
-	return hi + carry, nl
+	return word.Add128(hi, lo, v)
 }
 
-// addShift128 adds v<<s (s in [0, 63]) into (hi, lo), keeping the bits
-// that shift past the low word. Go defines v>>64 as 0, so s == 0 needs no
-// special case.
 func addShift128(hi, lo, v uint64, s uint) (uint64, uint64) {
-	nl, carry := bits.Add64(lo, v<<s, 0)
-	return hi + carry + v>>(64-s), nl
+	return word.AddShift128(hi, lo, v, s)
 }
 
-// add128Shifted adds the 128-bit value (vhi, vlo)<<s (s in [0, 63]) into
-// (hi, lo). True sums stay below 2^128 (n < 2^64 codes of ≤ 64 bits), so
-// bits shifted past 2^128 cannot occur for well-formed inputs.
 func add128Shifted(hi, lo, vhi, vlo uint64, s uint) (uint64, uint64) {
-	slo := vlo << s
-	shi := vhi<<s | vlo>>(64-s) // vlo>>64 is defined as 0, so s == 0 is exact
-	nl, carry := bits.Add64(lo, slo, 0)
-	return hi + carry + shi, nl
+	return word.Add128Shifted(hi, lo, vhi, vlo, s)
 }
 
 // VBPSumRange128 is the checked twin of VBPSumRange: identical per-bit

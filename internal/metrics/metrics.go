@@ -55,6 +55,13 @@ import (
 //   - SegmentsCacheServed: all-match segments the fused scan→aggregate
 //     path answered from the per-segment aggregate caches without
 //     touching a packed word (they contribute nothing to WordsTouched).
+//   - SegmentsIndexServed: full segments a range/window aggregate
+//     answered from the prefix-sum range index (one prefix difference or
+//     sparse-table lookup covers any number of them) without touching a
+//     packed word.
+//   - RangeFringeWords: packed words touched by the masked fringe
+//     kernels on a range's two partial boundary segments — the entire
+//     word cost of an index-served range aggregate.
 //   - ReconstructedRows: rows materialized by the NBP reconstruction
 //     baseline when the optimizer picks it over the bit-parallel path.
 //   - GroupsDiscovered: distinct group keys found by a single-pass
@@ -99,6 +106,8 @@ type ExecStats struct {
 	WordsTouched        uint64
 	RadixRounds         uint64
 	SegmentsCacheServed uint64
+	SegmentsIndexServed uint64
+	RangeFringeWords    uint64
 	ReconstructedRows   uint64
 	GroupsDiscovered    uint64
 	GroupBankWords      uint64
@@ -124,6 +133,8 @@ func (s ExecStats) Add(o ExecStats) ExecStats {
 	s.WordsTouched += o.WordsTouched
 	s.RadixRounds += o.RadixRounds
 	s.SegmentsCacheServed += o.SegmentsCacheServed
+	s.SegmentsIndexServed += o.SegmentsIndexServed
+	s.RangeFringeWords += o.RangeFringeWords
 	s.ReconstructedRows += o.ReconstructedRows
 	s.GroupsDiscovered += o.GroupsDiscovered
 	s.GroupBankWords += o.GroupBankWords
@@ -151,6 +162,8 @@ func (s ExecStats) Sub(o ExecStats) ExecStats {
 	s.WordsTouched -= o.WordsTouched
 	s.RadixRounds -= o.RadixRounds
 	s.SegmentsCacheServed -= o.SegmentsCacheServed
+	s.SegmentsIndexServed -= o.SegmentsIndexServed
+	s.RangeFringeWords -= o.RangeFringeWords
 	s.ReconstructedRows -= o.ReconstructedRows
 	s.GroupsDiscovered -= o.GroupsDiscovered
 	s.GroupBankWords -= o.GroupBankWords
@@ -211,6 +224,8 @@ type Collector struct {
 	wordsTouched        atomic.Uint64
 	radixRounds         atomic.Uint64
 	segmentsCacheServed atomic.Uint64
+	segmentsIndexServed atomic.Uint64
+	rangeFringeWords    atomic.Uint64
 	reconstructedRows   atomic.Uint64
 	groupsDiscovered    atomic.Uint64
 	groupBankWords      atomic.Uint64
@@ -266,6 +281,12 @@ func (c *Collector) Record(s ExecStats) {
 	if s.SegmentsCacheServed != 0 {
 		c.segmentsCacheServed.Add(s.SegmentsCacheServed)
 	}
+	if s.SegmentsIndexServed != 0 {
+		c.segmentsIndexServed.Add(s.SegmentsIndexServed)
+	}
+	if s.RangeFringeWords != 0 {
+		c.rangeFringeWords.Add(s.RangeFringeWords)
+	}
 	if s.ReconstructedRows != 0 {
 		c.reconstructedRows.Add(s.ReconstructedRows)
 	}
@@ -315,6 +336,8 @@ func (c *Collector) Snapshot() ExecStats {
 		WordsTouched:        c.wordsTouched.Load(),
 		RadixRounds:         c.radixRounds.Load(),
 		SegmentsCacheServed: c.segmentsCacheServed.Load(),
+		SegmentsIndexServed: c.segmentsIndexServed.Load(),
+		RangeFringeWords:    c.rangeFringeWords.Load(),
 		ReconstructedRows:   c.reconstructedRows.Load(),
 		GroupsDiscovered:    c.groupsDiscovered.Load(),
 		GroupBankWords:      c.groupBankWords.Load(),
@@ -344,6 +367,8 @@ func (c *Collector) Reset() {
 	c.wordsTouched.Store(0)
 	c.radixRounds.Store(0)
 	c.segmentsCacheServed.Store(0)
+	c.segmentsIndexServed.Store(0)
+	c.rangeFringeWords.Store(0)
 	c.reconstructedRows.Store(0)
 	c.groupsDiscovered.Store(0)
 	c.groupBankWords.Store(0)

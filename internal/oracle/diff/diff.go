@@ -14,9 +14,13 @@
 //	{fused, fused-wide, two-phase, wide-word, reconstruct} route ×
 //	{COUNT(*), COUNT, SUM, MIN, MAX, AVG, MEDIAN, rank, quantile}
 //
-// plus GROUP BY and TopK/BottomK spot checks. Every cell is compared
-// against the oracle; a disagreement returns an error naming the exact
-// cell so the shape can be replayed as a regression test.
+// plus GROUP BY, TopK/BottomK spot checks, and the positional axis
+// (rangediff.go): Range over a deterministic probe battery and Window
+// over tumbling/sliding/gapped shapes, each verdict computed over the
+// positional slice of the case's selection — so the prefix-sum range
+// index and the bitmap fallback answer to the same arbiter. Every cell
+// is compared against the oracle; a disagreement returns an error naming
+// the exact cell so the shape can be replayed as a regression test.
 //
 // The oracle is also the arbiter for overflow: when its big.Int SUM does
 // not fit in uint64, the engine must refuse with *bpagg.OverflowError
@@ -191,6 +195,12 @@ func Check(c Case) error {
 				if err := checkColumn(&c, exp, st.name, st.tbl, th, "recon"); err != nil {
 					return err
 				}
+			}
+			if err := checkRange(&c, exp, st.name, st.tbl, th, ti == 0); err != nil {
+				return err
+			}
+			if err := checkWindow(&c, exp, st.name, st.tbl, th, ti == 0); err != nil {
+				return err
 			}
 			if c.G != nil {
 				for _, route := range []string{"singlepass", "legacy"} {

@@ -18,7 +18,10 @@ import (
 //	{1, 8} threads ×
 //	{COUNT(*), COUNT, SUM, MIN, MAX, AVG, MEDIAN, rank, quantile}
 //
-// plus GROUP BY when the case carries a grouping column. "split" shards
+// plus GROUP BY when the case carries a grouping column, and the
+// positional Range/Window axis (checkShardedRange/checkShardedWindow),
+// whose shard pruning and local-range translation must reproduce the
+// flat verdicts. "split" shards
 // the case's full flat table at the given shard size (exercising sealed
 // shards, a possibly partial tail, and NULL preservation); "reloaded"
 // round-trips that store through WriteTo/ReadShardedTable so the matrix
@@ -57,8 +60,14 @@ func CheckSharded(c Case, shardRows int) error {
 	states = append(states, state{fmt.Sprintf("reloaded/%d", shardRows), reloaded})
 
 	for _, st := range states {
-		for _, th := range threads {
+		for ti, th := range threads {
 			if err := checkShardedAggs(&c, exp, st.name, st.st, th); err != nil {
+				return err
+			}
+			if err := checkShardedRange(&c, exp, st.name, st.st, th, ti == 0); err != nil {
+				return err
+			}
+			if err := checkShardedWindow(&c, exp, st.name, st.st, th, ti == 0); err != nil {
 				return err
 			}
 			if c.G != nil {

@@ -471,11 +471,7 @@ func HBPFusedRankCtx(ctx context.Context, col *hbp.Column, preds []scan.WindowPr
 	}
 	b := col.NumGroups()
 	tau := col.Tau()
-	chunks := core.HBPChunks(tau)
-	histBits := tau
-	if histBits > core.MaxHistBits {
-		histBits = core.MaxHistBits
-	}
+	chunks, histBits := core.HBPRankChunks(tau, u)
 
 	workerHists := make([][]uint64, n)
 	for w := range workerHists {

@@ -128,11 +128,7 @@ func HBPRankCtx(ctx context.Context, col *hbp.Column, f *bitvec.Bitmap, r uint64
 	}
 	b := col.NumGroups()
 	tau := col.Tau()
-	chunks := core.HBPChunks(tau)
-	histBits := tau
-	if histBits > core.MaxHistBits {
-		histBits = core.MaxHistBits
-	}
+	chunks, histBits := core.HBPRankChunks(tau, u)
 
 	workerHists := make([][]uint64, o.threads())
 	for w := range workerHists {

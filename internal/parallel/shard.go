@@ -19,6 +19,16 @@ func ForEachIndexErr(ctx context.Context, n, threads int, fn func(i int) error) 
 	if n <= 0 {
 		return ctx.Err()
 	}
+	if n == 1 {
+		// Single index: run inline on the caller's goroutine. Spawning a
+		// worker plus a WaitGroup rendezvous costs more than most per-shard
+		// aggregate kernels on a small shard, and single-shard stores (and
+		// range queries pruned to one shard) hit this path on every call.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return runIndex(0, 0, fn)
+	}
 	if threads > n {
 		threads = n
 	}

@@ -1,0 +1,197 @@
+package rangeidx
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"bpagg/internal/hbp"
+	"bpagg/internal/vbp"
+	"bpagg/internal/word"
+)
+
+// fringeFor builds the layout column, its frozen view, and the tail copy
+// for the first rows values.
+type layoutCase struct {
+	name    string
+	segRows func(k, tau int) int
+	build   func(vals []uint64, k, tau int, sealed int) Fringe
+}
+
+func layouts() []layoutCase {
+	return []layoutCase{
+		{
+			name:    "vbp",
+			segRows: func(k, tau int) int { return vbp.SegBits },
+			build: func(vals []uint64, k, tau, sealed int) Fringe {
+				return vbp.Pack(vals, k, tau).Freeze(sealed)
+			},
+		},
+		{
+			name:    "hbp",
+			segRows: func(k, tau int) int { return hbp.New(k, tau).ValuesPerSegment() },
+			build: func(vals []uint64, k, tau, sealed int) Fringe {
+				return hbp.Pack(vals, k, tau).Freeze(sealed)
+			},
+		},
+	}
+}
+
+// naiveSum returns the exact big.Int sum of vals[lo:hi].
+func naiveSum(vals []uint64, lo, hi int) *big.Int {
+	s := new(big.Int)
+	var v big.Int
+	for _, x := range vals[lo:hi] {
+		s.Add(s, v.SetUint64(x))
+	}
+	return s
+}
+
+func naiveExtreme(vals []uint64, lo, hi int, wantMin bool) (uint64, bool) {
+	if lo >= hi {
+		return 0, false
+	}
+	best := vals[lo]
+	for _, v := range vals[lo+1 : hi] {
+		if (wantMin && v < best) || (!wantMin && v > best) {
+			best = v
+		}
+	}
+	return best, true
+}
+
+func big128(hi, lo uint64) *big.Int {
+	b := new(big.Int).SetUint64(hi)
+	b.Lsh(b, 64)
+	return b.Or(b, new(big.Int).SetUint64(lo))
+}
+
+func buildSnapshot(t *testing.T, lc layoutCase, vals []uint64, k, tau int) *Snapshot {
+	t.Helper()
+	segRows := lc.segRows(k, tau)
+	sealed := len(vals) / segRows
+	fr := lc.build(vals, k, tau, sealed)
+	b := NewBuilder(segRows)
+	b.Extend(len(vals), nil, fr)
+	tail := append([]uint64(nil), vals[sealed*segRows:]...)
+	return b.Snapshot(len(vals), tail, fr)
+}
+
+func TestSnapshotAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, lc := range layouts() {
+		for _, k := range []int{1, 7, 13, 31, 59, 64} {
+			tau := 4
+			if tau > k {
+				tau = k
+			}
+			if lc.name == "hbp" {
+				tau = hbp.DefaultTau(k)
+			}
+			for _, n := range []int{0, 1, 63, 64, 65, 130, 1000} {
+				vals := make([]uint64, n)
+				mask := word.LowMask(k)
+				for i := range vals {
+					vals[i] = rng.Uint64() & mask
+				}
+				s := buildSnapshot(t, lc, vals, k, tau)
+				ranges := [][2]int{{0, n}, {0, 0}, {n, n}, {0, 1}, {n / 3, 2 * n / 3},
+					{1, n}, {0, n - 1}, {n / 2, n/2 + 1}, {63, 65}, {64, 128}, {0, n + 50}}
+				for _, r := range ranges {
+					lo, hi := r[0], r[1]
+					if lo < 0 || lo > n {
+						continue
+					}
+					cl := hi
+					if cl > n {
+						cl = n
+					}
+					if lo > cl {
+						continue
+					}
+					sh, sl, _ := s.Sum(lo, hi)
+					if got, want := big128(sh, sl), naiveSum(vals, lo, cl); got.Cmp(want) != 0 {
+						t.Fatalf("%s k=%d n=%d Sum(%d,%d) = %s, want %s", lc.name, k, n, lo, hi, got, want)
+					}
+					mn, mok, _ := s.Min(lo, hi)
+					wmn, wok := naiveExtreme(vals, lo, cl, true)
+					if mok != wok || (mok && mn != wmn) {
+						t.Fatalf("%s k=%d n=%d Min(%d,%d) = (%d,%v), want (%d,%v)", lc.name, k, n, lo, hi, mn, mok, wmn, wok)
+					}
+					mx, xok, _ := s.Max(lo, hi)
+					wmx, wok2 := naiveExtreme(vals, lo, cl, false)
+					if xok != wok2 || (xok && mx != wmx) {
+						t.Fatalf("%s k=%d n=%d Max(%d,%d) = (%d,%v), want (%d,%v)", lc.name, k, n, lo, hi, mx, xok, wmx, wok2)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesBulk grows a builder value by value and checks
+// every intermediate snapshot against a reference over exhaustive ranges.
+func TestIncrementalMatchesBulk(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, lc := range layouts() {
+		k, tau := 9, 3
+		segRows := lc.segRows(k, tau)
+		n := segRows*3 + segRows/2
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = rng.Uint64() & word.LowMask(k)
+		}
+		b := NewBuilder(segRows)
+		for rows := 0; rows <= n; rows += 13 {
+			sealed := rows / segRows
+			fr := lc.build(vals[:rows], k, tau, sealed)
+			b.Extend(rows, nil, fr)
+			tail := append([]uint64(nil), vals[sealed*segRows:rows]...)
+			s := b.Snapshot(rows, tail, fr)
+			for lo := 0; lo <= rows; lo += 7 {
+				for hi := lo; hi <= rows; hi += 11 {
+					sh, sl, _ := s.Sum(lo, hi)
+					if got, want := big128(sh, sl), naiveSum(vals, lo, hi); got.Cmp(want) != 0 {
+						t.Fatalf("%s rows=%d Sum(%d,%d) = %s, want %s", lc.name, rows, lo, hi, got, want)
+					}
+					mn, mok, _ := s.Min(lo, hi)
+					wmn, wok := naiveExtreme(vals, lo, hi, true)
+					if mok != wok || (mok && mn != wmn) {
+						t.Fatalf("%s rows=%d Min(%d,%d) = (%d,%v), want (%d,%v)", lc.name, rows, lo, hi, mn, mok, wmn, wok)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStatsShape pins the cost model: a long aligned range is served from
+// the index with zero fringe words; an unaligned range touches at most two
+// segments' worth of words.
+func TestStatsShape(t *testing.T) {
+	for _, lc := range layouts() {
+		k, tau := 16, 4
+		if lc.name == "hbp" {
+			tau = hbp.DefaultTau(k)
+		}
+		segRows := lc.segRows(k, tau)
+		n := segRows * 20
+		vals := make([]uint64, n)
+		for i := range vals {
+			vals[i] = uint64(i) & word.LowMask(k)
+		}
+		s := buildSnapshot(t, lc, vals, k, tau)
+
+		_, _, st := s.Sum(0, n)
+		if st.IndexSegments != uint64(20) || st.FringeWords != 0 {
+			t.Fatalf("%s aligned full-range stats = %+v, want 20 index segments, 0 fringe words", lc.name, st)
+		}
+		_, _, st = s.Sum(1, n-1)
+		if st.IndexSegments != uint64(18) {
+			t.Fatalf("%s unaligned stats = %+v, want 18 index segments", lc.name, st)
+		}
+		if st.FringeWords == 0 {
+			t.Fatalf("%s unaligned range reported no fringe words", lc.name)
+		}
+	}
+}

@@ -97,6 +97,27 @@ func TestQueryOK(t *testing.T) {
 	}
 }
 
+// TestQueryRownum exercises the rownum range route end to end through
+// the HTTP surface: the answer is index-served (the response stats carry
+// the prefix-index counters), and rownum misuse maps to 400 like any
+// other bad query.
+func TestQueryRownum(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, _ := post(t, ts.URL, "SELECT COUNT(*), SUM(qty) WHERE rownum BETWEEN 256 AND 511")
+	if code != http.StatusOK || body.Kind != "ok" {
+		t.Fatalf("code=%d kind=%q err=%q", code, body.Kind, body.Error)
+	}
+	if len(body.Rows) != 1 || body.Rows[0][0] != "256" {
+		t.Fatalf("rows = %v", body.Rows)
+	}
+	if body.Stats.SegmentsIndexServed == 0 {
+		t.Errorf("rownum answer not index-served: %+v", body.Stats)
+	}
+	if code, body, _ := post(t, ts.URL, "SELECT COUNT(*) WHERE rownum > 5"); code != http.StatusBadRequest || body.Kind != "bad_query" {
+		t.Errorf("rownum > 5: code=%d kind=%q, want 400 bad_query", code, body.Kind)
+	}
+}
+
 func TestBadQuery(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, sql := range []string{

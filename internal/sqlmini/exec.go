@@ -91,11 +91,23 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 		return nil, err
 	}
 
+	// Row-position routing: WHERE rownum BETWEEN peels off into a range
+	// restriction (see rownum.go) before any predicate binding — rownum is
+	// no catalog column, so every later stage sees only the rest.
+	rng, rest, err := splitRownum(cat, q.Where)
+	if err != nil {
+		return nil, err
+	}
+
 	// Partitioned-store routing: a sharded catalog executes through the
 	// shard fan-out (see sharded.go); the flat paths below assume
 	// cat.Table and never run for it.
 	if cat.Sharded != nil {
-		return executeSharded(ctx, cat, q, o)
+		return executeSharded(ctx, cat, q, o, rng, rest)
+	}
+
+	if rng != nil {
+		return executeRange(ctx, cat, q, o, rng, rest)
 	}
 
 	if len(q.GroupBy) == 0 {
@@ -122,7 +134,13 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 	if err != nil {
 		return nil, err
 	}
+	return executeBitmap(ctx, cat, q, sel, o)
+}
 
+// executeBitmap is the bitmap executor's tail — the ungrouped aggregate
+// row or the per-group walk — against an already-bound selection. Both
+// the plain path and the rownum-masked path (executeRange) end here.
+func executeBitmap(ctx context.Context, cat *catalog.Catalog, q *Query, sel *bpagg.Bitmap, o ExecOptions) (*Result, error) {
 	if len(q.GroupBy) == 0 {
 		row, err := aggregateRow(ctx, cat, q.Selects, sel, o)
 		if err != nil {
@@ -139,7 +157,7 @@ func ExecuteContext(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 	if err != nil {
 		return nil, err
 	}
-	res = &Result{Headers: headers(q, true)}
+	res := &Result{Headers: headers(q, true)}
 	for _, g := range grouped {
 		row, err := aggregateRow(ctx, cat, q.Selects, g.sel, o)
 		if err != nil {

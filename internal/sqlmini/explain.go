@@ -39,7 +39,9 @@ import (
 // PlanNode is one stage of an executed EXPLAIN ANALYZE plan.
 type PlanNode struct {
 	// Op identifies the stage: "query", "aggregate", "group", "combine",
-	// "scan", "scan+agg (fused)", or "group+agg (single-pass)".
+	// "scan", "range mask", "scan+agg (fused)", "group+agg (single-pass)",
+	// "range (prefix-index)", "shard scan+agg", "shard group+agg", or
+	// "shard range".
 	Op string
 	// Detail is the stage's SQL-ish description (predicate, aggregate
 	// list, grouping column).
@@ -82,6 +84,17 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 	}
 	queryStart := time.Now()
 
+	// Row-position routing mirrors ExecuteContext: rownum peels off before
+	// any predicate binding, and a rownum-only ungrouped query plans as the
+	// one index-served stage:
+	//
+	//	query
+	//	└─ range (prefix-index) ...
+	rng, rest, err := splitRownum(cat, q.Where)
+	if err != nil {
+		return nil, err
+	}
+
 	// Sharded plan: the executor's routing is reproduced exactly — a
 	// sharded catalog always takes the shard fan-out, so the plan is the
 	// one stage that runs, with the shard-catalog pruning counters
@@ -90,7 +103,11 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 	//	query
 	//	└─ shard scan+agg ...      (or shard group+agg when grouped)
 	if cat.Sharded != nil {
-		return explainSharded(ctx, cat, q, o, queryStart)
+		return explainSharded(ctx, cat, q, o, queryStart, rng, rest)
+	}
+
+	if rng != nil {
+		return explainRange(ctx, cat, q, o, queryStart, rng, rest)
 	}
 
 	// Fused plan: the executor's routing decision is reproduced exactly
@@ -181,11 +198,19 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 		}
 	}
 
+	return explainBitmap(ctx, cat, q, q.Where, nil, o, queryStart)
+}
+
+// explainBitmap builds the scan/combine/group/aggregate plan for the
+// bitmap executor, over the given conditions. A non-nil rng adds the
+// row-position mask as one more combine input — exactly how executeRange's
+// fallback applies it.
+func explainBitmap(ctx context.Context, cat *catalog.Catalog, q *Query, conds []Condition, rng *rowRange, o ExecOptions, queryStart time.Time) (*ExplainResult, error) {
 	// Scan stage: one bit-parallel scan per WHERE predicate, each with
 	// its own collector so per-predicate pruning is visible.
 	var scans []*PlanNode
 	var masks []*bpagg.Bitmap
-	for _, cond := range q.Where {
+	for _, cond := range conds {
 		rec := bpagg.NewStatsCollector()
 		t0 := time.Now()
 		m, err := bindCondition(cat, cond, rec)
@@ -197,6 +222,17 @@ func ExplainAnalyzeContext(ctx context.Context, cat *catalog.Catalog, q *Query, 
 			Detail: cond.String(),
 			Rows:   uint64(m.Count()),
 			Stats:  rec.Snapshot(),
+			Wall:   time.Since(t0),
+		})
+		masks = append(masks, m)
+	}
+	if rng != nil {
+		t0 := time.Now()
+		m := rangeMask(cat, rng)
+		scans = append(scans, &PlanNode{
+			Op:     "range mask",
+			Detail: fmt.Sprintf("rows [%d, %d)", rng.lo, rng.hi),
+			Rows:   uint64(m.Count()),
 			Wall:   time.Since(t0),
 		})
 		masks = append(masks, m)
@@ -362,8 +398,24 @@ func (n *PlanNode) describe(norm bool) string {
 		add("pruned=%.1f%%", 100*n.Stats.PruneRatio())
 		add("words=%d", n.Stats.WordsCompared)
 		add("time=%s", dur(n.Wall))
-	case "combine":
+	case "combine", "range mask":
 		add("rows=%d", n.Rows)
+		add("time=%s", dur(n.Wall))
+	case "range (prefix-index)":
+		add("rows=%d", n.Rows)
+		add("aggs=%d", n.Stats.Aggregates)
+		add("index_segments=%d", n.Stats.SegmentsIndexServed)
+		add("fringe_words=%d", n.Stats.RangeFringeWords)
+		add("busy=%s", dur(n.Stats.WorkerBusy()))
+		add("time=%s", dur(n.Wall))
+	case "shard range":
+		add("rows=%d", n.Rows)
+		add("shards_scanned=%d", n.Stats.ShardsScanned)
+		add("shards_pruned=%d", n.Stats.ShardsPruned)
+		add("aggs=%d", n.Stats.Aggregates)
+		add("index_segments=%d", n.Stats.SegmentsIndexServed)
+		add("fringe_words=%d", n.Stats.RangeFringeWords)
+		add("busy=%s", dur(n.Stats.WorkerBusy()))
 		add("time=%s", dur(n.Wall))
 	case "group":
 		add("groups=%d", n.Rows)

@@ -72,6 +72,8 @@ func TestExplainGolden(t *testing.T) {
 		{"group_by", "EXPLAIN ANALYZE SELECT SUM(qty), MAX(amount) GROUP BY region"},
 		{"no_predicates", "EXPLAIN ANALYZE SELECT COUNT(*), MIN(amount)"},
 		{"in_list", "EXPLAIN ANALYZE SELECT SUM(amount) WHERE region IN ('EU', 'US') AND qty != 0"},
+		{"rownum_range", "EXPLAIN ANALYZE SELECT SUM(amount), COUNT(*) WHERE rownum BETWEEN 64 AND 191"},
+		{"rownum_masked", "EXPLAIN ANALYZE SELECT SUM(amount) WHERE rownum BETWEEN 10 AND 250 AND region = 'EU'"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -124,14 +124,29 @@ func validateShardedGroupBy(cat *catalog.Catalog, q *Query) error {
 }
 
 // executeSharded runs a validated query against the partitioned store.
-func executeSharded(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecOptions) (*Result, error) {
-	bps, err := bindShardedPreds(cat, q.Where)
+// A rownum range routes through ShardedQuery.Range — shards wholly
+// outside the range prune in the catalog pass, and each survivor answers
+// its local slice (index-served when no predicate remains). The grouped
+// walk has no range form, so rownum with GROUP BY is rejected here rather
+// than silently ignored.
+func executeSharded(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecOptions, rng *rowRange, rest []Condition) (*Result, error) {
+	bps, err := bindShardedPreds(cat, rest)
 	if err != nil {
 		return nil, err
+	}
+	if rng != nil && len(q.GroupBy) != 0 {
+		return nil, badf("sql: rownum with GROUP BY is not supported on a partitioned store")
 	}
 	sq, err := buildShardedQuery(cat, bps, o, o.Stats)
 	if err != nil {
 		return nil, err
+	}
+	if rng != nil {
+		row, err := aggregateRowShardedRange(ctx, cat, q.Selects, sq.Range(rng.lo, rng.hi))
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Headers: headers(q, false), Rows: [][]string{row}}, nil
 	}
 	if len(q.GroupBy) == 0 {
 		row, err := aggregateRowSharded(ctx, cat, q.Selects, sq)
@@ -159,10 +174,13 @@ func executeSharded(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 // stage-local collector, so the node's counters — including
 // shards_scanned and shards_pruned from every aggregate's fan-out — are
 // exactly what execution cost.
-func explainSharded(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecOptions, queryStart time.Time) (*ExplainResult, error) {
-	bps, err := bindShardedPreds(cat, q.Where)
+func explainSharded(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecOptions, queryStart time.Time, rng *rowRange, rest []Condition) (*ExplainResult, error) {
+	bps, err := bindShardedPreds(cat, rest)
 	if err != nil {
 		return nil, err
+	}
+	if rng != nil && len(q.GroupBy) != 0 {
+		return nil, badf("sql: rownum with GROUP BY is not supported on a partitioned store")
 	}
 	rec := bpagg.NewStatsCollector()
 	sq, err := buildShardedQuery(cat, bps, o, rec)
@@ -172,7 +190,28 @@ func explainSharded(ctx context.Context, cat *catalog.Catalog, q *Query, o ExecO
 
 	var node *PlanNode
 	t0 := time.Now()
-	if len(q.GroupBy) == 0 {
+	if rng != nil {
+		if _, err := aggregateRowShardedRange(ctx, cat, q.Selects, sq.Range(rng.lo, rng.hi)); err != nil {
+			return nil, err
+		}
+		wall := time.Since(t0)
+		// Cardinality decoration on a stats-free twin, like the other nodes.
+		cq, err := buildShardedQuery(cat, bps, o, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows, err := cq.Range(rng.lo, rng.hi).CountRowsContext(ctx)
+		if err != nil {
+			return nil, err
+		}
+		node = &PlanNode{
+			Op:     "shard range",
+			Detail: rangeDetail(q, rng, rest),
+			Rows:   rows,
+			Stats:  rec.Snapshot(),
+			Wall:   wall,
+		}
+	} else if len(q.GroupBy) == 0 {
 		if _, err := aggregateRowSharded(ctx, cat, q.Selects, sq); err != nil {
 			return nil, err
 		}
@@ -281,6 +320,72 @@ func aggregateRowSharded(ctx context.Context, cat *catalog.Catalog, sels []Selec
 			row[i] = formatOpt(cat, s.Column, v, ok)
 		case Quantile:
 			v, ok, err := sq.QuantileContext(ctx, s.Column, s.Arg)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		default:
+			return nil, fmt.Errorf("sql: unsupported aggregate %v", s.Func)
+		}
+	}
+	return row, nil
+}
+
+// aggregateRowShardedRange renders one result row through the
+// ShardedRangeQuery API — the row-position twin of aggregateRowSharded.
+// Each aggregate plans its own fan-out, pruning shards outside the range
+// alongside the predicate bounds; SUM and AVG merge 128-bit partials so
+// overflow surfaces exactly like the flat engine.
+func aggregateRowShardedRange(ctx context.Context, cat *catalog.Catalog, sels []SelectExpr, rq *bpagg.ShardedRangeQuery) ([]string, error) {
+	row := make([]string, len(sels))
+	for i, s := range sels {
+		switch s.Func {
+		case CountStar:
+			cnt, err := rq.CountRowsContext(ctx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = fmt.Sprintf("%d", cnt)
+		case Count:
+			cnt, err := rq.CountContext(ctx, s.Column)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = fmt.Sprintf("%d", cnt)
+		case Sum, Avg:
+			sum, err := rq.SumContext(ctx, s.Column)
+			if err != nil {
+				return nil, err
+			}
+			cnt, err := rq.CountContext(ctx, s.Column)
+			if err != nil {
+				return nil, err
+			}
+			if s.Func == Sum {
+				row[i] = cat.FormatSum(s.Column, sum, cnt)
+			} else {
+				row[i] = cat.FormatAvg(s.Column, sum, cnt)
+			}
+		case Min:
+			v, ok, err := rq.MinContext(ctx, s.Column)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		case Max:
+			v, ok, err := rq.MaxContext(ctx, s.Column)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		case Median:
+			v, ok, err := rq.MedianContext(ctx, s.Column)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = formatOpt(cat, s.Column, v, ok)
+		case Quantile:
+			v, ok, err := rq.QuantileContext(ctx, s.Column, s.Arg)
 			if err != nil {
 				return nil, err
 			}

@@ -41,6 +41,13 @@ func BatchKey(cat *catalog.Catalog, q *Query) (string, bool) {
 	if cat.Sharded != nil {
 		return "", false
 	}
+	// rownum-restricted queries are not batch-eligible either: the shared
+	// selection ignores row position, and they answer in O(1) from the
+	// range index individually, so batching buys nothing. bindPreds would
+	// reject the pseudo-column anyway; the gate is explicit for clarity.
+	if rng, _, err := splitRownum(cat, q.Where); err != nil || rng != nil {
+		return "", false
+	}
 	bps, ok := bindPreds(cat, q.Where)
 	if !ok {
 		return "", false

@@ -232,12 +232,7 @@ func HBPRank(col *hbp.Column, f *bitvec.Bitmap, r uint64) (uint64, bool) {
 	v := core.NewHBPCandidates(col, f, nseg)
 	b := col.NumGroups()
 	tau := col.Tau()
-	chunks := core.HBPChunks(tau)
-
-	histBits := tau
-	if histBits > core.MaxHistBits {
-		histBits = core.MaxHistBits
-	}
+	chunks, histBits := core.HBPRankChunks(tau, u)
 	hist := make([]uint64, 1<<uint(histBits))
 	var m uint64
 	for g := 0; g < b; g++ {

@@ -1,0 +1,45 @@
+package word
+
+import "math/bits"
+
+// 128-bit accumulator primitives shared by the checked SUM kernels
+// (internal/core) and the prefix-sum range index (internal/rangeidx).
+// A 128-bit value is an (hi, lo) pair of uint64: value = hi·2^64 + lo.
+
+// Add128 adds v into the 128-bit accumulator (hi, lo).
+func Add128(hi, lo, v uint64) (uint64, uint64) {
+	nl, carry := bits.Add64(lo, v, 0)
+	return hi + carry, nl
+}
+
+// AddShift128 adds v<<s (s in [0, 63]) into (hi, lo), keeping the bits
+// that shift past the low word. Go defines v>>64 as 0, so s == 0 needs no
+// special case.
+func AddShift128(hi, lo, v uint64, s uint) (uint64, uint64) {
+	nl, carry := bits.Add64(lo, v<<s, 0)
+	return hi + carry + v>>(64-s), nl
+}
+
+// Add128Shifted adds the 128-bit value (vhi, vlo)<<s (s in [0, 63]) into
+// (hi, lo). True sums stay below 2^128 (n < 2^64 codes of ≤ 64 bits), so
+// bits shifted past 2^128 cannot occur for well-formed inputs.
+func Add128Shifted(hi, lo, vhi, vlo uint64, s uint) (uint64, uint64) {
+	slo := vlo << s
+	shi := vhi<<s | vlo>>(64-s) // vlo>>64 is defined as 0, so s == 0 is exact
+	nl, carry := bits.Add64(lo, slo, 0)
+	return hi + carry + shi, nl
+}
+
+// Add128Pair adds the 128-bit value (vhi, vlo) into (hi, lo).
+func Add128Pair(hi, lo, vhi, vlo uint64) (uint64, uint64) {
+	nl, carry := bits.Add64(lo, vlo, 0)
+	return hi + vhi + carry, nl
+}
+
+// Sub128 subtracts the 128-bit value (vhi, vlo) from (hi, lo). The caller
+// guarantees (hi, lo) ≥ (vhi, vlo) — prefix sums are monotone, so a range
+// difference can never go negative.
+func Sub128(hi, lo, vhi, vlo uint64) (uint64, uint64) {
+	nl, borrow := bits.Sub64(lo, vlo, 0)
+	return hi - vhi - borrow, nl
+}

@@ -24,6 +24,45 @@ type ShardedQuery struct {
 	clauses []shardClause
 	execs   []ExecOption
 	stats   *StatsCollector
+	scratch shardScratch
+}
+
+// shardScratch holds the per-shard merge buffers, reused across a
+// query's fan-outs: window sweeps and rank binary searches issue one
+// fan-out per window or probe step and would otherwise reallocate the
+// same small slices every time. A ShardedQuery (like Query) serves one
+// goroutine at a time, and within one fan-out each worker writes only
+// its own slot, so reuse is safe.
+type shardScratch struct {
+	live, rlo, rhi []int
+	u64            [3][]uint64
+	oks            []bool
+}
+
+// uints returns one of the scratch's zeroed uint64 buffers at length n.
+func (s *shardScratch) uints(slot, n int) []uint64 {
+	b := s.u64[slot]
+	if cap(b) < n {
+		b = make([]uint64, n)
+		s.u64[slot] = b
+	}
+	b = b[:n]
+	for i := range b {
+		b[i] = 0
+	}
+	return b
+}
+
+// bools returns the scratch's zeroed bool buffer at length n.
+func (s *shardScratch) bools(n int) []bool {
+	if cap(s.oks) < n {
+		s.oks = make([]bool, n)
+	}
+	b := s.oks[:n]
+	for i := range b {
+		b[i] = false
+	}
+	return b
 }
 
 // shardClause is one recorded WHERE conjunct: the column (by name and
@@ -105,7 +144,7 @@ func (q *ShardedQuery) Stats() ExecStats {
 // non-NULL value in a shard prunes that shard for any predicate, since a
 // scan never matches NULL.
 func (q *ShardedQuery) plan(extra []shardClause) []int {
-	live := make([]int, 0, len(q.st.shards))
+	live := q.scratch.live[:0]
 shards:
 	for s := range q.st.shards {
 		for _, cls := range [][]shardClause{q.clauses, extra} {
@@ -122,6 +161,7 @@ shards:
 		ShardsScanned: uint64(len(live)),
 		ShardsPruned:  uint64(len(q.st.shards) - len(live)),
 	})
+	q.scratch.live = live
 	return live
 }
 
@@ -162,7 +202,7 @@ func (q *ShardedQuery) specIdxErr(column string) (int, error) {
 // honoring ctx.
 func (q *ShardedQuery) CountRowsContext(ctx context.Context) (uint64, error) {
 	live := q.plan(nil)
-	counts := make([]uint64, len(live))
+	counts := q.scratch.uints(0, len(live))
 	err := q.runShards(ctx, live, nil, func(slot, _ int, sq *Query) error {
 		c, err := sq.CountRowsContext(ctx)
 		counts[slot] = c
@@ -191,7 +231,7 @@ func (q *ShardedQuery) CountContext(ctx context.Context, column string) (uint64,
 		return 0, err
 	}
 	live := q.plan(nil)
-	counts := make([]uint64, len(live))
+	counts := q.scratch.uints(0, len(live))
 	err := q.runShards(ctx, live, nil, func(slot, _ int, sq *Query) error {
 		c, err := sq.CountContext(ctx, column)
 		counts[slot] = c
@@ -220,8 +260,8 @@ func (q *ShardedQuery) Count(column string) uint64 {
 // merged total (and any merged overflow report) is exact.
 func (q *ShardedQuery) sumParts(ctx context.Context, column string) (hi, lo uint64, err error) {
 	live := q.plan(nil)
-	his := make([]uint64, len(live))
-	los := make([]uint64, len(live))
+	his := q.scratch.uints(0, len(live))
+	los := q.scratch.uints(1, len(live))
 	err = q.runShards(ctx, live, nil, func(slot, _ int, sq *Query) error {
 		v, err := sq.SumContext(ctx, column)
 		if err != nil {
@@ -277,9 +317,9 @@ func (q *ShardedQuery) SumCountContext(ctx context.Context, column string) (sum,
 		return 0, 0, err
 	}
 	live := q.plan(nil)
-	his := make([]uint64, len(live))
-	los := make([]uint64, len(live))
-	cnts := make([]uint64, len(live))
+	his := q.scratch.uints(0, len(live))
+	los := q.scratch.uints(1, len(live))
+	cnts := q.scratch.uints(2, len(live))
 	err = q.runShards(ctx, live, nil, func(slot, _ int, sq *Query) error {
 		s, c, err := sq.SumCountContext(ctx, column)
 		if err != nil {
@@ -315,8 +355,8 @@ func (q *ShardedQuery) extremeContext(ctx context.Context, column string, wantMi
 		return 0, false, err
 	}
 	live := q.plan(nil)
-	vals := make([]uint64, len(live))
-	oks := make([]bool, len(live))
+	vals := q.scratch.uints(0, len(live))
+	oks := q.scratch.bools(len(live))
 	err := q.runShards(ctx, live, nil, func(slot, _ int, sq *Query) error {
 		var v uint64
 		var ok bool
@@ -403,7 +443,7 @@ func maxValForBits(k int) uint64 {
 func (q *ShardedQuery) countLE(ctx context.Context, column string, idx int, v uint64) (uint64, error) {
 	extra := []shardClause{{name: column, col: idx, pred: LessEq(v)}}
 	live := q.plan(extra)
-	counts := make([]uint64, len(live))
+	counts := q.scratch.uints(0, len(live))
 	err := q.runShards(ctx, live, extra, func(slot, _ int, sq *Query) error {
 		c, err := sq.CountRowsContext(ctx)
 		counts[slot] = c

@@ -3,8 +3,11 @@ package bpagg
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"bpagg/internal/bitvec"
+	"bpagg/internal/rangeidx"
 )
 
 // Table is a collection of equal-length bit-packed columns — the
@@ -15,6 +18,14 @@ type Table struct {
 	names []string
 	cols  map[string]*Column
 	rows  int
+
+	// Range-index state (range.go). mu serializes appends with index
+	// maintenance; epoch is the atomically published immutable snapshot
+	// set range/window queries pin; ridx holds the per-column prefix-sum
+	// builders, nil until the first Range/Window call enables them.
+	mu    sync.Mutex
+	epoch atomic.Pointer[tableEpoch]
+	ridx  map[string]*rangeidx.Builder
 }
 
 // NewTable returns an empty table.
@@ -92,10 +103,13 @@ func (t *Table) AppendRow(vals map[string]uint64) {
 		}
 		t.cols[name].checkFits(name, v)
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, name := range t.names {
 		t.cols[name].Append(vals[name])
 	}
 	t.rows++
+	t.publishEpochLocked()
 }
 
 // AppendColumnar appends many rows given per-column value slices of equal
@@ -129,10 +143,13 @@ func (t *Table) AppendColumnar(vals map[string][]uint64) {
 			c.checkFits(name, v)
 		}
 	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, name := range t.names {
 		t.cols[name].Append(vals[name]...)
 	}
 	t.rows += n
+	t.publishEpochLocked()
 }
 
 // Query starts a query over the table.
